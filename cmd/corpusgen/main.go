@@ -1,0 +1,106 @@
+// Command corpusgen materializes test corpora on disk: either synthetic
+// WSJ-calibrated composition lists (JSON lines, for inspecting the
+// benchmark workload) or newswire articles (one text file per document,
+// loadable back through ita.LoadTextDir).
+//
+// Usage:
+//
+//	corpusgen -kind newswire -n 200 -out ./articles
+//	corpusgen -kind synth -n 1000 -dict 50000 -out ./synth.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ita/internal/corpus"
+	"ita/internal/model"
+	"ita/internal/vsm"
+)
+
+type synthDoc struct {
+	ID       uint64             `json:"id"`
+	Arrival  time.Time          `json:"arrival"`
+	Postings map[uint32]float64 `json:"postings"`
+}
+
+func main() {
+	var (
+		kind = flag.String("kind", "newswire", "corpus kind: newswire|synth")
+		n    = flag.Int("n", 100, "number of documents")
+		out  = flag.String("out", "", "output directory (newswire) or file (synth)")
+		dict = flag.Int("dict", 181978, "synthetic dictionary size")
+		seed = flag.Int64("seed", 20090329, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("corpusgen: -out is required")
+	}
+	switch *kind {
+	case "newswire":
+		if err := writeNewswire(*out, *n, *seed); err != nil {
+			log.Fatalf("corpusgen: %v", err)
+		}
+	case "synth":
+		if err := writeSynth(*out, *n, *dict, *seed); err != nil {
+			log.Fatalf("corpusgen: %v", err)
+		}
+	default:
+		log.Fatalf("corpusgen: unknown kind %q", *kind)
+	}
+}
+
+func writeNewswire(dir string, n int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	feed := corpus.NewNewswire(seed)
+	for i := 0; i < n; i++ {
+		topic, text := feed.Mixed()
+		name := fmt.Sprintf("%05d-%s.txt", i+1, topic)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d articles to %s\n", n, dir)
+	return nil
+}
+
+func writeSynth(path string, n, dict int, seed int64) error {
+	cfg := corpus.WSJConfig()
+	cfg.DictSize = dict
+	cfg.Seed = seed
+	synth, err := corpus.NewSynth(cfg, vsm.Cosine{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	start := time.Unix(0, 0)
+	for i := 0; i < n; i++ {
+		d := synth.Document(model.DocID(i+1), start.Add(time.Duration(i)*5*time.Millisecond))
+		rec := synthDoc{ID: uint64(d.ID), Arrival: d.Arrival, Postings: make(map[uint32]float64, len(d.Postings))}
+		for _, p := range d.Postings {
+			rec.Postings[uint32(p.Term)] = p.Weight
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d synthetic documents to %s\n", n, path)
+	return nil
+}

@@ -1,0 +1,194 @@
+// Command itaserver runs a continuous text search monitoring server over
+// HTTP — the system of the paper's introduction: documents stream in,
+// standing queries stay registered, every query's top-k is always
+// current.
+//
+// Endpoints:
+//
+//	POST /documents        {"text": "..."}            → {"doc": id}
+//	POST /queries          {"text": "...", "k": 10}   → {"query": id}
+//	DELETE /queries/{id}                              → 204
+//	GET  /queries/{id}                                → current top-k
+//	GET  /stats                                       → engine counters
+//
+// With -demo, a built-in newswire feed publishes articles at -rate
+// documents per second so the server is immediately interesting:
+//
+//	itaserver -demo -rate 20 &
+//	curl -s -X POST localhost:8095/queries -d '{"text":"crude oil production","k":3}'
+//	curl -s localhost:8095/queries/1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ita"
+)
+
+type server struct {
+	eng *ita.Engine
+}
+
+type documentRequest struct {
+	Text string `json:"text"`
+}
+
+type queryRequest struct {
+	Text string `json:"text"`
+	K    int    `json:"k"`
+}
+
+type matchResponse struct {
+	Doc   uint64  `json:"doc"`
+	Score float64 `json:"score"`
+	Text  string  `json:"text,omitempty"`
+}
+
+func (s *server) postDocument(w http.ResponseWriter, r *http.Request) {
+	var req documentRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
+		http.Error(w, "body must be {\"text\": \"...\"}", http.StatusBadRequest)
+		return
+	}
+	id, err := s.eng.IngestText(req.Text, time.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"doc": uint64(id)})
+}
+
+func (s *server) postQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
+		http.Error(w, "body must be {\"text\": \"...\", \"k\": 10}", http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	id, err := s.eng.Register(req.Text, req.K)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"query": uint64(id)})
+}
+
+func (s *server) queryByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/queries/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		if !s.eng.Unregister(ita.QueryID(id)) {
+			http.Error(w, "unknown query", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		res := s.eng.Results(ita.QueryID(id))
+		if res == nil {
+			http.Error(w, "unknown query", http.StatusNotFound)
+			return
+		}
+		text, _ := s.eng.QueryText(ita.QueryID(id))
+		out := struct {
+			Query   string          `json:"query"`
+			Matches []matchResponse `json:"matches"`
+		}{Query: text, Matches: make([]matchResponse, 0, len(res))}
+		for _, m := range res {
+			out.Matches = append(out.Matches, matchResponse{Doc: uint64(m.Doc), Score: m.Score, Text: m.Text})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"algorithm":  s.eng.Algorithm().String(),
+		"window":     s.eng.WindowLen(),
+		"queries":    s.eng.Queries(),
+		"dictionary": s.eng.DictionarySize(),
+		"counters":   s.eng.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("itaserver: encode response: %v", err)
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8095", "listen address")
+		windowN = flag.Int("window", 1000, "count-based window size (documents)")
+		span    = flag.Duration("span", 0, "time-based window span (overrides -window when set)")
+		demo    = flag.Bool("demo", false, "publish a built-in newswire stream")
+		rate    = flag.Float64("rate", 10, "demo feed rate, documents/second")
+	)
+	flag.Parse()
+
+	opts := []ita.Option{ita.WithTextRetention()}
+	if *span > 0 {
+		opts = append(opts, ita.WithTimeWindow(*span))
+	} else {
+		opts = append(opts, ita.WithCountWindow(*windowN))
+	}
+	eng, err := ita.New(opts...)
+	if err != nil {
+		log.Fatalf("itaserver: %v", err)
+	}
+	s := &server{eng: eng}
+
+	if *demo {
+		go func() {
+			feed := ita.NewNewsFeed(time.Now().UnixNano())
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *rate))
+			defer tick.Stop()
+			for range tick.C {
+				_, text := feed.Mixed()
+				if _, err := eng.IngestText(text, time.Now()); err != nil {
+					log.Printf("itaserver: demo ingest: %v", err)
+				}
+			}
+		}()
+		log.Printf("demo feed publishing at %.1f docs/s", *rate)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postDocument(w, r)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postQuery(w, r)
+	})
+	mux.HandleFunc("/queries/", s.queryByID)
+	mux.HandleFunc("/stats", s.stats)
+
+	log.Printf("continuous text search server (%s) listening on %s", eng.Algorithm(), *addr)
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}

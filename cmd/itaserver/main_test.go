@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ita"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	eng, err := ita.New(ita.WithCountWindow(100), ita.WithTextRetention())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postDocument(w, r)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postQuery(w, r)
+	})
+	mux.HandleFunc("/queries/", s.queryByID)
+	mux.HandleFunc("/stats", s.stats)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func get(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Register a query.
+	resp, body := post(t, ts.URL+"/queries", `{"text":"crude oil production","k":3}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /queries = %d", resp.StatusCode)
+	}
+	qid := int(body["query"].(float64))
+	if qid != 1 {
+		t.Fatalf("query id = %d", qid)
+	}
+
+	// Feed documents.
+	for _, text := range []string{
+		"Crude oil production rose in the north sea fields.",
+		"The council debated a new housing policy.",
+		"Oil producers curbed crude output amid falling demand.",
+	} {
+		resp, _ := post(t, ts.URL+"/documents", `{"text":`+strconvQuote(text)+`}`)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /documents = %d", resp.StatusCode)
+		}
+	}
+
+	// Fetch results.
+	resp, err := http.Get(ts.URL + "/queries/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /queries/1 = %d", resp.StatusCode)
+	}
+	var result struct {
+		Query   string `json:"query"`
+		Matches []struct {
+			Doc   uint64  `json:"doc"`
+			Score float64 `json:"score"`
+			Text  string  `json:"text"`
+		} `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	if result.Query != "crude oil production" {
+		t.Fatalf("query text = %q", result.Query)
+	}
+	if len(result.Matches) != 2 {
+		t.Fatalf("matches = %+v, want the two oil documents", result.Matches)
+	}
+	if result.Matches[0].Score < result.Matches[1].Score {
+		t.Fatal("matches not in descending score order")
+	}
+	for _, m := range result.Matches {
+		if !strings.Contains(strings.ToLower(m.Text), "oil") {
+			t.Fatalf("match text %q does not mention oil", m.Text)
+		}
+	}
+
+	// Stats endpoint.
+	resp2, stats := get(t, ts.URL+"/stats")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp2.StatusCode)
+	}
+	if stats["algorithm"] != "ita" || int(stats["window"].(float64)) != 3 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	// Delete the query.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/1", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE = %d", resp3.StatusCode)
+	}
+	resp4, _ := get(t, ts.URL+"/queries/1")
+	if resp4.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d", resp4.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"empty doc", "/documents", `{"text":""}`, http.StatusBadRequest},
+		{"bad json doc", "/documents", `{`, http.StatusBadRequest},
+		{"empty query", "/queries", `{"text":"","k":3}`, http.StatusBadRequest},
+		{"stopword query", "/queries", `{"text":"the of and","k":3}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := post(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+
+	// Unknown and malformed query ids.
+	if resp, _ := get(t, ts.URL+"/queries/999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown query: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/queries/abc"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed id: %d", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	if resp, _ := get(t, ts.URL+"/documents"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /documents: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/queries"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /queries: %d", resp.StatusCode)
+	}
+}
+
+func TestServerDefaultK(t *testing.T) {
+	s, ts := newTestServer(t)
+	resp, body := post(t, ts.URL+"/queries", `{"text":"solar turbines"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	qid := ita.QueryID(body["query"].(float64))
+	// Feed 12 matching docs; the default k caps results at 10.
+	clock := time.Now()
+	for i := 0; i < 12; i++ {
+		clock = clock.Add(time.Millisecond)
+		if _, err := s.eng.IngestText("solar turbines spinning", clock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.eng.Results(qid)); got != 10 {
+		t.Fatalf("results = %d, want default k=10", got)
+	}
+}
+
+func strconvQuote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -1,0 +1,42 @@
+// Package ita implements continuous text search over high-volume
+// document streams, reproducing Mouratidis & Pang, "An Incremental
+// Threshold Method for Continuous Text Search Queries" (ICDE 2009).
+//
+// A monitoring server ingests a stream of documents and hosts standing
+// text queries. Each query continuously reports the k documents inside
+// a sliding window — count-based ("the 500 most recent documents") or
+// time-based ("the last 15 minutes") — that are most similar to its
+// search terms under cosine similarity (an Okapi BM25 variant is also
+// provided).
+//
+// The default engine is the paper's Incremental Threshold Algorithm
+// (ITA): an impact-ordered inverted index over the window with one
+// "local threshold" per (query, term) pair. Arriving and expiring
+// documents are filtered through per-term threshold trees so that only
+// the small fraction of updates that can possibly change some result is
+// ever processed; results are repaired incrementally by rolling
+// thresholds up (arrivals) or resuming the top-k search downwards
+// (expirations). A Naïve baseline — score every arrival against every
+// query, rescan on result underflow, with the top-kmax view maintenance
+// of Yi et al. — is included for comparison and used by the benchmark
+// harness.
+//
+// # Quick start
+//
+//	eng, err := ita.New(ita.WithCountWindow(500))
+//	if err != nil { ... }
+//	q, err := eng.Register("weapons of mass destruction", 10)
+//	if err != nil { ... }
+//	for doc := range feed {
+//		if _, err := eng.IngestText(doc.Text, doc.Time); err != nil { ... }
+//		for _, m := range eng.Results(q) {
+//			fmt.Printf("%.3f %s\n", m.Score, m.Text)
+//		}
+//	}
+//
+// Engines are safe for concurrent use; all methods serialize on an
+// internal mutex, matching the paper's single-CPU cost model.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every figure.
+package ita

@@ -1,0 +1,274 @@
+package ita
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ita/internal/core"
+	"ita/internal/model"
+	"ita/internal/textproc"
+	"ita/internal/window"
+)
+
+// Identifier and result types of the public API.
+type (
+	// DocID identifies an ingested document.
+	DocID = model.DocID
+	// QueryID identifies a registered continuous query.
+	QueryID = model.QueryID
+	// Stats exposes the engine's cumulative operation counters.
+	Stats = core.Stats
+)
+
+// Match is one result entry of a continuous query.
+type Match struct {
+	Doc   DocID
+	Score float64
+	// Text is the document's original text when the engine was built
+	// with WithTextRetention, empty otherwise.
+	Text string
+}
+
+// Errors returned by the public API.
+var (
+	// ErrNoQueryTerms means a query text contained no indexable terms
+	// (for example, only stopwords).
+	ErrNoQueryTerms = errors.New("ita: query has no indexable terms")
+	// ErrTimeRegression means a document was ingested with an arrival
+	// time before an earlier document's; sliding windows require
+	// non-decreasing arrival times.
+	ErrTimeRegression = errors.New("ita: arrival time precedes an earlier document")
+)
+
+// Engine is a continuous text search server: it analyzes and indexes a
+// document stream and maintains the top-k result of every registered
+// query at all times. All methods are safe for concurrent use.
+type Engine struct {
+	mu        sync.Mutex
+	cfg       config
+	inner     core.Engine
+	pipeline  *textproc.Pipeline
+	nextDoc   model.DocID
+	nextQuery model.QueryID
+	lastAt    time.Time
+	queryText map[QueryID]string
+	texts     *textRing
+	watches   map[QueryID]*watchState
+}
+
+// New builds an engine. A window option (WithCountWindow or
+// WithTimeWindow) is required; everything else defaults to the paper's
+// configuration: ITA algorithm, cosine scoring, stemming and stopword
+// removal enabled.
+func New(opts ...Option) (*Engine, error) {
+	cfg := config{
+		algorithm: IncrementalThreshold,
+		stemming:  true,
+		stopwords: true,
+		seed:      1,
+	}
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.policy == nil {
+		return nil, errors.New("ita: a window option is required (WithCountWindow or WithTimeWindow)")
+	}
+	if cfg.weighter == nil {
+		cfg.weighter = defaultWeighter()
+	}
+	e := &Engine{
+		cfg:       cfg,
+		inner:     cfg.build(),
+		pipeline:  textproc.NewPipeline(textproc.NewDictionary(), cfg.stemming, cfg.stopwords),
+		nextDoc:   1,
+		nextQuery: 1,
+		queryText: make(map[QueryID]string),
+	}
+	if cfg.retainText {
+		e.texts = newTextRing(cfg.policy)
+	}
+	return e, nil
+}
+
+// IngestText analyzes text and processes it as a document arrival at
+// the given time, returning the assigned document id. Arrival times
+// must be non-decreasing across calls. A document whose analysis yields
+// no terms (for example, all stopwords) is still ingested: it occupies
+// a window slot, matches nothing, and expires normally — exactly how
+// the paper's window semantics treat it.
+func (e *Engine) IngestText(text string, at time.Time) (DocID, error) {
+	e.mu.Lock()
+	id, deltas, err := e.ingestLocked(text, at)
+	e.mu.Unlock()
+	// Watch callbacks run outside the lock so they may call back into
+	// the engine.
+	deliver(deltas)
+	return id, err
+}
+
+func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta, error) {
+	if at.Before(e.lastAt) {
+		return 0, nil, fmt.Errorf("%w: %s < %s", ErrTimeRegression, at, e.lastAt)
+	}
+	freqs := e.pipeline.TermFreqs(text)
+	doc, err := model.NewDocument(e.nextDoc, at, e.cfg.weighter.DocPostings(freqs))
+	if err != nil {
+		return 0, nil, fmt.Errorf("ita: analyze document: %w", err)
+	}
+	if err := e.inner.Process(doc); err != nil {
+		return 0, nil, err
+	}
+	e.lastAt = at
+	e.nextDoc++
+	if e.texts != nil {
+		e.texts.add(doc.ID, at, text)
+	}
+	return doc.ID, e.collectDeltas(), nil
+}
+
+// Advance moves the stream clock forward without an arrival, expiring
+// documents from time-based windows. Count-based windows are unaffected.
+func (e *Engine) Advance(now time.Time) error {
+	e.mu.Lock()
+	if now.Before(e.lastAt) {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s < %s", ErrTimeRegression, now, e.lastAt)
+	}
+	e.lastAt = now
+	e.inner.ExpireUntil(now)
+	deltas := e.collectDeltas()
+	if e.texts != nil {
+		e.texts.expire(now)
+	}
+	e.mu.Unlock()
+	deliver(deltas)
+	return nil
+}
+
+// Register installs a continuous query: the k most similar documents to
+// queryText are maintained from now on. Term frequency in the query
+// text weights the terms, as in the paper's {white white tower} example.
+func (e *Engine) Register(queryText string, k int) (QueryID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	freqs := e.pipeline.TermFreqs(queryText)
+	if len(freqs) == 0 {
+		return 0, ErrNoQueryTerms
+	}
+	q, err := model.NewQuery(e.nextQuery, k, e.cfg.weighter.QueryTerms(freqs))
+	if err != nil {
+		return 0, fmt.Errorf("ita: analyze query: %w", err)
+	}
+	if err := e.inner.Register(q); err != nil {
+		return 0, err
+	}
+	id := e.nextQuery
+	e.nextQuery++
+	e.queryText[id] = queryText
+	return id, nil
+}
+
+// Unregister removes a query and any watcher on it, reporting whether
+// the query existed.
+func (e *Engine) Unregister(id QueryID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.queryText, id)
+	delete(e.watches, id)
+	return e.inner.Unregister(id)
+}
+
+// Results returns the query's current top-k in descending score order.
+// It returns nil for an unknown query; a registered query with no
+// matching documents returns an empty non-nil slice.
+func (e *Engine) Results(id QueryID) []Match {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	docs, ok := e.inner.Result(id)
+	if !ok {
+		return nil
+	}
+	out := make([]Match, 0, len(docs))
+	for _, d := range docs {
+		m := Match{Doc: d.Doc, Score: d.Score}
+		if e.texts != nil {
+			m.Text = e.texts.get(d.Doc)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// QueryText returns the original text a query was registered with.
+func (e *Engine) QueryText(id QueryID) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.queryText[id]
+	return s, ok
+}
+
+// WindowLen returns the number of currently valid documents.
+func (e *Engine) WindowLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inner.WindowLen()
+}
+
+// Queries returns the number of registered queries.
+func (e *Engine) Queries() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inner.Queries()
+}
+
+// Stats returns a snapshot of the engine's operation counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return *e.inner.Stats()
+}
+
+// Algorithm returns the engine's maintenance algorithm.
+func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
+
+// DictionarySize returns the number of distinct terms interned so far.
+func (e *Engine) DictionarySize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pipeline.Dictionary().Size()
+}
+
+// textRing mirrors the window policy for retained document texts.
+type textRing struct {
+	policy window.Policy
+	byID   map[model.DocID]string
+	order  []retained
+}
+
+type retained struct {
+	id model.DocID
+	at time.Time
+}
+
+func newTextRing(p window.Policy) *textRing {
+	return &textRing{policy: p, byID: make(map[model.DocID]string)}
+}
+
+func (r *textRing) add(id model.DocID, at time.Time, text string) {
+	r.byID[id] = text
+	r.order = append(r.order, retained{id: id, at: at})
+	r.expire(at)
+}
+
+func (r *textRing) expire(now time.Time) {
+	for len(r.order) > 0 && r.policy.Expired(r.order[0].at, now, len(r.order)) {
+		delete(r.byID, r.order[0].id)
+		r.order = r.order[1:]
+	}
+}
+
+func (r *textRing) get(id model.DocID) string { return r.byID[id] }

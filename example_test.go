@@ -1,0 +1,99 @@
+package ita_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"ita"
+)
+
+// The basic lifecycle: create an engine over a sliding window, register
+// a continuous query, stream documents, read the standing result.
+func ExampleNew() {
+	eng, err := ita.New(ita.WithCountWindow(100), ita.WithTextRetention())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.Register("white tower", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := time.Unix(0, 0)
+	docs := []string{
+		"The white tower overlooks the harbor.",
+		"Grain prices rose for a third week.",
+		"The old tower was repainted white.",
+	}
+	for i, text := range docs {
+		if _, err := eng.IngestText(text, base.Add(time.Duration(i)*5*time.Millisecond)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for rank, m := range eng.Results(q) {
+		fmt.Printf("%d: %s\n", rank+1, m.Text)
+	}
+	// Output:
+	// 1: The white tower overlooks the harbor.
+	// 2: The old tower was repainted white.
+}
+
+// Watch delivers result deltas: the moment a document enters (or
+// leaves) a query's top-k, without polling.
+func ExampleEngine_Watch() {
+	eng, err := ita.New(ita.WithCountWindow(10), ita.WithTextRetention())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.Register("explosives shipment", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Watch(q, func(d ita.Delta) {
+		for _, m := range d.Entered {
+			fmt.Printf("alert: %s\n", m.Text)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	base := time.Unix(0, 0)
+	if _, err := eng.IngestText("Lunch menu updated for the week.", base); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.IngestText("A shipment of explosives was intercepted.", base.Add(time.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// alert: A shipment of explosives was intercepted.
+}
+
+// Snapshot and Restore round-trip a running server: queries, window and
+// dictionary survive; results are identical afterwards.
+func ExampleEngine_Snapshot() {
+	eng, err := ita.New(ita.WithCountWindow(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eng.Register("crude oil", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.IngestText("Crude oil futures climbed.", time.Unix(0, 0)); err != nil {
+		log.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := ita.Restore(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("results after restart: %d\n", len(restored.Results(q)))
+	// Output:
+	// results after restart: 1
+}

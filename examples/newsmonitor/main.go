@@ -1,0 +1,82 @@
+// Newsmonitor: the paper's investment-manager scenario. An analyst
+// tracks a portfolio of industries by registering standing queries over
+// a newsflash stream; the server keeps each query's top-k newsflashes
+// from the last 30 seconds of stream time (a time-based sliding window).
+//
+//	go run ./examples/newsmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ita"
+)
+
+func main() {
+	eng, err := ita.New(
+		ita.WithTimeWindow(30*time.Second),
+		ita.WithTextRetention(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The portfolio: one standing query per industry of interest.
+	portfolio := map[string]string{
+		"rates":  "interest rates central bank inflation",
+		"energy": "crude oil production refinery gas",
+		"chips":  "semiconductor processor chip foundry",
+	}
+	queries := make(map[string]ita.QueryID, len(portfolio))
+	for name, text := range portfolio {
+		q, err := eng.Register(text, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[name] = q
+	}
+
+	// Simulated newsflash feed: ~10 flashes/second of mixed topics.
+	feed := ita.NewNewsFeed(42)
+	clock := time.Now()
+	const flashes = 300
+	for i := 0; i < flashes; i++ {
+		clock = clock.Add(100 * time.Millisecond)
+		_, text := feed.Mixed()
+		if _, err := eng.IngestText(text, clock); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("after %d newsflashes (%d still in the 30s window):\n\n", flashes, eng.WindowLen())
+	for name, q := range queries {
+		text, _ := eng.QueryText(q)
+		fmt.Printf("── portfolio query %q (%s)\n", name, text)
+		res := eng.Results(q)
+		if len(res) == 0 {
+			fmt.Println("   no relevant newsflashes in the window")
+		}
+		for rank, m := range res {
+			fmt.Printf("   %d. [%.3f] %s\n", rank+1, m.Score, clip(m.Text, 96))
+		}
+		fmt.Println()
+	}
+
+	// The stream goes quiet: advancing the clock past the window span
+	// expires everything, and the results drain accordingly.
+	clock = clock.Add(45 * time.Second)
+	if err := eng.Advance(clock); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 45s of silence: window=%d docs, rates query has %d results\n",
+		eng.WindowLen(), len(eng.Results(queries["rates"])))
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

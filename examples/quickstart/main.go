@@ -1,0 +1,64 @@
+// Quickstart: the smallest end-to-end use of the ita engine.
+//
+// A count-based window of 5 documents, one standing query, a handful of
+// arriving documents, and the continuously maintained top-k printed
+// after each arrival — including the moment a match slides out of the
+// window.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ita"
+)
+
+func main() {
+	eng, err := ita.New(
+		ita.WithCountWindow(5), // "the 5 most recent documents"
+		ita.WithTextRetention(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's running example: a standing query for {white tower},
+	// requesting the top 2 documents.
+	query, err := eng.Register("white tower", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	docs := []string{
+		"The white tower overlooks the harbor.",
+		"Grain prices rose for a third week.",
+		"Workers repainted the old tower in brilliant white.",
+		"The white-tailed eagle nests in the tower ruins.",
+		"A new bakery opened downtown.",
+		"City hall approved the subway extension.",
+		"Fog covered the bay until noon.",
+	}
+
+	now := time.Now()
+	for i, text := range docs {
+		now = now.Add(5 * time.Millisecond) // ~200 docs/second
+		id, err := eng.IngestText(text, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("arrival %d (doc %d): %q\n", i+1, id, text)
+		for rank, m := range eng.Results(query) {
+			fmt.Printf("   top-%d  score=%.3f  doc %d: %s\n", rank+1, m.Score, m.Doc, m.Text)
+		}
+		if len(eng.Results(query)) == 0 {
+			fmt.Println("   (no matching documents in the window)")
+		}
+	}
+
+	stats := eng.Stats()
+	fmt.Printf("\nwindow=%d docs, dictionary=%d terms, score computations=%d (vs %d arrivals — the threshold index filtered the rest)\n",
+		eng.WindowLen(), eng.DictionarySize(), stats.ScoreComputations, stats.Arrivals)
+}

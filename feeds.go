@@ -1,0 +1,49 @@
+package ita
+
+import (
+	"ita/internal/corpus"
+	"ita/internal/vsm"
+)
+
+// defaultWeighter returns the paper's cosine weighting.
+func defaultWeighter() vsm.Weighter { return vsm.Cosine{} }
+
+// NewsFeed generates small deterministic English-like news articles —
+// a demonstration stream for the examples and for trying the engine
+// without a corpus on disk.
+type NewsFeed struct {
+	inner *corpus.Newswire
+}
+
+// NewNewsFeed returns a deterministic article generator.
+func NewNewsFeed(seed int64) *NewsFeed {
+	return &NewsFeed{inner: corpus.NewNewswire(seed)}
+}
+
+// NewsTopics lists the topics Article accepts.
+func NewsTopics() []string { return corpus.Topics() }
+
+// Article generates one article on the given topic; unknown topics fall
+// back to a random one.
+func (f *NewsFeed) Article(topic string) string { return f.inner.Article(topic) }
+
+// Mixed generates an article on a random topic, returning the topic
+// alongside the text.
+func (f *NewsFeed) Mixed() (topic, text string) { return f.inner.Mixed() }
+
+// LoadTextDir reads every file with one of the given extensions under
+// dir as one document each, sorted by path. It is the simplest way to
+// replay an on-disk corpus through an Engine.
+func LoadTextDir(dir string, exts ...string) ([]RawDoc, error) {
+	return corpus.LoadDir(dir, exts...)
+}
+
+// LoadTRECFile parses a TREC-style SGML file (the format of the WSJ
+// collection the paper streams) into raw documents.
+func LoadTRECFile(path string) ([]RawDoc, error) {
+	return corpus.LoadTREC(path)
+}
+
+// RawDoc is a loaded document: a name (file path or DOCNO) and its
+// text.
+type RawDoc = corpus.RawDoc

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+)
+
+// CheckInvariants verifies the maintenance invariants I1–I3 of every
+// registered query, plus structural consistency between the threshold
+// trees and the per-query threshold state. It costs a full index scan
+// per query and exists for tests and debugging, not production paths.
+func (e *ITA) CheckInvariants() error {
+	// Structural: every (term, theta) pair must be present in its tree,
+	// and tree sizes must add up to the total number of query terms.
+	total := 0
+	for _, qs := range e.queries {
+		total += len(qs.terms)
+		for i := range qs.terms {
+			ts := &qs.terms[i]
+			if ts.theta == invindex.Top() {
+				return fmt.Errorf("query %d term %d: threshold still at Top after registration", qs.q.ID, ts.term)
+			}
+			if math.IsInf(ts.theta.W, 0) || math.IsNaN(ts.theta.W) {
+				return fmt.Errorf("query %d term %d: non-finite threshold %v", qs.q.ID, ts.term, ts.theta)
+			}
+		}
+	}
+	trees := 0
+	for _, tr := range e.trees {
+		trees += tr.Len()
+	}
+	if trees != total {
+		return fmt.Errorf("threshold trees hold %d entries, queries own %d terms", trees, total)
+	}
+
+	for _, qs := range e.queries {
+		if err := e.checkQuery(qs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *ITA) checkQuery(qs *queryState) error {
+	qid := qs.q.ID
+	tau := qs.tau()
+
+	// I1 (coverage) — every document with an entry strictly ahead of a
+	// local threshold is in R; while scanning, collect the set of
+	// covered documents to validate R's converse direction.
+	covered := make(map[model.DocID]bool)
+	for i := range qs.terms {
+		ts := &qs.terms[i]
+		l := e.index.List(ts.term)
+		if l == nil {
+			continue
+		}
+		for it := l.First(); it.Valid(); it.Next() {
+			key := it.Key()
+			if !invindex.Before(key, ts.theta) {
+				break // reached the unconsumed region
+			}
+			covered[key.Doc] = true
+			if !qs.r.Contains(key.Doc) {
+				return fmt.Errorf("I1: query %d term %d: doc %d (w=%g) ahead of θ=%v but not in R",
+					qid, ts.term, key.Doc, key.W, ts.theta)
+			}
+		}
+	}
+
+	// R soundness: every member is valid, has its exact score, and is
+	// covered by at least one threshold (otherwise expirations could
+	// never evict it).
+	var rErr error
+	qs.r.Each(func(doc model.DocID, score float64) {
+		if rErr != nil {
+			return
+		}
+		d, ok := e.index.Get(doc)
+		if !ok {
+			rErr = fmt.Errorf("R: query %d holds expired doc %d", qid, doc)
+			return
+		}
+		if want := model.Score(qs.q, d); score != want {
+			rErr = fmt.Errorf("R: query %d doc %d stored score %g, true score %g", qid, doc, score, want)
+			return
+		}
+		if !covered[doc] {
+			rErr = fmt.Errorf("R: query %d doc %d is in R but behind every local threshold", qid, doc)
+		}
+	})
+	if rErr != nil {
+		return rErr
+	}
+
+	// I2 (safety) — every valid document outside R scores at most τ.
+	var i2Err error
+	e.index.Docs(func(d *model.Document) {
+		if i2Err != nil || qs.r.Contains(d.ID) {
+			return
+		}
+		if s := model.Score(qs.q, d); s > tau+1e-12 {
+			i2Err = fmt.Errorf("I2: query %d doc %d outside R scores %g > τ=%g", qid, d.ID, s, tau)
+		}
+	})
+	if i2Err != nil {
+		return i2Err
+	}
+
+	// I3 (verification) — τ ≤ Sk whenever R holds k documents.
+	if qs.r.Len() >= qs.q.K {
+		if sk := qs.r.Kth(qs.q.K); tau > sk+1e-12 {
+			return fmt.Errorf("I3: query %d τ=%g > Sk=%g with |R|=%d", qid, tau, sk, qs.r.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package core implements the continuous text search engines: the
+// paper's Incremental Threshold Algorithm (ITA), the Naïve baseline of
+// §II enhanced with the top-kmax materialized-view technique of Yi et
+// al. (the §IV competitor), and a brute-force Oracle used to validate
+// both.
+//
+// All engines process the same event stream — document arrivals that may
+// force expirations under a sliding-window policy — and must expose
+// identical results at every instant.
+package core
+
+import (
+	"time"
+
+	"ita/internal/model"
+)
+
+// Engine is the contract every continuous top-k engine satisfies.
+// Engines are single-threaded by design (the paper's server is a
+// CPU-bound main-memory system); the public facade adds locking.
+type Engine interface {
+	// Name identifies the algorithm in reports ("ita", "naive", ...).
+	Name() string
+	// Register installs a continuous query and computes its initial
+	// result. It fails on a duplicate query id.
+	Register(q *model.Query) error
+	// Unregister removes a query, reporting whether it existed.
+	Unregister(id model.QueryID) bool
+	// Process handles one document arrival, including any expirations
+	// the sliding-window policy derives from it. It fails on a
+	// duplicate document id; the engine state is unchanged in that
+	// case.
+	Process(d *model.Document) error
+	// ExpireUntil advances the stream clock without an arrival,
+	// expiring documents as the window policy dictates. Only time-based
+	// windows expire documents this way.
+	ExpireUntil(now time.Time)
+	// Result returns the current top-k of a query in descending score
+	// order (fewer than k documents when the window holds fewer
+	// matches). The second result is false for an unknown query.
+	Result(id model.QueryID) ([]model.ScoredDoc, bool)
+	// Queries returns the number of registered queries.
+	Queries() int
+	// EachQuery calls fn for every registered query in unspecified
+	// order. Used for snapshots and diagnostics; fn must not modify the
+	// engine.
+	EachQuery(fn func(q *model.Query))
+	// WindowLen returns the number of currently valid documents.
+	WindowLen() int
+	// EachDoc calls fn for every valid document in arrival (FIFO)
+	// order. fn must not modify the engine.
+	EachDoc(fn func(d *model.Document))
+	// Stats returns the engine's cumulative operation counters.
+	Stats() *Stats
+}
+
+// Stats counts the primitive operations that dominate each algorithm's
+// cost. The experiment harness reports them alongside wall-clock
+// timings to explain *why* the curves look the way they do.
+type Stats struct {
+	Arrivals    uint64 // documents inserted
+	Expirations uint64 // documents expired
+	// ITA counters.
+	ProbeHits    uint64 // threshold-tree probe results (query, event) pairs
+	SearchReads  uint64 // inverted-list entries consumed by search/refill
+	RollupSteps  uint64 // threshold lift operations
+	RollupDrops  uint64 // documents dropped from R by roll-up
+	Refills      uint64 // incremental refills triggered by expirations
+	TreeUpdates  uint64 // threshold tree insert/delete operations
+	IndexInserts uint64 // impact entries inserted
+	IndexDeletes uint64 // impact entries deleted
+	// Shared counters.
+	ScoreComputations uint64 // full S(d|Q) evaluations
+	// Naïve counters.
+	Rescans uint64 // full window rescans (view refills)
+}

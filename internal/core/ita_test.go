@@ -1,0 +1,395 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/window"
+)
+
+// Term ids for the narrative tests. A and B are the query terms (the
+// paper's "tower" and "white"); C is background noise.
+const (
+	termA model.TermID = 1
+	termB model.TermID = 2
+	termC model.TermID = 3
+)
+
+func doc(t *testing.T, id model.DocID, seq int, ps ...model.Posting) *model.Document {
+	t.Helper()
+	arr := time.Unix(0, 0).Add(time.Duration(seq) * 5 * time.Millisecond)
+	d, err := model.NewDocument(id, arr, ps)
+	if err != nil {
+		t.Fatalf("doc %d: %v", id, err)
+	}
+	return d
+}
+
+func query(t *testing.T, id model.QueryID, k int, terms ...model.QueryTerm) *model.Query {
+	t.Helper()
+	q, err := model.NewQuery(id, k, terms)
+	if err != nil {
+		t.Fatalf("query %d: %v", id, err)
+	}
+	return q
+}
+
+func wantResult(t *testing.T, e Engine, id model.QueryID, want []model.ScoredDoc) {
+	t.Helper()
+	got, ok := e.Result(id)
+	if !ok {
+		t.Fatalf("%s: query %d unknown", e.Name(), id)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: result %v, want %v", e.Name(), got, want)
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || !approx(got[i].Score, want[i].Score) {
+			t.Fatalf("%s: result[%d] = {%d %g}, want {%d %g} (full: %v)",
+				e.Name(), i, got[i].Doc, got[i].Score, want[i].Doc, want[i].Score, got)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func mustCheck(t *testing.T, e *ITA) {
+	t.Helper()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestITANarrative walks the engine through the §III-B scenario of the
+// paper's Figure 2 with self-consistent numbers: an initial top-k
+// search, an arrival that enters the top-k and triggers a roll-up that
+// evicts a document from R, and an expiration of a top-k document that
+// triggers an incremental refill. All intermediate thresholds, R
+// contents and results are pinned.
+func TestITANarrative(t *testing.T) {
+	e := NewITA(window.Count{N: 6})
+	// Initial window: impact lists
+	//   L_A: (0.10,d1) (0.08,d2) (0.07,d5)
+	//   L_B: (0.08,d3) (0.06,d2) (0.04,d4)
+	for _, d := range []*model.Document{
+		doc(t, 1, 0, model.Posting{Term: termA, Weight: 0.10}),
+		doc(t, 2, 1, model.Posting{Term: termA, Weight: 0.08}, model.Posting{Term: termB, Weight: 0.06}),
+		doc(t, 3, 2, model.Posting{Term: termB, Weight: 0.08}),
+		doc(t, 4, 3, model.Posting{Term: termB, Weight: 0.04}),
+		doc(t, 5, 4, model.Posting{Term: termA, Weight: 0.07}),
+	} {
+		if err := e.Process(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query(t, 1, 2,
+		model.QueryTerm{Term: termA, Weight: 0.5},
+		model.QueryTerm{Term: termB, Weight: 1.0})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+
+	// Initial search: scores S(d2)=0.10, S(d3)=0.08, S(d1)=0.05.
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 2, Score: 0.10}, {Doc: 3, Score: 0.08}})
+	qs := e.queries[1]
+	if qs.r.Len() != 3 {
+		t.Fatalf("|R| = %d, want 3 (d1 kept unverified)", qs.r.Len())
+	}
+	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.08, Doc: 2}) {
+		t.Fatalf("θ_A = %v, want (0.08,d2)", got)
+	}
+	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.04, Doc: 4}) {
+		t.Fatalf("θ_B = %v, want (0.04,d4)", got)
+	}
+	if !approx(qs.tau(), 0.08) {
+		t.Fatalf("τ = %g, want 0.08", qs.tau())
+	}
+
+	// Arrival of d9 (A:0.16, B:0.05): S(d9)=0.13 enters the top-2;
+	// roll-up lifts θ_A past d1 (dropping it from R) and θ_B past d9.
+	if err := e.Process(doc(t, 9, 5,
+		model.Posting{Term: termA, Weight: 0.16},
+		model.Posting{Term: termB, Weight: 0.05})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
+	if qs.r.Contains(1) {
+		t.Fatal("d1 should have been rolled out of R")
+	}
+	if qs.r.Len() != 3 {
+		t.Fatalf("|R| = %d, want 3 (d9, d2, d3)", qs.r.Len())
+	}
+	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.10, Doc: 1}) {
+		t.Fatalf("θ_A = %v, want (0.10,d1)", got)
+	}
+	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.05, Doc: 9}) {
+		t.Fatalf("θ_B = %v, want (0.05,d9)", got)
+	}
+	if e.Stats().RollupSteps != 2 || e.Stats().RollupDrops != 1 {
+		t.Fatalf("rollup steps/drops = %d/%d, want 2/1", e.Stats().RollupSteps, e.Stats().RollupDrops)
+	}
+
+	// Window is at 6: the next arrival expires d1, which is unconsumed
+	// (θ_A sits exactly at its entry) — no query work should happen.
+	refillsBefore := e.Stats().Refills
+	if err := e.Process(doc(t, 10, 6, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	if e.Stats().Refills != refillsBefore {
+		t.Fatal("expiring an unconsumed document must not trigger a refill")
+	}
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
+
+	// Next arrival expires d2 — currently ranked 2nd — forcing an
+	// incremental refill that resumes from the thresholds.
+	if err := e.Process(doc(t, 11, 7, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	if e.Stats().Refills != refillsBefore+1 {
+		t.Fatalf("refills = %d, want %d", e.Stats().Refills, refillsBefore+1)
+	}
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 3, Score: 0.08}})
+	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.07, Doc: 5}) {
+		t.Fatalf("θ_A after refill = %v, want (0.07,d5)", got)
+	}
+	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.04, Doc: 4}) {
+		t.Fatalf("θ_B after refill = %v, want (0.04,d4)", got)
+	}
+}
+
+func TestITAInitialSearchKeepsUnverified(t *testing.T) {
+	// The initial search must retain encountered-but-unverified
+	// documents in R; without them incremental refill is impossible.
+	e := NewITA(window.Count{N: 100})
+	for i := 1; i <= 10; i++ {
+		w := float64(i) / 20 // 0.05 .. 0.50
+		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: w})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query(t, 1, 3, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	// Single-list search: reading the 3rd entry makes τ = its weight =
+	// Sk, so exactly 3 reads are verified and |R| = 3. As documents
+	// expire from the top, refills walk down one entry at a time.
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 10, Score: 0.50}, {Doc: 9, Score: 0.45}, {Doc: 8, Score: 0.40}})
+}
+
+func TestITAQueryTermAbsentFromWindow(t *testing.T) {
+	// A query over a term no valid document contains must still monitor
+	// future arrivals of that term.
+	e := NewITA(window.Count{N: 10})
+	if err := e.Process(doc(t, 1, 0, model.Posting{Term: termC, Weight: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, nil)
+
+	if err := e.Process(doc(t, 2, 1, model.Posting{Term: termA, Weight: 0.3})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 2, Score: 0.3}})
+}
+
+func TestITAEmptyWindowRegistration(t *testing.T) {
+	e := NewITA(window.Count{N: 5})
+	q := query(t, 7, 3, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 7, nil)
+	if err := e.Process(doc(t, 1, 0, model.Posting{Term: termA, Weight: 0.4})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 7, []model.ScoredDoc{{Doc: 1, Score: 0.4}})
+}
+
+func TestITAKLargerThanWindow(t *testing.T) {
+	e := NewITA(window.Count{N: 3})
+	for i := 1; i <= 3; i++ {
+		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: float64(i) / 10})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query(t, 1, 10, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 3, Score: 0.3}, {Doc: 2, Score: 0.2}, {Doc: 1, Score: 0.1}})
+}
+
+func TestITADuplicateDocumentRejected(t *testing.T) {
+	e := NewITA(window.Count{N: 5})
+	d := doc(t, 1, 0, model.Posting{Term: termA, Weight: 0.5})
+	if err := e.Process(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Process(doc(t, 1, 1, model.Posting{Term: termB, Weight: 0.5})); err == nil {
+		t.Fatal("duplicate doc id accepted")
+	}
+	if e.WindowLen() != 1 {
+		t.Fatalf("window len = %d after rejected insert", e.WindowLen())
+	}
+}
+
+func TestITADuplicateQueryRejected(t *testing.T) {
+	e := NewITA(window.Count{N: 5})
+	q := query(t, 1, 1, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Register(q); err == nil {
+		t.Fatal("duplicate query id accepted")
+	}
+}
+
+func TestITAUnregister(t *testing.T) {
+	e := NewITA(window.Count{N: 5})
+	for i := 1; i <= 3; i++ {
+		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: float64(i) / 10})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Unregister(1) {
+		t.Fatal("Unregister returned false")
+	}
+	if e.Unregister(1) {
+		t.Fatal("second Unregister returned true")
+	}
+	if _, ok := e.Result(1); ok {
+		t.Fatal("Result after Unregister succeeded")
+	}
+	if len(e.trees) != 0 {
+		t.Fatalf("threshold trees leaked: %d", len(e.trees))
+	}
+	mustCheck(t, e)
+	// The stream keeps flowing without the query.
+	if err := e.Process(doc(t, 9, 9, model.Posting{Term: termA, Weight: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestITATimeWindow(t *testing.T) {
+	e := NewITA(window.Span{D: 100 * time.Millisecond})
+	base := time.Unix(0, 0)
+	mk := func(id model.DocID, at time.Duration, w float64) *model.Document {
+		d, err := model.NewDocument(id, base.Add(at), []model.Posting{{Term: termA, Weight: w}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if err := e.Process(mk(1, 0, 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Process(mk(2, 50*time.Millisecond, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 1, Score: 0.9}, {Doc: 2, Score: 0.5}})
+
+	// d1 ages out at +100ms even without a new arrival.
+	e.ExpireUntil(base.Add(120 * time.Millisecond))
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 2, Score: 0.5}})
+	if e.WindowLen() != 1 {
+		t.Fatalf("window len = %d, want 1", e.WindowLen())
+	}
+
+	// An arrival at +200ms expires d2 as a side effect.
+	if err := e.Process(mk(3, 200*time.Millisecond, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 3, Score: 0.1}})
+}
+
+func TestITAZeroScoreArrivalIgnored(t *testing.T) {
+	e := NewITA(window.Count{N: 10})
+	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	probesBefore := e.Stats().ProbeHits
+	// Documents sharing no terms with the query must be filtered by the
+	// threshold trees, not scored.
+	for i := 1; i <= 5; i++ {
+		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().ProbeHits != probesBefore {
+		t.Fatalf("probe hits = %d, want %d: disjoint documents must not touch the query",
+			e.Stats().ProbeHits, probesBefore)
+	}
+	if e.Stats().ScoreComputations != 0 {
+		t.Fatalf("score computations = %d, want 0", e.Stats().ScoreComputations)
+	}
+	mustCheck(t, e)
+}
+
+func TestITARollupDisabledStaysCorrect(t *testing.T) {
+	e := NewITA(window.Count{N: 20}, WithoutRollup())
+	q := query(t, 1, 2,
+		model.QueryTerm{Term: termA, Weight: 0.5},
+		model.QueryTerm{Term: termB, Weight: 1.0})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		ps := []model.Posting{{Term: termA, Weight: float64(i%7+1) / 10}}
+		if i%3 == 0 {
+			ps = append(ps, model.Posting{Term: termB, Weight: float64(i%5+1) / 10})
+		}
+		if err := e.Process(doc(t, model.DocID(i), i, ps...)); err != nil {
+			t.Fatal(err)
+		}
+		mustCheck(t, e)
+	}
+	if e.Stats().RollupSteps != 0 {
+		t.Fatalf("rollup steps = %d with rollup disabled", e.Stats().RollupSteps)
+	}
+	// Cross-check the final answer against the oracle.
+	o := NewOracle(window.Count{N: 20})
+	if err := o.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		ps := []model.Posting{{Term: termA, Weight: float64(i%7+1) / 10}}
+		if i%3 == 0 {
+			ps = append(ps, model.Posting{Term: termB, Weight: float64(i%5+1) / 10})
+		}
+		if err := o.Process(doc(t, model.DocID(i), i, ps...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := o.Result(1)
+	wantResult(t, e, 1, want)
+}

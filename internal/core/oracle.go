@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/window"
+)
+
+// Oracle is a deliberately simple reference engine: it stores the window
+// and recomputes every result from scratch on demand by scanning all
+// valid documents. It exists to validate ITA and Naive in tests and
+// calibration runs; it is hopeless for throughput and keeps no
+// incremental state at all.
+type Oracle struct {
+	policy  window.Policy
+	store   *invindex.Store
+	queries map[model.QueryID]*model.Query
+	stats   Stats
+}
+
+// NewOracle returns an empty Oracle over the given window policy.
+func NewOracle(policy window.Policy) *Oracle {
+	return &Oracle{
+		policy:  policy,
+		store:   invindex.NewStore(),
+		queries: make(map[model.QueryID]*model.Query),
+	}
+}
+
+// Name implements Engine.
+func (e *Oracle) Name() string { return "oracle" }
+
+// Queries implements Engine.
+func (e *Oracle) Queries() int { return len(e.queries) }
+
+// EachQuery implements Engine.
+func (e *Oracle) EachQuery(fn func(q *model.Query)) {
+	for _, q := range e.queries {
+		fn(q)
+	}
+}
+
+// WindowLen implements Engine.
+func (e *Oracle) WindowLen() int { return e.store.Len() }
+
+// EachDoc implements Engine.
+func (e *Oracle) EachDoc(fn func(d *model.Document)) { e.store.Docs(fn) }
+
+// Stats implements Engine.
+func (e *Oracle) Stats() *Stats { return &e.stats }
+
+// Register implements Engine.
+func (e *Oracle) Register(q *model.Query) error {
+	if _, dup := e.queries[q.ID]; dup {
+		return fmt.Errorf("core: duplicate query id %d", q.ID)
+	}
+	e.queries[q.ID] = q
+	return nil
+}
+
+// Unregister implements Engine.
+func (e *Oracle) Unregister(id model.QueryID) bool {
+	if _, ok := e.queries[id]; !ok {
+		return false
+	}
+	delete(e.queries, id)
+	return true
+}
+
+// Process implements Engine.
+func (e *Oracle) Process(d *model.Document) error {
+	if err := e.store.Insert(d); err != nil {
+		return err
+	}
+	e.stats.Arrivals++
+	e.ExpireUntil(d.Arrival)
+	return nil
+}
+
+// ExpireUntil implements Engine.
+func (e *Oracle) ExpireUntil(now time.Time) {
+	for {
+		oldest := e.store.Oldest()
+		if oldest == nil || !e.policy.Expired(oldest.Arrival, now, e.store.Len()) {
+			return
+		}
+		e.store.RemoveOldest()
+		e.stats.Expirations++
+	}
+}
+
+// Result implements Engine: a full scan keeping the k best
+// positive-scoring documents under the canonical order (score
+// descending, doc id ascending).
+func (e *Oracle) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
+	q, ok := e.queries[id]
+	if !ok {
+		return nil, false
+	}
+	var all []model.ScoredDoc
+	e.store.Docs(func(d *model.Document) {
+		e.stats.ScoreComputations++
+		if s := model.Score(q, d); s > 0 {
+			all = append(all, model.ScoredDoc{Doc: d.ID, Score: s})
+		}
+	})
+	model.SortScored(all)
+	if len(all) > q.K {
+		all = all[:q.K]
+	}
+	return all, true
+}

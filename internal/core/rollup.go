@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+)
+
+// rollUp implements the threshold roll-up of §III-B. After an arrival
+// raises Sk, the monitored region of the term-frequency space can
+// shrink: repeatedly lift the local threshold of the list with the
+// smallest w_{Q,t}·c_t — c_t being the impact of the entry immediately
+// preceding the threshold — as long as the resulting influence threshold
+// τ stays at most Sk. Each lift un-consumes exactly one entry; its
+// document is dropped from R when no other list of Q still covers it,
+// reversing the steps of the initial search.
+//
+// Correctness requires the comparison against the Sk that would hold
+// *after* the drop: when the passed-over document currently occupies a
+// top-k slot (a score tie at Sk), dropping it lowers Sk to the (k+1)-th
+// score, and the lift is admissible only against that value. Without
+// this guard a tie at the k-th score could shrink the monitored region
+// below what the reported top-k needs (violating invariant I3).
+func (e *ITA) rollUp(qs *queryState) {
+	k := qs.q.K
+	for qs.r.Len() >= k {
+		sk := qs.r.Kth(k)
+		tau := qs.tau()
+		// Candidate: the list whose preceding entry has the smallest
+		// weighted impact, so the lift costs τ the least.
+		best := -1
+		var bestKey invindex.EntryKey
+		bestVal := math.Inf(1)
+		for i := range qs.terms {
+			ts := &qs.terms[i]
+			l := e.index.List(ts.term)
+			if l == nil {
+				continue
+			}
+			pred, ok := l.PredBefore(ts.theta)
+			if !ok {
+				continue // threshold already at the head of this list
+			}
+			if v := ts.qw * pred.W; v < bestVal {
+				best, bestKey, bestVal = i, pred, v
+			}
+		}
+		if best < 0 {
+			return
+		}
+		ts := &qs.terms[best]
+		newTau := tau - ts.qw*ts.theta.W + ts.qw*bestKey.W
+
+		// Would the passed-over document leave R? It stays when any
+		// other list of Q still covers one of its entries.
+		dropDoc := bestKey.Doc
+		stillConsumed := false
+		doc, ok := e.index.Get(dropDoc)
+		if !ok {
+			// The entry exists in the list, so the document must exist.
+			panic("core: inverted list entry for unknown document")
+		}
+		for j := range qs.terms {
+			if j == best {
+				continue
+			}
+			w, has := doc.Weight(qs.terms[j].term)
+			if !has {
+				continue
+			}
+			if invindex.Before(invindex.EntryKey{W: w, Doc: dropDoc}, qs.terms[j].theta) {
+				stillConsumed = true
+				break
+			}
+		}
+		skAfter := sk
+		if !stillConsumed {
+			if rank, inR := qs.r.Rank(dropDoc); inR && rank < k {
+				skAfter = qs.r.Kth(k + 1)
+			}
+		}
+		if newTau > skAfter {
+			// Dropping the passed-over document is inadmissible (it
+			// holds up Sk), but τ depends only on θ.W: lifting to the
+			// position immediately after its entry shrinks the
+			// monitored region just as much while keeping the document
+			// consumed. This refinement is available because our
+			// thresholds are exact list positions; the paper's
+			// weight-valued thresholds cannot express "just below the
+			// k-th document's entry".
+			if newTau <= sk && bestKey.Doc != ^model.DocID(0) {
+				phantom := invindex.EntryKey{W: bestKey.W, Doc: bestKey.Doc + 1}
+				if invindex.Before(phantom, ts.theta) {
+					tr := e.tree(ts.term)
+					tr.Remove(qs.q.ID, ts.theta)
+					tr.Set(qs.q.ID, phantom)
+					e.stats.TreeUpdates += 2
+					ts.theta = phantom
+					e.stats.RollupSteps++
+					continue
+				}
+			}
+			return
+		}
+
+		// Commit the lift.
+		tr := e.tree(ts.term)
+		tr.Remove(qs.q.ID, ts.theta)
+		tr.Set(qs.q.ID, bestKey)
+		e.stats.TreeUpdates += 2
+		ts.theta = bestKey
+		e.stats.RollupSteps++
+		if !stillConsumed {
+			if qs.r.Remove(dropDoc) {
+				e.stats.RollupDrops++
+			}
+		}
+	}
+}

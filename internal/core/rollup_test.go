@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"ita/internal/model"
+	"ita/internal/window"
+)
+
+// TestRollupTieAtKthGuard pins the correctness guard discussed in
+// rollUp's comment: when the entry passed over by a lift belongs to a
+// document tied at the k-th score, the admissibility comparison must use
+// the Sk that would hold after the drop (the (k+1)-th score), not the
+// current one. The engine under test is driven into exactly that
+// configuration and cross-checked against the oracle.
+func TestRollupTieAtKthGuard(t *testing.T) {
+	pol := window.Count{N: 10}
+	e := NewITA(pol)
+	o := NewOracle(pol)
+
+	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
+	for _, eng := range []Engine{e, o} {
+		if err := eng.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Three docs: 0.5, 0.3, 0.3 (tie at the 2nd slot), then an arrival
+	// at 0.3 creating a three-way tie, then arrivals that raise Sk and
+	// trigger roll-ups across the tie boundary.
+	seq := []float64{0.5, 0.3, 0.3, 0.3, 0.4, 0.4, 0.3, 0.5, 0.3, 0.3, 0.4, 0.5, 0.5}
+	for i, w := range seq {
+		d := doc(t, model.DocID(i+1), i, model.Posting{Term: termA, Weight: w})
+		if err := e.Process(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Process(doc(t, model.DocID(i+1), i, model.Posting{Term: termA, Weight: w})); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		got, _ := e.Result(1)
+		want, _ := o.Result(1)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %v vs oracle %v", i, got, want)
+		}
+		for j := range want {
+			if got[j].Score != want[j].Score {
+				t.Fatalf("step %d pos %d: score %g vs oracle %g", i, j, got[j].Score, want[j].Score)
+			}
+		}
+	}
+}
+
+// TestRollupShrinksMonitoredRegion verifies the roll-up's purpose: after
+// a strong arrival raises Sk, weaker future arrivals that previously
+// fell inside the monitored region no longer cause probe hits.
+func TestRollupShrinksMonitoredRegion(t *testing.T) {
+	e := NewITA(window.Count{N: 100})
+	q := query(t, 1, 1, model.QueryTerm{Term: termA, Weight: 1})
+	if err := e.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	// Weak doc establishes a low threshold.
+	if err := e.Process(doc(t, 1, 1, model.Posting{Term: termA, Weight: 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	// Strong doc takes over the top-1 and rolls the threshold up.
+	if err := e.Process(doc(t, 2, 2, model.Posting{Term: termA, Weight: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterRollup := e.Stats().ProbeHits
+	// Mid-weight arrivals score 0.5 < Sk = 0.9: with the threshold
+	// rolled up they must be filtered without probe hits.
+	for i := 3; i <= 12; i++ {
+		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: 0.5})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().ProbeHits; got != hitsAfterRollup {
+		t.Fatalf("probe hits grew %d → %d; roll-up failed to shrink the monitored region",
+			hitsAfterRollup, got)
+	}
+	// Sanity: the same stream without roll-up does hit the query.
+	e2 := NewITA(window.Count{N: 100}, WithoutRollup())
+	if err := e2.Register(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Process(doc(t, 1, 1, model.Posting{Term: termA, Weight: 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Process(doc(t, 2, 2, model.Posting{Term: termA, Weight: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	base := e2.Stats().ProbeHits
+	for i := 3; i <= 12; i++ {
+		if err := e2.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: 0.5})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e2.Stats().ProbeHits; got == base {
+		t.Fatal("without roll-up the mid-weight arrivals should probe the query")
+	}
+}

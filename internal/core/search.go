@@ -1,0 +1,101 @@
+package core
+
+import (
+	"ita/internal/invindex"
+	"ita/internal/model"
+)
+
+// runSearch is the threshold-algorithm search of §III-A, used both for
+// the initial top-k computation (thresholds at Top) and for incremental
+// refills after an expiration (thresholds wherever maintenance left
+// them). It consumes inverted-list entries — greedily from the list with
+// the highest w_{Q,t}·c_t, where c_t is the impact of the next unread
+// entry — scoring each newly encountered document into R, until either
+//
+//   - R holds at least k documents and τ = Σ w_{Q,t}·c_t has dropped to
+//     at most Sk (k documents are verified), or
+//   - every list is exhausted (the window holds fewer than k matches).
+//
+// On return the local thresholds are set to the final cursor positions
+// (the latest c_t values, Bottom for exhausted lists) and the threshold
+// trees are updated accordingly.
+func (e *ITA) runSearch(qs *queryState) {
+	k := qs.q.K
+	n := len(qs.terms)
+	iters := make([]invindex.Iterator, n)
+	for i := range qs.terms {
+		if l := e.index.List(qs.terms[i].term); l != nil {
+			iters[i] = l.SeekGE(qs.terms[i].theta)
+		}
+	}
+	rr := 0 // round-robin cursor for the ablation probe order
+	for {
+		// τ over the current cursor positions; exhausted lists
+		// contribute 0.
+		var tau float64
+		live := false
+		for i := range iters {
+			if iters[i].Valid() {
+				tau += qs.terms[i].qw * iters[i].Key().W
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		if qs.r.Len() >= k && tau <= qs.r.Kth(k) {
+			break
+		}
+		best := -1
+		if e.greedyProbe {
+			bestVal := 0.0
+			for i := range iters {
+				if !iters[i].Valid() {
+					continue
+				}
+				if v := qs.terms[i].qw * iters[i].Key().W; best < 0 || v > bestVal {
+					best, bestVal = i, v
+				}
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				i := (rr + j) % n
+				if iters[i].Valid() {
+					best = i
+					rr = i + 1
+					break
+				}
+			}
+		}
+		key := iters[best].Key()
+		iters[best].Next()
+		e.stats.SearchReads++
+		if !qs.r.Contains(key.Doc) {
+			if d, ok := e.index.Get(key.Doc); ok {
+				e.stats.ScoreComputations++
+				qs.r.Add(key.Doc, model.Score(qs.q, d))
+			}
+		}
+	}
+	// Record the final cursor positions as the local thresholds and
+	// reflect them in the threshold trees. A threshold still at Top
+	// (fresh registration) has no tree entry to remove.
+	for i := range qs.terms {
+		ts := &qs.terms[i]
+		newTheta := invindex.Bottom()
+		if iters[i].Valid() {
+			newTheta = iters[i].Key()
+		}
+		if newTheta == ts.theta {
+			continue
+		}
+		tr := e.tree(ts.term)
+		if ts.theta != invindex.Top() {
+			tr.Remove(qs.q.ID, ts.theta)
+			e.stats.TreeUpdates++
+		}
+		tr.Set(qs.q.ID, newTheta)
+		e.stats.TreeUpdates++
+		ts.theta = newTheta
+	}
+}

@@ -1,0 +1,283 @@
+package corpus
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ita/internal/model"
+	"ita/internal/vsm"
+)
+
+func testConfig() SynthConfig {
+	cfg := WSJConfig()
+	cfg.DictSize = 5000 // keep alias-table construction cheap in tests
+	return cfg
+}
+
+func TestSynthDocumentValidity(t *testing.T) {
+	s, err := NewSynth(testConfig(), vsm.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d := s.Document(model.DocID(i), time.Unix(int64(i), 0))
+		if d.Terms() < 8 {
+			t.Fatalf("doc %d has %d terms", i, d.Terms())
+		}
+		var norm float64
+		for j, p := range d.Postings {
+			if p.Weight <= 0 {
+				t.Fatalf("non-positive weight in doc %d", i)
+			}
+			if j > 0 && d.Postings[j-1].Term >= p.Term {
+				t.Fatalf("unsorted postings in doc %d", i)
+			}
+			norm += p.Weight * p.Weight
+		}
+		if math.Abs(norm-1) > 1e-9 {
+			t.Fatalf("doc %d norm² = %g", i, norm)
+		}
+	}
+}
+
+func TestSynthDocLengthCalibration(t *testing.T) {
+	cfg := WSJConfig()
+	cfg.DictSize = 20000
+	s, err := NewSynth(cfg, vsm.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	const docs = 2000
+	for i := 0; i < docs; i++ {
+		total += len(s.Freqs())
+	}
+	mean := float64(total) / docs
+	// Log-normal(5.0, 0.6) has mean ≈ exp(5.18) ≈ 177; the dedup loop
+	// and clamping shift it slightly. Accept a broad band around the
+	// WSJ-like target.
+	if mean < 120 || mean > 240 {
+		t.Fatalf("mean distinct terms per doc = %f, want ≈150-200", mean)
+	}
+}
+
+func TestSynthZipfSkew(t *testing.T) {
+	s, err := NewSynth(testConfig(), vsm.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[model.TermID]int)
+	for i := 0; i < 500; i++ {
+		for tid := range s.Freqs() {
+			counts[tid]++
+		}
+	}
+	// Rank-0 term must appear in far more documents than a mid-rank
+	// term.
+	if counts[0] <= counts[2500] {
+		t.Fatalf("no skew: df(term0)=%d df(term2500)=%d", counts[0], counts[2500])
+	}
+	if counts[0] < 100 {
+		t.Fatalf("head term df=%d, expected near-ubiquity", counts[0])
+	}
+}
+
+func TestSynthDeterminism(t *testing.T) {
+	gen := func() *model.Document {
+		s, err := NewSynth(testConfig(), vsm.Cosine{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Document(1, time.Unix(0, 0))
+	}
+	a, b := gen(), gen()
+	if len(a.Postings) != len(b.Postings) {
+		t.Fatal("same seed, different doc length")
+	}
+	for i := range a.Postings {
+		if a.Postings[i] != b.Postings[i] {
+			t.Fatal("same seed, different postings")
+		}
+	}
+}
+
+func TestSynthQuery(t *testing.T) {
+	s, err := NewSynth(testConfig(), vsm.Cosine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.Query(1, 10, 4)
+	if q.K != 10 || len(q.Terms) != 4 {
+		t.Fatalf("query k=%d n=%d", q.K, len(q.Terms))
+	}
+	// Four distinct terms with f=1 each: cosine weights 1/2.
+	for _, qt := range q.Terms {
+		if math.Abs(qt.Weight-0.5) > 1e-12 {
+			t.Fatalf("term weight %g, want 0.5", qt.Weight)
+		}
+	}
+	p := s.PopularQuery(2, 5, 3)
+	if p.K != 5 || len(p.Terms) != 3 {
+		t.Fatalf("popular query k=%d n=%d", p.K, len(p.Terms))
+	}
+}
+
+func TestSynthRejectsBadConfig(t *testing.T) {
+	if _, err := NewSynth(SynthConfig{DictSize: 0, ZipfS: 1}, vsm.Cosine{}); err == nil {
+		t.Fatal("DictSize 0 accepted")
+	}
+	if _, err := NewSynth(SynthConfig{DictSize: 10, ZipfS: -1}, vsm.Cosine{}); err == nil {
+		t.Fatal("negative s accepted")
+	}
+}
+
+func TestNewswireArticles(t *testing.T) {
+	n := NewNewswire(1)
+	for _, topic := range Topics() {
+		text := n.Article(topic)
+		if len(text) < 40 {
+			t.Fatalf("topic %s: article too short: %q", topic, text)
+		}
+		if !strings.HasSuffix(text, ".") {
+			t.Fatalf("topic %s: article not sentence-terminated: %q", topic, text)
+		}
+	}
+	// Unknown topic falls back rather than failing.
+	if text := n.Article("no-such-topic"); len(text) < 40 {
+		t.Fatalf("fallback article too short: %q", text)
+	}
+	topic, text := n.Mixed()
+	if topic == "" || text == "" {
+		t.Fatal("Mixed returned empty")
+	}
+}
+
+func TestNewswireSecurityLexicon(t *testing.T) {
+	// The security topic must mention its lexicon so the email-threat
+	// example has something to match.
+	n := NewNewswire(7)
+	joined := ""
+	for i := 0; i < 20; i++ {
+		joined += n.Article("security") + " "
+	}
+	for _, w := range []string{"explosives", "weapons"} {
+		if !strings.Contains(joined, w) {
+			t.Fatalf("20 security articles never mention %q", w)
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, text string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b.txt", "second doc")
+	write("a.txt", "first doc")
+	write("skip.md", "not loaded")
+
+	docs, err := LoadDir(dir, ".txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Name != "a.txt" || docs[1].Name != "b.txt" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if docs[0].Text != "first doc" {
+		t.Fatalf("text = %q", docs[0].Text)
+	}
+
+	all, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("unfiltered load found %d docs", len(all))
+	}
+}
+
+func TestLoadTREC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wsj.sgml")
+	content := `<DOC>
+<DOCNO> WSJ870324-0001 </DOCNO>
+<HL>
+Some headline
+</HL>
+<TEXT>
+Stock markets rallied on Tuesday.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO> WSJ870324-0002 </DOCNO>
+<TEXT>
+Oil futures slipped.
+</TEXT>
+</DOC>
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := LoadTREC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	if docs[0].Name != "WSJ870324-0001" {
+		t.Fatalf("docno = %q", docs[0].Name)
+	}
+	if !strings.Contains(docs[0].Text, "Stock markets rallied") {
+		t.Fatalf("text = %q", docs[0].Text)
+	}
+	if strings.Contains(docs[0].Text, "<TEXT>") {
+		t.Fatalf("markup leaked into text: %q", docs[0].Text)
+	}
+	// Headline text survives; its inline tags do not.
+	if !strings.Contains(docs[0].Text, "Some headline") {
+		t.Fatalf("headline content lost: %q", docs[0].Text)
+	}
+	if strings.Contains(docs[0].Text, "<HL>") {
+		t.Fatalf("inline tag leaked: %q", docs[0].Text)
+	}
+}
+
+func TestStripTags(t *testing.T) {
+	cases := map[string]string{
+		"plain text":             "plain text",
+		"<HL> Headline </HL>":    " Headline ",
+		"a <b>bold</b> word":     "a bold word",
+		"unterminated < bracket": "unterminated < bracket",
+		"<><><>":                 "",
+		"tail <tag":              "tail <tag",
+	}
+	for in, want := range cases {
+		if got := stripTags(in); got != want {
+			t.Errorf("stripTags(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoadTRECMalformed(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"nested.sgml":       "<DOC>\n<DOC>\n</DOC>\n</DOC>\n",
+		"unterminated.sgml": "<DOC>\ntext\n",
+		"stray.sgml":        "</DOC>\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTREC(path); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}

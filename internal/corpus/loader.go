@@ -1,0 +1,145 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RawDoc is one loaded document: an identifier (file name or DOCNO) and
+// its text. Loaders produce raw text; analysis and weighting happen in
+// the public pipeline.
+type RawDoc struct {
+	Name string
+	Text string
+}
+
+// LoadDir reads every regular file with one of the given extensions
+// (e.g. ".txt") under dir, one document per file, sorted by path for
+// determinism. With no extensions, every regular file is loaded.
+func LoadDir(dir string, exts ...string) ([]RawDoc, error) {
+	var docs []RawDoc
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		if len(exts) > 0 {
+			ok := false
+			for _, e := range exts {
+				if strings.EqualFold(filepath.Ext(path), e) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil
+			}
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("corpus: read %s: %w", path, err)
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		docs = append(docs, RawDoc{Name: rel, Text: string(b)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	return docs, nil
+}
+
+// LoadTREC parses a TREC-style SGML file: documents wrapped in
+// <DOC>...</DOC> with a <DOCNO>...</DOCNO> identifier, as used by the
+// WSJ collection the paper streams. Text outside recognized tags within
+// a document is treated as content.
+func LoadTREC(path string) ([]RawDoc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var docs []RawDoc
+	var cur strings.Builder
+	var docno string
+	inDoc := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "<DOC>":
+			if inDoc {
+				return nil, fmt.Errorf("corpus: %s:%d: nested <DOC>", path, lineNo)
+			}
+			inDoc = true
+			docno = ""
+			cur.Reset()
+		case trimmed == "</DOC>":
+			if !inDoc {
+				return nil, fmt.Errorf("corpus: %s:%d: </DOC> without <DOC>", path, lineNo)
+			}
+			inDoc = false
+			if docno == "" {
+				docno = fmt.Sprintf("doc-%d", len(docs)+1)
+			}
+			docs = append(docs, RawDoc{Name: docno, Text: cur.String()})
+		case strings.HasPrefix(trimmed, "<DOCNO>"):
+			v := strings.TrimPrefix(trimmed, "<DOCNO>")
+			v = strings.TrimSuffix(v, "</DOCNO>")
+			docno = strings.TrimSpace(v)
+		case inDoc:
+			// Strip SGML tags; keep the text between and around them.
+			stripped := stripTags(line)
+			if strings.TrimSpace(stripped) == "" {
+				continue
+			}
+			cur.WriteString(stripped)
+			cur.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: scan %s: %w", path, err)
+	}
+	if inDoc {
+		return nil, fmt.Errorf("corpus: %s: unterminated <DOC>", path)
+	}
+	return docs, nil
+}
+
+// stripTags removes <...> spans from a line, leaving surrounding text.
+// Unterminated tags are kept verbatim rather than swallowing content.
+func stripTags(line string) string {
+	if !strings.Contains(line, "<") {
+		return line
+	}
+	var b strings.Builder
+	for {
+		open := strings.IndexByte(line, '<')
+		if open < 0 {
+			b.WriteString(line)
+			return b.String()
+		}
+		closeRel := strings.IndexByte(line[open:], '>')
+		if closeRel < 0 {
+			b.WriteString(line)
+			return b.String()
+		}
+		b.WriteString(line[:open])
+		line = line[open+closeRel+1:]
+	}
+}

@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ita/internal/stats"
+)
+
+// Newswire generates small English-like news articles for the runnable
+// examples: plausible sentences over topic lexicons, so that analyzer →
+// engine pipelines can be demonstrated end to end on readable text.
+// It is a demonstration aid, not the benchmark corpus.
+type Newswire struct {
+	rng *rand.Rand
+	seq int
+}
+
+// NewNewswire returns a deterministic article generator.
+func NewNewswire(seed int64) *Newswire {
+	return &Newswire{rng: stats.NewRand(seed)}
+}
+
+// Topics returns the topic names Article accepts.
+func Topics() []string {
+	out := make([]string, 0, len(topicLex))
+	for _, t := range topicOrder {
+		out = append(out, t)
+	}
+	return out
+}
+
+var topicOrder = []string{"markets", "energy", "technology", "security", "health", "politics"}
+
+var topicLex = map[string]struct {
+	actors  []string
+	actions []string
+	objects []string
+	context []string
+}{
+	"markets": {
+		actors:  []string{"the central bank", "Galaxy Holdings", "Meridian Capital", "the exchange", "bond traders", "Harbor Funds"},
+		actions: []string{"raised", "cut", "reported", "forecast", "downgraded", "upgraded"},
+		objects: []string{"interest rates", "quarterly earnings", "its growth outlook", "dividend guidance", "share buybacks", "credit ratings"},
+		context: []string{"amid volatile trading", "after strong inflation data", "despite weak consumer demand", "as markets rallied", "while futures slipped"},
+	},
+	"energy": {
+		actors:  []string{"Northfield Petroleum", "the pipeline operator", "Atlas Refining", "the oil cartel", "Ridgeline Solar"},
+		actions: []string{"expanded", "halted", "announced", "acquired", "commissioned"},
+		objects: []string{"crude production", "a refinery upgrade", "an offshore platform", "wind turbine capacity", "natural gas exports"},
+		context: []string{"as crude prices surged", "after a supply disruption", "under new emissions rules", "amid grid failures", "during the maintenance season"},
+	},
+	"technology": {
+		actors:  []string{"Helix Semiconductors", "the software maker", "Quantum Dynamics", "the chip foundry", "Nimbus Cloud"},
+		actions: []string{"unveiled", "patched", "shipped", "recalled", "open-sourced"},
+		objects: []string{"a faster processor", "its database engine", "a security vulnerability", "the new handset", "a machine learning platform"},
+		context: []string{"ahead of the developer conference", "after benchmark results leaked", "following a data breach", "as rivals slashed prices", "despite component shortages"},
+	},
+	"security": {
+		actors:  []string{"investigators", "the security agency", "border officials", "analysts", "the task force"},
+		actions: []string{"intercepted", "tracked", "seized", "disrupted", "identified"},
+		objects: []string{"a smuggling network", "explosives material", "a weapons shipment", "a money laundering ring", "forged documents"},
+		context: []string{"near the eastern border", "after a months-long operation", "with international cooperation", "following an anonymous tip", "during routine screening"},
+	},
+	"health": {
+		actors:  []string{"the health ministry", "Crestview Labs", "hospital networks", "the vaccine consortium", "regulators"},
+		actions: []string{"approved", "trialed", "recalled", "distributed", "licensed"},
+		objects: []string{"a new antibiotic", "the influenza vaccine", "a diagnostic kit", "gene therapy treatment", "a surgical device"},
+		context: []string{"after promising trial results", "amid a seasonal outbreak", "under accelerated review", "despite supply constraints", "in rural clinics"},
+	},
+	"politics": {
+		actors:  []string{"the senate committee", "the trade delegation", "city councillors", "the opposition party", "the finance minister"},
+		actions: []string{"debated", "ratified", "vetoed", "proposed", "postponed"},
+		objects: []string{"the infrastructure bill", "a tariff agreement", "electoral reforms", "the annual budget", "a housing initiative"},
+		context: []string{"after weeks of negotiation", "before the summer recess", "amid public protests", "with bipartisan support", "despite legal challenges"},
+	},
+}
+
+var fillerSentences = []string{
+	"Officials declined to comment on the timetable.",
+	"Analysts said the move was widely expected.",
+	"The announcement follows months of speculation.",
+	"Further details are expected later this week.",
+	"Observers called the development significant.",
+	"Regional partners welcomed the decision.",
+}
+
+// Article generates one article for the topic; unknown topics fall back
+// to a random one. Articles are 3–6 sentences.
+func (n *Newswire) Article(topic string) string {
+	lex, ok := topicLex[topic]
+	if !ok {
+		topic = topicOrder[n.rng.Intn(len(topicOrder))]
+		lex = topicLex[topic]
+	}
+	n.seq++
+	var b strings.Builder
+	sentences := 3 + n.rng.Intn(4)
+	for i := 0; i < sentences; i++ {
+		if i > 0 && n.rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "%s ", fillerSentences[n.rng.Intn(len(fillerSentences))])
+			continue
+		}
+		fmt.Fprintf(&b, "%s %s %s %s. ",
+			title(lex.actors[n.rng.Intn(len(lex.actors))]),
+			lex.actions[n.rng.Intn(len(lex.actions))],
+			lex.objects[n.rng.Intn(len(lex.objects))],
+			lex.context[n.rng.Intn(len(lex.context))])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Mixed generates an article drawn from a random topic, returning the
+// topic alongside the text.
+func (n *Newswire) Mixed() (topic, text string) {
+	topic = topicOrder[n.rng.Intn(len(topicOrder))]
+	return topic, n.Article(topic)
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ita/internal/core"
+	"ita/internal/corpus"
+	"ita/internal/window"
+)
+
+// Profile scales an experiment: the paper profile reproduces the
+// published configuration, the quick profile shrinks every axis so the
+// whole suite runs in seconds for CI and `go test -bench`.
+type Profile struct {
+	Label       string
+	Queries     int           // paper: 1000
+	K           int           // paper: 10
+	MeasureDocs int           // events per point
+	MaxMeasure  time.Duration // per-point measurement budget
+	MaxSetup    time.Duration // per-point setup budget (0 = unlimited)
+	MaxWindow   int           // largest window size attempted
+	Rate        float64       // paper: 200 docs/s
+	DictSize    int           // paper: 181,978
+}
+
+// PaperProfile mirrors §IV of the paper.
+func PaperProfile() Profile {
+	return Profile{
+		Label:       "paper",
+		Queries:     1000,
+		K:           10,
+		MeasureDocs: 2000,
+		MaxMeasure:  90 * time.Second,
+		MaxSetup:    10 * time.Minute,
+		MaxWindow:   100000,
+		Rate:        200,
+		DictSize:    181978,
+	}
+}
+
+// QuickProfile is a scaled-down configuration whose curves keep the
+// paper's shape while finishing in about a minute. The query load and
+// dictionary — the quantities the ITA/Naïve gap hinges on — stay at the
+// paper's values; only the event counts and the largest window shrink.
+func QuickProfile() Profile {
+	return Profile{
+		Label:       "quick",
+		Queries:     1000,
+		K:           10,
+		MeasureDocs: 300,
+		MaxMeasure:  15 * time.Second,
+		MaxSetup:    60 * time.Second,
+		MaxWindow:   10000,
+		Rate:        200,
+		DictSize:    181978,
+	}
+}
+
+func (p Profile) corpusCfg() corpus.SynthConfig {
+	cfg := corpus.WSJConfig()
+	cfg.DictSize = p.DictSize
+	return cfg
+}
+
+func (p Profile) spec(pol window.Policy, queryLen, warm int) Spec {
+	return Spec{
+		Policy:      pol,
+		NumQueries:  p.Queries,
+		QueryLen:    queryLen,
+		K:           p.K,
+		WarmDocs:    warm,
+		MeasureDocs: p.MeasureDocs,
+		MaxMeasure:  p.MaxMeasure,
+		MaxSetup:    p.MaxSetup,
+		Rate:        p.Rate,
+		Corpus:      p.corpusCfg(),
+		QuerySeed:   7777,
+	}
+}
+
+// Point is one x-position of a figure with one measurement per engine.
+type Point struct {
+	X      float64
+	XLabel string
+	M      []Measurement // parallel to Figure.Engines
+}
+
+// Figure is a reproduced table/figure: a labelled series per engine
+// over a swept parameter.
+type Figure struct {
+	ID      string
+	Title   string
+	XName   string
+	Engines []string
+	Points  []Point
+	Err     error
+}
+
+// sweep measures every builder at every x-value.
+func sweep(id, title, xname string, builders []EngineBuilder, xs []float64, xlabel func(float64) string, mk func(x float64) Spec, progress func(string)) Figure {
+	fig := Figure{ID: id, Title: title, XName: xname}
+	for _, b := range builders {
+		fig.Engines = append(fig.Engines, b.Name)
+	}
+	for _, x := range xs {
+		pt := Point{X: x, XLabel: xlabel(x)}
+		for _, b := range builders {
+			if progress != nil {
+				progress(fmt.Sprintf("%s: %s=%s engine=%s", id, xname, pt.XLabel, b.Name))
+			}
+			m, err := Run(b, mk(x))
+			if err != nil {
+				fig.Err = err
+				return fig
+			}
+			pt.M = append(pt.M, m)
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig
+}
+
+// Fig3a reproduces Figure 3(a): processing time versus query length n ∈
+// {4, 10, 20, 30, 40} with a 1,000-document count window.
+func Fig3a(p Profile, progress func(string)) Figure {
+	const n = 1000
+	warm := min(n, p.MaxWindow)
+	return sweep("fig3a",
+		fmt.Sprintf("Fig 3(a) — processing time vs query length (N=%d, %d queries, k=%d, %s profile)", warm, p.Queries, p.K, p.Label),
+		"n", []EngineBuilder{NaiveBuilder(), ITABuilder()},
+		[]float64{4, 10, 20, 30, 40},
+		func(x float64) string { return fmt.Sprintf("%.0f", x) },
+		func(x float64) Spec { return p.spec(window.Count{N: warm}, int(x), warm) },
+		progress)
+}
+
+// Fig3b reproduces Figure 3(b): processing time versus window size N ∈
+// {10, 100, 1000, 10000, 100000} with 10-term queries.
+func Fig3b(p Profile, progress func(string)) Figure {
+	var xs []float64
+	for _, n := range []int{10, 100, 1000, 10000, 100000} {
+		if n <= p.MaxWindow {
+			xs = append(xs, float64(n))
+		}
+	}
+	return sweep("fig3b",
+		fmt.Sprintf("Fig 3(b) — processing time vs window size (n=10, %d queries, k=%d, %s profile)", p.Queries, p.K, p.Label),
+		"N", []EngineBuilder{NaiveBuilder(), ITABuilder()},
+		xs,
+		func(x float64) string { return fmt.Sprintf("%.0f", x) },
+		func(x float64) Spec { return p.spec(window.Count{N: int(x)}, 10, int(x)) },
+		progress)
+}
+
+// Fig3aTime is experiment E3: the paper states "the results for a
+// time-based [window] are similar"; this sweep repeats Fig 3(a) with a
+// time window spanning the same expected document count (N/rate
+// seconds).
+func Fig3aTime(p Profile, progress func(string)) Figure {
+	const n = 1000
+	warm := min(n, p.MaxWindow)
+	span := time.Duration(float64(warm) / p.Rate * float64(time.Second))
+	return sweep("fig3a-time",
+		fmt.Sprintf("E3 — Fig 3(a) with a time-based window (span=%s ≈ %d docs, %s profile)", span, warm, p.Label),
+		"n", []EngineBuilder{NaiveBuilder(), ITABuilder()},
+		[]float64{4, 10, 20, 30, 40},
+		func(x float64) string { return fmt.Sprintf("%.0f", x) },
+		func(x float64) Spec { return p.spec(window.Span{D: span}, int(x), warm) },
+		progress)
+}
+
+// Headline is experiment E4: the abstract's claim that ITA is "at least
+// an order of magnitude faster" at the default configuration (n=10,
+// N=1000), including the plain (kmax = k) Naïve for reference.
+func Headline(p Profile, progress func(string)) Figure {
+	const n = 1000
+	warm := min(n, p.MaxWindow)
+	plain := EngineBuilder{Name: "Naive-plain", Build: func(pol window.Policy) core.Engine {
+		return core.NewNaive(pol, core.WithKmax(func(k int) int { return k }))
+	}}
+	return sweep("headline",
+		fmt.Sprintf("E4 — headline configuration (n=10, N=%d, %d queries, k=%d, %s profile)", warm, p.Queries, p.K, p.Label),
+		"n", []EngineBuilder{plain, NaiveBuilder(), ITABuilder()},
+		[]float64{10},
+		func(x float64) string { return fmt.Sprintf("%.0f", x) },
+		func(x float64) Spec { return p.spec(window.Count{N: warm}, 10, warm) },
+		progress)
+}
+
+// Format renders the figure as an aligned text table with per-point
+// speedups relative to the first engine (the baseline).
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if f.Err != nil {
+		fmt.Fprintf(&b, "  ERROR: %v\n", f.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-8s", f.XName)
+	for _, e := range f.Engines {
+		fmt.Fprintf(&b, "%14s", e+" ms")
+	}
+	if len(f.Engines) > 1 {
+		fmt.Fprintf(&b, "%12s", "speedup")
+	}
+	fmt.Fprintf(&b, "%10s\n", "events")
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "%-8s", pt.XLabel)
+		for _, m := range pt.M {
+			fmt.Fprintf(&b, "%14s", formatMs(m))
+		}
+		if len(pt.M) > 1 {
+			base, last := pt.M[0], pt.M[len(pt.M)-1]
+			if base.Infeasible || last.Infeasible || last.MeanMs == 0 {
+				fmt.Fprintf(&b, "%12s", "—")
+			} else {
+				fmt.Fprintf(&b, "%11.1fx", base.MeanMs/last.MeanMs)
+			}
+		}
+		ev := 0
+		for _, m := range pt.M {
+			if m.Events > ev {
+				ev = m.Events
+			}
+		}
+		fmt.Fprintf(&b, "%10d\n", ev)
+	}
+	return b.String()
+}
+
+func formatMs(m Measurement) string {
+	if m.Infeasible {
+		return "— (setup)"
+	}
+	s := fmt.Sprintf("%.4f", m.MeanMs)
+	if m.RealTime > 1 {
+		s += "*" // cannot sustain the arrival rate (paper's instability)
+	}
+	return s
+}
+
+// CSV renders the figure as comma-separated values with one row per
+// point.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	for _, e := range f.Engines {
+		fmt.Fprintf(&b, ",%s_mean_ms,%s_p95_ms,%s_queue_mean_ms,%s_queue_p95_ms,%s_events,%s_realtime", e, e, e, e, e, e)
+		fmt.Fprintf(&b, ",%s_probehits_ev,%s_scores_ev,%s_rescans_ev,%s_refills_ev", e, e, e, e)
+	}
+	b.WriteByte('\n')
+	for _, pt := range f.Points {
+		fmt.Fprintf(&b, "%s", pt.XLabel)
+		for _, m := range pt.M {
+			if m.Infeasible {
+				fmt.Fprintf(&b, ",,,,,,,,,,")
+				continue
+			}
+			ev := float64(m.Events)
+			if ev == 0 {
+				ev = 1
+			}
+			fmt.Fprintf(&b, ",%.6f,%.6f,%.6f,%.6f,%d,%.3f",
+				m.MeanMs, m.P95Ms, m.QueueMeanMs, m.QueueP95Ms, m.Events, m.RealTime)
+			fmt.Fprintf(&b, ",%.3f,%.3f,%.4f,%.4f",
+				float64(m.Stats.ProbeHits)/ev, float64(m.Stats.ScoreComputations)/ev,
+				float64(m.Stats.Rescans)/ev, float64(m.Stats.Refills)/ev)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

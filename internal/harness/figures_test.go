@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatInfeasiblePoint(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "T", XName: "n",
+		Engines: []string{"A", "B"},
+		Points: []Point{{
+			X: 1, XLabel: "1",
+			M: []Measurement{{Infeasible: true}, {MeanMs: 0.5, Events: 10}},
+		}},
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "— (setup)") {
+		t.Fatalf("infeasible marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Fatalf("speedup placeholder missing:\n%s", out)
+	}
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	// The infeasible engine contributes empty cells, not zeros.
+	if !strings.Contains(lines[1], ",,") {
+		t.Fatalf("csv missing empty cells: %s", lines[1])
+	}
+}
+
+func TestFormatRealTimeMarker(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "T", XName: "n",
+		Engines: []string{"A"},
+		Points: []Point{{
+			X: 1, XLabel: "1",
+			M: []Measurement{{MeanMs: 9.9, RealTime: 1.98, Events: 10}},
+		}},
+	}
+	if out := fig.Format(); !strings.Contains(out, "9.9000*") {
+		t.Fatalf("over-budget marker missing:\n%s", out)
+	}
+}
+
+func TestFormatErrorPropagates(t *testing.T) {
+	fig := Figure{Title: "T", Err: errTest}
+	if out := fig.Format(); !strings.Contains(out, "ERROR") {
+		t.Fatalf("error not rendered: %s", out)
+	}
+}
+
+var errTest = timeoutErr{}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "deadline" }
+
+func TestSimulateQueueBacklog(t *testing.T) {
+	// Arrivals every 5ms, service 10ms: latency grows linearly — the
+	// divergence signature of an over-budget engine.
+	var arrivals, services []float64
+	for i := 0; i < 100; i++ {
+		arrivals = append(arrivals, float64(i)*5)
+		services = append(services, 10)
+	}
+	mean, p95, max := simulateQueue(arrivals, services)
+	if !(mean > 100 && p95 > mean && max >= p95) {
+		t.Fatalf("diverging queue not detected: mean=%f p95=%f max=%f", mean, p95, max)
+	}
+	// The last event waited behind ~99 backlogged services.
+	if max < 400 {
+		t.Fatalf("max latency %f, want ≥400ms", max)
+	}
+}
+
+func TestSimulateQueueIdleServer(t *testing.T) {
+	// Service far below the gap: latency equals service time.
+	arrivals := []float64{0, 100, 200}
+	services := []float64{1, 2, 3}
+	mean, _, max := simulateQueue(arrivals, services)
+	if mean != 2 || max != 3 {
+		t.Fatalf("idle server latencies wrong: mean=%f max=%f", mean, max)
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{PaperProfile(), QuickProfile()} {
+		if p.Queries <= 0 || p.K <= 0 || p.MeasureDocs <= 0 || p.Rate <= 0 || p.DictSize <= 0 {
+			t.Fatalf("profile %q has zero fields: %+v", p.Label, p)
+		}
+		if p.MaxMeasure <= 0 || p.MaxSetup <= 0 {
+			t.Fatalf("profile %q missing budgets", p.Label)
+		}
+	}
+	if PaperProfile().Queries != 1000 || PaperProfile().DictSize != 181978 {
+		t.Fatal("paper profile drifted from the published configuration")
+	}
+}

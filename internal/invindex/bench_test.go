@@ -1,0 +1,103 @@
+package invindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ita/internal/model"
+)
+
+func timeAt(i int) time.Time {
+	return time.Unix(0, int64(i)*int64(5*time.Millisecond))
+}
+
+// Benchmarks for the chunked inverted list at the two size regimes that
+// matter: the ~1-entry lists that dominate realistic dictionaries, and
+// the Zipf-head lists that reach the window size at N = 100,000.
+
+func BenchmarkListInsertDelete(b *testing.B) {
+	for _, size := range []int{4, 256, 8192, 100000} {
+		b.Run(fmt.Sprintf("len=%d", size), func(b *testing.B) {
+			l := newList()
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < size; i++ {
+				l.insert(EntryKey{W: rng.Float64(), Doc: model.DocID(i)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := EntryKey{W: rng.Float64(), Doc: model.DocID(size + i)}
+				l.insert(e)
+				l.delete(e)
+			}
+		})
+	}
+}
+
+func BenchmarkListSeekGE(b *testing.B) {
+	l := newList()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		l.insert(EntryKey{W: rng.Float64(), Doc: model.DocID(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := l.SeekGE(EntryKey{W: rng.Float64(), Doc: 0})
+		if it.Valid() {
+			_ = it.Key()
+		}
+	}
+}
+
+func BenchmarkIndexProcessDocument(b *testing.B) {
+	// Insert + remove a realistic 175-term document against a warm
+	// window — the fixed per-event index cost of ITA.
+	for _, window := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("N=%d", window), func(b *testing.B) {
+			x := NewIndex(1)
+			rng := rand.New(rand.NewSource(3))
+			mk := func(id model.DocID) *model.Document {
+				seen := map[model.TermID]bool{}
+				var ps []model.Posting
+				for len(ps) < 175 {
+					t := model.TermID(rng.Intn(181978))
+					if seen[t] {
+						continue
+					}
+					seen[t] = true
+					ps = append(ps, model.Posting{Term: t, Weight: rng.Float64()})
+				}
+				d, err := model.NewDocument(id, timeAt(int(id)), ps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d
+			}
+			pool := make([]*model.Document, 2048)
+			for i := range pool {
+				pool[i] = mk(model.DocID(i + 1))
+			}
+			next := model.DocID(1)
+			for i := 0; i < window; i++ {
+				base := pool[int(next)%len(pool)]
+				if err := x.Insert(&model.Document{ID: next, Arrival: base.Arrival, Postings: base.Postings}); err != nil {
+					b.Fatal(err)
+				}
+				next++
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := pool[int(next)%len(pool)]
+				if err := x.Insert(&model.Document{ID: next, Arrival: base.Arrival, Postings: base.Postings}); err != nil {
+					b.Fatal(err)
+				}
+				next++
+				x.RemoveOldest()
+			}
+		})
+	}
+}

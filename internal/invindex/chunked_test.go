@@ -1,0 +1,177 @@
+package invindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ita/internal/model"
+)
+
+// refList is the oracle: a flat sorted slice.
+type refList struct{ entries []EntryKey }
+
+func (r *refList) insert(e EntryKey) {
+	i := sort.Search(len(r.entries), func(i int) bool { return !Before(r.entries[i], e) })
+	r.entries = append(r.entries, EntryKey{})
+	copy(r.entries[i+1:], r.entries[i:])
+	r.entries[i] = e
+}
+
+func (r *refList) delete(e EntryKey) bool {
+	i := sort.Search(len(r.entries), func(i int) bool { return !Before(r.entries[i], e) })
+	if i >= len(r.entries) || r.entries[i] != e {
+		return false
+	}
+	r.entries = append(r.entries[:i], r.entries[i+1:]...)
+	return true
+}
+
+func listContents(l *List) []EntryKey {
+	var out []EntryKey
+	for it := l.First(); it.Valid(); it.Next() {
+		out = append(out, it.Key())
+	}
+	return out
+}
+
+// TestChunkedListAgainstReference drives the chunked list through a
+// large random workload spanning many splits and chunk removals and
+// compares every observable against the flat-slice oracle.
+func TestChunkedListAgainstReference(t *testing.T) {
+	l := newList()
+	ref := &refList{}
+	rng := rand.New(rand.NewSource(42))
+	live := make(map[EntryKey]bool)
+
+	for step := 0; step < 30000; step++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			e := EntryKey{
+				W:   float64(rng.Intn(500)+1) / 500, // ties likely
+				Doc: model.DocID(rng.Intn(5000)),
+			}
+			if live[e] {
+				continue
+			}
+			live[e] = true
+			l.insert(e)
+			ref.insert(e)
+		} else {
+			// Delete a random live entry (map order is fine).
+			var victim EntryKey
+			for e := range live {
+				victim = e
+				break
+			}
+			delete(live, victim)
+			if !l.delete(victim) || !func() bool { return ref.delete(victim) }() {
+				t.Fatalf("step %d: delete disagreement for %v", step, victim)
+			}
+		}
+		if l.Len() != len(ref.entries) {
+			t.Fatalf("step %d: Len %d vs ref %d", step, l.Len(), len(ref.entries))
+		}
+	}
+
+	got := listContents(l)
+	if len(got) != len(ref.entries) {
+		t.Fatalf("iteration yielded %d entries, ref has %d", len(got), len(ref.entries))
+	}
+	for i := range got {
+		if got[i] != ref.entries[i] {
+			t.Fatalf("entry %d: %v vs ref %v", i, got[i], ref.entries[i])
+		}
+	}
+
+	// Seeks and predecessors at random probes, including phantoms.
+	for probe := 0; probe < 2000; probe++ {
+		pos := EntryKey{W: float64(rng.Intn(510)) / 500, Doc: model.DocID(rng.Intn(5200))}
+		i := sort.Search(len(ref.entries), func(i int) bool { return !Before(ref.entries[i], pos) })
+		it := l.SeekGE(pos)
+		if i == len(ref.entries) {
+			if it.Valid() {
+				t.Fatalf("SeekGE(%v) valid, ref exhausted", pos)
+			}
+		} else if !it.Valid() || it.Key() != ref.entries[i] {
+			t.Fatalf("SeekGE(%v) = %v, ref %v", pos, it.Key(), ref.entries[i])
+		}
+		pk, ok := l.PredBefore(pos)
+		if i == 0 {
+			if ok {
+				t.Fatalf("PredBefore(%v) = %v, ref has none", pos, pk)
+			}
+		} else if !ok || pk != ref.entries[i-1] {
+			t.Fatalf("PredBefore(%v) = %v,%v, ref %v", pos, pk, ok, ref.entries[i-1])
+		}
+	}
+}
+
+// TestChunkedListSplitBoundaries fills a list far past one chunk and
+// checks structural invariants: chunks non-empty, within bounds,
+// globally ordered.
+func TestChunkedListSplitBoundaries(t *testing.T) {
+	l := newList()
+	const n = 4 * maxChunk
+	for i := 0; i < n; i++ {
+		l.insert(EntryKey{W: float64(i%97+1) / 97, Doc: model.DocID(i)})
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if len(l.chunks) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(l.chunks))
+	}
+	var prev EntryKey
+	first := true
+	for ci, ch := range l.chunks {
+		if len(ch) == 0 {
+			t.Fatalf("chunk %d empty", ci)
+		}
+		if len(ch) > maxChunk {
+			t.Fatalf("chunk %d oversized: %d", ci, len(ch))
+		}
+		for _, e := range ch {
+			if !first && !Before(prev, e) {
+				t.Fatalf("order violation at chunk %d: %v then %v", ci, prev, e)
+			}
+			prev, first = e, false
+		}
+	}
+	// Drain completely; chunk directory must shrink to nothing.
+	for i := 0; i < n; i++ {
+		if !l.delete(EntryKey{W: float64(i%97+1) / 97, Doc: model.DocID(i)}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if l.Len() != 0 || len(l.chunks) != 0 {
+		t.Fatalf("drained list: len=%d chunks=%d", l.Len(), len(l.chunks))
+	}
+}
+
+// Property: ascending-weight and descending-weight bulk inserts produce
+// identical list contents.
+func TestChunkedListOrderInsensitive(t *testing.T) {
+	f := func(ws []uint16) bool {
+		a, b := newList(), newList()
+		for i, w := range ws {
+			a.insert(EntryKey{W: float64(w), Doc: model.DocID(i)})
+		}
+		for i := len(ws) - 1; i >= 0; i-- {
+			b.insert(EntryKey{W: float64(ws[i]), Doc: model.DocID(i)})
+		}
+		ca, cb := listContents(a), listContents(b)
+		if len(ca) != len(cb) {
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

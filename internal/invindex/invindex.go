@@ -1,0 +1,285 @@
+// Package invindex implements the paper's Figure 1 storage layer: a
+// FIFO store of the valid (in-window) documents plus an inverted index
+// whose per-term lists hold impact entries ⟨d, w_{d,t}⟩ sorted by
+// decreasing weight.
+//
+// List positions are identified by EntryKey values — (weight, doc id)
+// pairs under the list's total order — rather than by node references,
+// so a stored position (such as a query's local threshold) stays
+// meaningful across arbitrary insertions and deletions, including the
+// deletion of the entry it was derived from.
+package invindex
+
+import (
+	"math"
+	"sort"
+
+	"ita/internal/model"
+)
+
+// EntryKey identifies one impact entry and, by extension, a position in
+// an inverted list. Lists are ordered by descending weight with ties
+// broken by ascending doc id, so the total order "a before b" is
+// a.W > b.W, or a.W == b.W and a.Doc < b.Doc.
+type EntryKey struct {
+	W   float64
+	Doc model.DocID
+}
+
+// Before reports whether a precedes b in list order (closer to the head,
+// i.e. higher impact).
+func Before(a, b EntryKey) bool {
+	if a.W != b.W {
+		return a.W > b.W
+	}
+	return a.Doc < b.Doc
+}
+
+// Top returns the sentinel position before every possible entry. A
+// local threshold at Top has consumed nothing.
+func Top() EntryKey { return EntryKey{W: math.Inf(1), Doc: 0} }
+
+// Bottom returns the sentinel position after every possible entry. A
+// local threshold at Bottom has consumed the entire list, and any future
+// arrival with a positive weight lands ahead of it.
+func Bottom() EntryKey { return EntryKey{W: 0, Doc: math.MaxUint64} }
+
+// List is one inverted list: impact entries in list order, backed by a
+// chunked sorted array (a tiered vector). At realistic dictionary
+// sizes the vast majority of lists hold a handful of entries
+// (window·terms/dictionary ≈ 1 for the paper's configuration) and live
+// in a single chunk with no per-entry allocation; the Zipf-head terms,
+// which at a 100,000-document window appear in essentially every
+// document, spread across chunks so that an insert or delete moves at
+// most one chunk's worth of memory instead of O(list) — the difference
+// between microseconds and milliseconds per arrival at the paper's
+// largest window.
+type List struct {
+	chunks [][]EntryKey // each non-empty and sorted; chunks ordered
+	length int
+	spare  []EntryKey // capacity recycled from the last emptied chunk
+}
+
+// maxChunk bounds chunk size; a full chunk splits in two. 256 entries
+// (4 KiB of EntryKeys) keeps the memmove within a couple of cache
+// lines' worth of pages while keeping the chunk directory tiny.
+const maxChunk = 256
+
+func newList() *List { return &List{} }
+
+// Len returns the number of entries.
+func (l *List) Len() int { return l.length }
+
+// chunkFor returns the index of the chunk that does (or would) contain
+// pos: the first chunk whose last element is not before pos, clamped to
+// the final chunk.
+func (l *List) chunkFor(pos EntryKey) int {
+	n := len(l.chunks)
+	c := sort.Search(n, func(i int) bool {
+		ch := l.chunks[i]
+		return !Before(ch[len(ch)-1], pos)
+	})
+	if c == n && n > 0 {
+		c = n - 1
+	}
+	return c
+}
+
+// lowerBound locates the first entry not before pos as a (chunk,
+// offset) pair; offset may equal the chunk length (insertion at the
+// very end).
+func (l *List) lowerBound(pos EntryKey) (int, int) {
+	if len(l.chunks) == 0 {
+		return 0, 0
+	}
+	c := l.chunkFor(pos)
+	ch := l.chunks[c]
+	i := sort.Search(len(ch), func(i int) bool { return !Before(ch[i], pos) })
+	return c, i
+}
+
+func (l *List) insert(e EntryKey) {
+	if len(l.chunks) == 0 {
+		first := l.spare
+		if first == nil {
+			first = make([]EntryKey, 0, 8)
+		}
+		l.spare = nil
+		l.chunks = append(l.chunks, append(first, e))
+		l.length++
+		return
+	}
+	c, i := l.lowerBound(e)
+	ch := l.chunks[c]
+	ch = append(ch, EntryKey{})
+	copy(ch[i+1:], ch[i:])
+	ch[i] = e
+	l.chunks[c] = ch
+	l.length++
+	if len(ch) > maxChunk {
+		// Split the full chunk in half; the right half is a fresh
+		// allocation so the halves stop sharing growth.
+		mid := len(ch) / 2
+		right := append(make([]EntryKey, 0, maxChunk), ch[mid:]...)
+		l.chunks[c] = ch[:mid:mid]
+		l.chunks = append(l.chunks, nil)
+		copy(l.chunks[c+2:], l.chunks[c+1:])
+		l.chunks[c+1] = right
+	}
+}
+
+func (l *List) delete(e EntryKey) bool {
+	if len(l.chunks) == 0 {
+		return false
+	}
+	c, i := l.lowerBound(e)
+	ch := l.chunks[c]
+	if i >= len(ch) || ch[i] != e {
+		return false
+	}
+	copy(ch[i:], ch[i+1:])
+	l.chunks[c] = ch[:len(ch)-1]
+	l.length--
+	if len(l.chunks[c]) == 0 {
+		if l.length == 0 {
+			l.spare = l.chunks[c][:0]
+		}
+		l.chunks = append(l.chunks[:c], l.chunks[c+1:]...)
+	}
+	return true
+}
+
+// Iterator walks a list from a position towards lower impacts. It stays
+// valid only while the list is not modified.
+type Iterator struct {
+	l *List
+	c int // chunk index
+	i int // offset within chunk
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool {
+	return it.l != nil && it.c < len(it.l.chunks) && it.i < len(it.l.chunks[it.c])
+}
+
+// Next advances towards the tail (lower impact).
+func (it *Iterator) Next() {
+	it.i++
+	if it.c < len(it.l.chunks) && it.i >= len(it.l.chunks[it.c]) {
+		it.c++
+		it.i = 0
+	}
+}
+
+// Key returns the current entry; the iterator must be valid.
+func (it *Iterator) Key() EntryKey { return it.l.chunks[it.c][it.i] }
+
+// SeekGE returns an iterator at the first entry at or after pos in list
+// order — the resume point for a threshold stored as pos.
+func (l *List) SeekGE(pos EntryKey) Iterator {
+	if l.length == 0 {
+		return Iterator{l: l}
+	}
+	c, i := l.lowerBound(pos)
+	it := Iterator{l: l, c: c, i: i}
+	if c < len(l.chunks) && i >= len(l.chunks[c]) {
+		// Insertion point at the end of a chunk: the next real entry
+		// starts the following chunk.
+		it.c++
+		it.i = 0
+	}
+	return it
+}
+
+// First returns an iterator at the highest-impact entry.
+func (l *List) First() Iterator {
+	return Iterator{l: l}
+}
+
+// PredBefore returns the last entry strictly before pos in list order —
+// the lowest-impact consumed entry relative to a threshold at pos —
+// or ok == false when nothing precedes pos.
+func (l *List) PredBefore(pos EntryKey) (EntryKey, bool) {
+	if l.length == 0 {
+		return EntryKey{}, false
+	}
+	c, i := l.lowerBound(pos)
+	if i == 0 {
+		if c == 0 {
+			return EntryKey{}, false
+		}
+		prev := l.chunks[c-1]
+		return prev[len(prev)-1], true
+	}
+	return l.chunks[c][i-1], true
+}
+
+// Index is the document store plus the inverted lists over it.
+type Index struct {
+	*Store
+	lists map[model.TermID]*List
+}
+
+// NewIndex returns an empty index. The seed is accepted for interface
+// stability and reproducibility bookkeeping; the sorted-slice lists are
+// fully deterministic regardless.
+func NewIndex(seed uint64) *Index {
+	_ = seed
+	return &Index{
+		Store: NewStore(),
+		lists: make(map[model.TermID]*List),
+	}
+}
+
+// List returns the inverted list for term t, or nil when no valid
+// document contains t.
+func (x *Index) List(t model.TermID) *List { return x.lists[t] }
+
+// Insert adds an arriving document to the store and posts an impact
+// entry into the inverted list of each of its terms. It fails on a
+// duplicate document id.
+func (x *Index) Insert(d *model.Document) error {
+	if err := x.Store.Insert(d); err != nil {
+		return err
+	}
+	for _, p := range d.Postings {
+		l := x.lists[p.Term]
+		if l == nil {
+			l = newList()
+			x.lists[p.Term] = l
+		}
+		l.insert(EntryKey{W: p.Weight, Doc: d.ID})
+	}
+	return nil
+}
+
+// RemoveOldest removes the FIFO head document and its impact entries,
+// returning the removed document. It returns nil on an empty index.
+// Emptied lists are kept in the term map: at realistic dictionary
+// sparsity the same rare terms keep reappearing, and recreating a list
+// per reappearance costs two allocations per term per event — measured
+// as a third of the whole per-event index cost. The retained residue is
+// bounded by the dictionary size.
+func (x *Index) RemoveOldest() *model.Document {
+	d := x.Store.RemoveOldest()
+	if d == nil {
+		return nil
+	}
+	for _, p := range d.Postings {
+		if l := x.lists[p.Term]; l != nil {
+			l.delete(EntryKey{W: p.Weight, Doc: d.ID})
+		}
+	}
+	return d
+}
+
+// Terms returns the number of terms with non-empty inverted lists.
+func (x *Index) Terms() int {
+	n := 0
+	for _, l := range x.lists {
+		if l.Len() > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+// Package model defines the identifiers and value types shared by every
+// layer of the continuous text search engine: documents, postings,
+// queries and scored results.
+//
+// All types are plain values with no behaviour beyond validation and
+// lookup helpers, so that the index, engine and harness layers can
+// exchange them without depending on one another.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// DocID uniquely identifies a document for the lifetime of the stream.
+// The stream driver assigns ids in arrival order, but the engine only
+// requires uniqueness, not monotonicity.
+type DocID uint64
+
+// TermID identifies a dictionary term. Term ids are assigned by the
+// textproc dictionary; the engine treats them as opaque.
+type TermID uint32
+
+// QueryID identifies a registered continuous query.
+type QueryID uint64
+
+// Posting is one entry of a document's composition list: the impact
+// weight w_{d,t} of term t in document d.
+type Posting struct {
+	Term   TermID
+	Weight float64
+}
+
+// Document is one element of the input stream. Postings holds the
+// composition list sorted by ascending TermID with strictly positive
+// weights and no duplicate terms; NewDocument enforces these invariants.
+type Document struct {
+	ID       DocID
+	Arrival  time.Time
+	Postings []Posting
+}
+
+// Validation errors returned by NewDocument and NewQuery.
+var (
+	ErrUnsortedPostings  = errors.New("model: postings not sorted by term id")
+	ErrDuplicateTerm     = errors.New("model: duplicate term")
+	ErrNonPositiveWeight = errors.New("model: non-positive weight")
+	ErrNoTerms           = errors.New("model: no terms")
+	ErrBadK              = errors.New("model: k must be positive")
+)
+
+// NewDocument validates and builds a Document. The postings slice is
+// sorted in place by term id. A posting with zero or negative weight is
+// rejected rather than silently dropped, because upstream weighting is
+// expected to have removed non-occurring terms already.
+func NewDocument(id DocID, arrival time.Time, postings []Posting) (*Document, error) {
+	sort.Slice(postings, func(i, j int) bool { return postings[i].Term < postings[j].Term })
+	for i, p := range postings {
+		if p.Weight <= 0 {
+			return nil, fmt.Errorf("%w: term %d weight %g in doc %d", ErrNonPositiveWeight, p.Term, p.Weight, id)
+		}
+		if i > 0 && postings[i-1].Term == p.Term {
+			return nil, fmt.Errorf("%w: term %d in doc %d", ErrDuplicateTerm, p.Term, id)
+		}
+	}
+	return &Document{ID: id, Arrival: arrival, Postings: postings}, nil
+}
+
+// Weight returns the impact weight of term t in the document, or
+// (0, false) when the document does not contain t. It binary-searches
+// the composition list, so it costs O(log len(Postings)).
+func (d *Document) Weight(t TermID) (float64, bool) {
+	i := sort.Search(len(d.Postings), func(i int) bool { return d.Postings[i].Term >= t })
+	if i < len(d.Postings) && d.Postings[i].Term == t {
+		return d.Postings[i].Weight, true
+	}
+	return 0, false
+}
+
+// Terms returns the number of distinct terms in the document.
+func (d *Document) Terms() int { return len(d.Postings) }
+
+// QueryTerm is one search term of a continuous query with its query-side
+// weight w_{Q,t}.
+type QueryTerm struct {
+	Term   TermID
+	Weight float64
+}
+
+// Query is a registered continuous text search query: a set of weighted
+// terms and the requested result size K. Terms are sorted by ascending
+// TermID with strictly positive weights and no duplicates; NewQuery
+// enforces these invariants.
+type Query struct {
+	ID    QueryID
+	K     int
+	Terms []QueryTerm
+}
+
+// NewQuery validates and builds a Query. The terms slice is sorted in
+// place by term id.
+func NewQuery(id QueryID, k int, terms []QueryTerm) (*Query, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadK, k)
+	}
+	if len(terms) == 0 {
+		return nil, ErrNoTerms
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+	for i, t := range terms {
+		if t.Weight <= 0 {
+			return nil, fmt.Errorf("%w: term %d weight %g in query %d", ErrNonPositiveWeight, t.Term, t.Weight, id)
+		}
+		if i > 0 && terms[i-1].Term == t.Term {
+			return nil, fmt.Errorf("%w: term %d in query %d", ErrDuplicateTerm, t.Term, id)
+		}
+	}
+	return &Query{ID: id, K: k, Terms: terms}, nil
+}
+
+// Weight returns the query-side weight of term t, or (0, false) when the
+// query does not contain t.
+func (q *Query) Weight(t TermID) (float64, bool) {
+	i := sort.Search(len(q.Terms), func(i int) bool { return q.Terms[i].Term >= t })
+	if i < len(q.Terms) && q.Terms[i].Term == t {
+		return q.Terms[i].Weight, true
+	}
+	return 0, false
+}
+
+// Score computes S(d|Q) = Σ_{t∈Q} w_{Q,t}·w_{d,t} by merge-joining the
+// two term-sorted lists. It is the single definition of similarity used
+// by every engine, the oracle and the tests.
+func Score(q *Query, d *Document) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(q.Terms) && j < len(d.Postings) {
+		qt, dp := q.Terms[i], d.Postings[j]
+		switch {
+		case qt.Term == dp.Term:
+			s += qt.Weight * dp.Weight
+			i++
+			j++
+		case qt.Term < dp.Term:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// ScoredDoc pairs a document id with its similarity score for one query.
+type ScoredDoc struct {
+	Doc   DocID
+	Score float64
+}
+
+// SortScored orders scored documents by descending score, breaking ties
+// by ascending document id. This is the canonical result order used by
+// all engines so results can be compared byte-for-byte in tests.
+func SortScored(s []ScoredDoc) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Score != s[j].Score {
+			return s[i].Score > s[j].Score
+		}
+		return s[i].Doc < s[j].Doc
+	})
+}

@@ -1,0 +1,265 @@
+// Package skiplist provides a deterministic, generic, order-statistic
+// skip list: an ordered map with O(log n) insert, delete, exact and
+// range lookup, plus O(log n) access by rank.
+//
+// It is the single ordered-collection substrate of the engine: inverted
+// lists (ordered by impact weight), threshold trees (ordered by local
+// threshold) and per-query result sets (ordered by score) are all built
+// on it. Determinism matters for reproducible benchmarks, so tower
+// heights come from a private xorshift generator seeded at construction
+// rather than from the global math/rand state.
+package skiplist
+
+const (
+	maxHeight = 24 // supports ~4^24 elements at promotion probability 1/4
+	branch    = 4  // promotion probability is 1/branch
+	seedMix   = 0x9e3779b97f4a7c15
+)
+
+type node[K any, V any] struct {
+	key   K
+	value V
+	// next[i] is the successor at level i; span[i] is the distance to
+	// next[i] in level-0 steps (1 means immediate successor).
+	next []*node[K, V]
+	span []int
+}
+
+// List is an ordered map from K to V. The zero value is not usable; call
+// New. A List is not safe for concurrent use.
+type List[K any, V any] struct {
+	less   func(a, b K) bool
+	head   *node[K, V]
+	length int
+	height int
+	rng    uint64
+}
+
+// New returns an empty list ordered by less. The seed fixes the tower
+// height sequence; two lists built with the same seed and the same
+// operation sequence are structurally identical.
+func New[K any, V any](less func(a, b K) bool, seed uint64) *List[K, V] {
+	return &List[K, V]{
+		less: less,
+		head: &node[K, V]{
+			next: make([]*node[K, V], maxHeight),
+			span: make([]int, maxHeight),
+		},
+		height: 1,
+		rng:    seed*seedMix + seedMix,
+	}
+}
+
+// Len returns the number of elements.
+func (l *List[K, V]) Len() int { return l.length }
+
+func (l *List[K, V]) randHeight() int {
+	h := 1
+	for h < maxHeight {
+		l.rng ^= l.rng << 13
+		l.rng ^= l.rng >> 7
+		l.rng ^= l.rng << 17
+		if l.rng%branch != 0 {
+			break
+		}
+		h++
+	}
+	return h
+}
+
+// findPath fills prev with the rightmost node whose key is strictly less
+// than key at each level, and pos with that node's position (head is
+// position 0, elements are 1-based). It returns the level-0 candidate:
+// the first node with key ≥ key, possibly nil.
+func (l *List[K, V]) findPath(key K, prev *[maxHeight]*node[K, V], pos *[maxHeight]int) *node[K, V] {
+	x := l.head
+	p := 0
+	for i := l.height - 1; i >= 0; i-- {
+		for x.next[i] != nil && l.less(x.next[i].key, key) {
+			p += x.span[i]
+			x = x.next[i]
+		}
+		prev[i] = x
+		pos[i] = p
+	}
+	return x.next[0]
+}
+
+// Insert adds key→value. If an equal key is already present, its value
+// is replaced and Insert reports false; otherwise true.
+func (l *List[K, V]) Insert(key K, value V) bool {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	cand := l.findPath(key, &prev, &pos)
+	if cand != nil && !l.less(key, cand.key) {
+		cand.value = value
+		return false
+	}
+	h := l.randHeight()
+	if h > l.height {
+		for i := l.height; i < h; i++ {
+			prev[i] = l.head
+			pos[i] = 0
+		}
+		l.height = h
+	}
+	n := &node[K, V]{key: key, value: value, next: make([]*node[K, V], h), span: make([]int, h)}
+	np := pos[0] + 1 // position of the new node
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		if n.next[i] != nil {
+			// prev[i]'s old successor sat at pos[i]+span; after the
+			// insert every position right of np shifts by one.
+			n.span[i] = pos[i] + prev[i].span[i] + 1 - np
+		}
+		prev[i].next[i] = n
+		prev[i].span[i] = np - pos[i]
+	}
+	for i := h; i < l.height; i++ {
+		if prev[i].next[i] != nil {
+			prev[i].span[i]++
+		}
+	}
+	l.length++
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (l *List[K, V]) Delete(key K) bool {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	cand := l.findPath(key, &prev, &pos)
+	if cand == nil || l.less(key, cand.key) {
+		return false
+	}
+	for i := 0; i < l.height; i++ {
+		if prev[i].next[i] == cand {
+			prev[i].next[i] = cand.next[i]
+			if i < len(cand.next) && cand.next[i] != nil {
+				prev[i].span[i] += cand.span[i] - 1
+			} else {
+				prev[i].span[i] = 0
+			}
+		} else if prev[i].next[i] != nil {
+			prev[i].span[i]--
+		}
+	}
+	for l.height > 1 && l.head.next[l.height-1] == nil {
+		l.height--
+	}
+	l.length--
+	return true
+}
+
+// Get returns the value stored under key.
+func (l *List[K, V]) Get(key K) (V, bool) {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	cand := l.findPath(key, &prev, &pos)
+	if cand != nil && !l.less(key, cand.key) {
+		return cand.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (l *List[K, V]) Contains(key K) bool {
+	_, ok := l.Get(key)
+	return ok
+}
+
+// Iterator walks the list in ascending key order. It remains valid only
+// as long as the list is not modified.
+type Iterator[K any, V any] struct {
+	n *node[K, V]
+}
+
+// Valid reports whether the iterator points at an element.
+func (it *Iterator[K, V]) Valid() bool { return it.n != nil }
+
+// Next advances to the successor.
+func (it *Iterator[K, V]) Next() { it.n = it.n.next[0] }
+
+// Key returns the current key; the iterator must be valid.
+func (it *Iterator[K, V]) Key() K { return it.n.key }
+
+// Value returns the current value; the iterator must be valid.
+func (it *Iterator[K, V]) Value() V { return it.n.value }
+
+// First returns an iterator at the smallest key.
+func (l *List[K, V]) First() Iterator[K, V] {
+	return Iterator[K, V]{n: l.head.next[0]}
+}
+
+// SeekGE returns an iterator at the first element with key ≥ target
+// (invalid if none).
+func (l *List[K, V]) SeekGE(target K) Iterator[K, V] {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	return Iterator[K, V]{n: l.findPath(target, &prev, &pos)}
+}
+
+// SeekGT returns an iterator at the first element with key > target.
+func (l *List[K, V]) SeekGT(target K) Iterator[K, V] {
+	it := l.SeekGE(target)
+	if it.Valid() && !l.less(target, it.n.key) {
+		it.Next()
+	}
+	return it
+}
+
+// PredLT returns the largest key strictly less than target.
+func (l *List[K, V]) PredLT(target K) (K, V, bool) {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	l.findPath(target, &prev, &pos)
+	if prev[0] == l.head {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return prev[0].key, prev[0].value, true
+}
+
+// Min returns the smallest key.
+func (l *List[K, V]) Min() (K, V, bool) {
+	n := l.head.next[0]
+	if n == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	return n.key, n.value, true
+}
+
+// At returns the element with 0-based rank i in ascending key order.
+// It panics if i is out of range, mirroring slice indexing.
+func (l *List[K, V]) At(i int) (K, V) {
+	if i < 0 || i >= l.length {
+		panic("skiplist: rank out of range")
+	}
+	target := i + 1 // 1-based position
+	x := l.head
+	p := 0
+	for lvl := l.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && p+x.span[lvl] <= target {
+			p += x.span[lvl]
+			x = x.next[lvl]
+		}
+		if p == target {
+			return x.key, x.value
+		}
+	}
+	// Unreachable when spans are consistent; the tests assert that.
+	panic("skiplist: corrupt spans")
+}
+
+// Rank returns the number of elements with keys strictly less than key,
+// i.e. the 0-based rank key occupies or would occupy.
+func (l *List[K, V]) Rank(key K) int {
+	var prev [maxHeight]*node[K, V]
+	var pos [maxHeight]int
+	l.findPath(key, &prev, &pos)
+	return pos[0]
+}

@@ -1,0 +1,324 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func newInt(seed uint64) *List[int, string] { return New[int, string](intLess, seed) }
+
+func TestEmptyList(t *testing.T) {
+	l := newInt(1)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if _, ok := l.Get(5); ok {
+		t.Fatal("Get on empty list succeeded")
+	}
+	if l.Delete(5) {
+		t.Fatal("Delete on empty list succeeded")
+	}
+	if it := l.First(); it.Valid() {
+		t.Fatal("First on empty list is valid")
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty list succeeded")
+	}
+	if _, _, ok := l.PredLT(10); ok {
+		t.Fatal("PredLT on empty list succeeded")
+	}
+	if got := l.Rank(10); got != 0 {
+		t.Fatalf("Rank = %d, want 0", got)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	l := newInt(2)
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		if !l.Insert(k, "v") {
+			t.Fatalf("Insert(%d) reported replacement", k)
+		}
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", l.Len())
+	}
+	if v, ok := l.Get(3); !ok || v != "v" {
+		t.Fatalf("Get(3) = (%q,%v)", v, ok)
+	}
+	if l.Insert(3, "w") {
+		t.Fatal("Insert(3) again should replace, not insert")
+	}
+	if v, _ := l.Get(3); v != "w" {
+		t.Fatalf("Get(3) after replace = %q", v)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len after replace = %d, want 5", l.Len())
+	}
+	if !l.Delete(3) {
+		t.Fatal("Delete(3) failed")
+	}
+	if l.Contains(3) {
+		t.Fatal("Contains(3) after delete")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len after delete = %d, want 4", l.Len())
+	}
+}
+
+func TestAscendingIteration(t *testing.T) {
+	l := newInt(3)
+	keys := []int{42, 7, 19, 3, 99, 58, 1}
+	for _, k := range keys {
+		l.Insert(k, "")
+	}
+	sort.Ints(keys)
+	i := 0
+	for it := l.First(); it.Valid(); it.Next() {
+		if it.Key() != keys[i] {
+			t.Fatalf("iteration[%d] = %d, want %d", i, it.Key(), keys[i])
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("iterated %d elements, want %d", i, len(keys))
+	}
+}
+
+func TestSeeks(t *testing.T) {
+	l := newInt(4)
+	for _, k := range []int{10, 20, 30, 40} {
+		l.Insert(k, "")
+	}
+	cases := []struct {
+		target  int
+		wantGE  int
+		validGE bool
+		wantGT  int
+		validGT bool
+	}{
+		{5, 10, true, 10, true},
+		{10, 10, true, 20, true},
+		{15, 20, true, 20, true},
+		{40, 40, true, 0, false},
+		{45, 0, false, 0, false},
+	}
+	for _, c := range cases {
+		ge := l.SeekGE(c.target)
+		if ge.Valid() != c.validGE || (ge.Valid() && ge.Key() != c.wantGE) {
+			t.Errorf("SeekGE(%d): valid=%v key=%v", c.target, ge.Valid(), c.wantGE)
+		}
+		gt := l.SeekGT(c.target)
+		if gt.Valid() != c.validGT || (gt.Valid() && gt.Key() != c.wantGT) {
+			t.Errorf("SeekGT(%d): valid=%v", c.target, gt.Valid())
+		}
+	}
+}
+
+func TestPredLT(t *testing.T) {
+	l := newInt(5)
+	for _, k := range []int{10, 20, 30} {
+		l.Insert(k, "")
+	}
+	if _, _, ok := l.PredLT(10); ok {
+		t.Error("PredLT(10) should be absent")
+	}
+	if k, _, ok := l.PredLT(11); !ok || k != 10 {
+		t.Errorf("PredLT(11) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := l.PredLT(30); !ok || k != 20 {
+		t.Errorf("PredLT(30) = (%d,%v)", k, ok)
+	}
+	if k, _, ok := l.PredLT(1000); !ok || k != 30 {
+		t.Errorf("PredLT(1000) = (%d,%v)", k, ok)
+	}
+}
+
+func TestRankAndAt(t *testing.T) {
+	l := newInt(6)
+	for i := 0; i < 100; i++ {
+		l.Insert(i*2, "") // 0,2,...,198
+	}
+	for i := 0; i < 100; i++ {
+		if k, _ := l.At(i); k != i*2 {
+			t.Fatalf("At(%d) = %d, want %d", i, k, i*2)
+		}
+		if r := l.Rank(i * 2); r != i {
+			t.Fatalf("Rank(%d) = %d, want %d", i*2, r, i)
+		}
+		if r := l.Rank(i*2 + 1); r != i+1 {
+			t.Fatalf("Rank(%d) = %d, want %d", i*2+1, r, i+1)
+		}
+	}
+}
+
+func TestRankAfterDeletions(t *testing.T) {
+	l := newInt(7)
+	for i := 0; i < 50; i++ {
+		l.Insert(i, "")
+	}
+	// Remove the even keys; ranks of odd keys must compact.
+	for i := 0; i < 50; i += 2 {
+		if !l.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		want := 2*i + 1
+		if k, _ := l.At(i); k != want {
+			t.Fatalf("At(%d) = %d, want %d", i, k, want)
+		}
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	build := func(seed uint64) []int {
+		l := newInt(seed)
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 500; i++ {
+			l.Insert(r.Intn(1000), "")
+		}
+		var out []int
+		for it := l.First(); it.Valid(); it.Next() {
+			out = append(out, it.Key())
+		}
+		return out
+	}
+	a, b := build(1), build(1)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different contents at %d", i)
+		}
+	}
+}
+
+// TestAgainstReferenceModel drives a random mixed workload applied both
+// to the skip list and to a reference map + sorted slice. Each pair of
+// bytes encodes one operation (kind, key).
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(raw []uint16) bool {
+		l := New[int, int](intLess, 42)
+		ref := map[int]int{}
+		for i, w := range raw {
+			k := int(w & 0x1ff)
+			switch (w >> 9) % 3 {
+			case 0:
+				l.Insert(k, i)
+				ref[k] = i
+			case 1:
+				okL := l.Delete(k)
+				_, okR := ref[k]
+				if okL != okR {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, okL := l.Get(k)
+				rv, okR := ref[k]
+				if okL != okR || (okL && v != rv) {
+					return false
+				}
+			}
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		keys := make([]int, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		i := 0
+		for it := l.First(); it.Valid(); it.Next() {
+			if i >= len(keys) || it.Key() != keys[i] || it.Value() != ref[keys[i]] {
+				return false
+			}
+			// Order statistics must agree with the sorted reference.
+			if ak, _ := l.At(i); ak != keys[i] {
+				return false
+			}
+			if l.Rank(keys[i]) != i {
+				return false
+			}
+			i++
+		}
+		return i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomWorkloadSpans(t *testing.T) {
+	l := New[int, int](intLess, 11)
+	ref := map[int]int{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		k := r.Intn(4000)
+		if r.Intn(3) == 0 {
+			delete(ref, k)
+			l.Delete(k)
+		} else {
+			ref[k] = i
+			l.Insert(k, i)
+		}
+	}
+	if l.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(ref))
+	}
+	keys := make([]int, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for i, k := range keys {
+		if gk, gv := l.At(i); gk != k || gv != ref[k] {
+			t.Fatalf("At(%d) = (%d,%d), want (%d,%d)", i, gk, gv, k, ref[k])
+		}
+	}
+}
+
+func TestReverseAndRandomInsertionOrdersAgree(t *testing.T) {
+	asc := newInt(1)
+	desc := newInt(2)
+	for i := 0; i < 1000; i++ {
+		asc.Insert(i, "")
+		desc.Insert(999-i, "")
+	}
+	ia, id := asc.First(), desc.First()
+	for ia.Valid() && id.Valid() {
+		if ia.Key() != id.Key() {
+			t.Fatalf("mismatch %d vs %d", ia.Key(), id.Key())
+		}
+		ia.Next()
+		id.Next()
+	}
+	if ia.Valid() != id.Valid() {
+		t.Fatal("different lengths")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	l := New[int, int](intLess, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Insert(i*2654435761%1000003, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New[int, int](intLess, 1)
+	for i := 0; i < 100000; i++ {
+		l.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(i % 100000)
+	}
+}

@@ -1,0 +1,268 @@
+// Package stats supplies the probabilistic substrate for workload
+// generation and measurement: deterministic random sources, an
+// alias-method sampler, bounded Zipf distributions with arbitrary
+// exponent (math/rand's Zipf requires s > 1; the corpus calibration
+// needs s ≈ 1), geometric term-frequency draws, Poisson arrival
+// processes, and summary statistics for the experiment harness.
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NewRand returns a deterministic random source. Every generator in the
+// repository derives from an explicit seed so that corpora, query sets
+// and streams are reproducible run to run.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// ErrBadWeights is returned by NewAlias for empty or non-positive-sum
+// weight vectors.
+var ErrBadWeights = errors.New("stats: weights must be non-empty with positive finite sum")
+
+// Alias samples from a fixed discrete distribution in O(1) per draw
+// using Walker's alias method.
+type Alias struct {
+	prob  []float64
+	alias []int32
+	r     *rand.Rand
+}
+
+// NewAlias builds an alias table over the given unnormalized weights.
+// Negative weights are rejected; zero weights are allowed and simply
+// never drawn.
+func NewAlias(r *rand.Rand, weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrBadWeights
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, ErrBadWeights
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, ErrBadWeights
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n), r: r}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = g
+		scaled[g] -= 1 - scaled[s]
+		if scaled[g] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, g)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1 // numerical leftovers
+	}
+	return a, nil
+}
+
+// Next draws one index distributed according to the table's weights.
+func (a *Alias) Next() int {
+	i := a.r.Intn(len(a.prob))
+	if a.r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// Len returns the support size.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Zipf samples ranks from a bounded Zipf distribution: P(rank k) ∝
+// 1/(k+1)^s over k ∈ {0..n-1}. Any s ≥ 0 is supported (s = 0 is
+// uniform), unlike math/rand.Zipf which requires s > 1.
+type Zipf struct {
+	a *Alias
+	s float64
+	n int
+}
+
+// NewZipf builds a bounded Zipf sampler. It precomputes the weight
+// vector once, so construction is O(n) and sampling O(1).
+func NewZipf(r *rand.Rand, s float64, n int) (*Zipf, error) {
+	if n <= 0 || s < 0 {
+		return nil, ErrBadWeights
+	}
+	w := make([]float64, n)
+	for k := 0; k < n; k++ {
+		w[k] = math.Pow(float64(k+1), -s)
+	}
+	a, err := NewAlias(r, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{a: a, s: s, n: n}, nil
+}
+
+// Next draws one rank in [0, n).
+func (z *Zipf) Next() int { return z.a.Next() }
+
+// N returns the support size.
+func (z *Zipf) N() int { return z.n }
+
+// Geometric draws from a geometric distribution on {1, 2, ...} with
+// success probability p: P(X = k) = (1-p)^(k-1) p. Used for
+// within-document term frequencies.
+func Geometric(r *rand.Rand, p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int(math.Floor(math.Log(u)/math.Log(1-p))) + 1
+}
+
+// LogNormal draws from a log-normal distribution with the given
+// parameters of the underlying normal. Used for document lengths.
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Poisson models a Poisson arrival process with the given mean rate in
+// events per second, as used by the paper's stream (200 docs/second).
+type Poisson struct {
+	rate float64
+	r    *rand.Rand
+}
+
+// NewPoisson returns a process with the given positive rate.
+func NewPoisson(r *rand.Rand, rate float64) *Poisson {
+	if rate <= 0 {
+		panic("stats: poisson rate must be positive")
+	}
+	return &Poisson{rate: rate, r: r}
+}
+
+// NextGap draws one exponential inter-arrival gap.
+func (p *Poisson) NextGap() time.Duration {
+	u := p.r.Float64()
+	for u == 0 {
+		u = p.r.Float64()
+	}
+	gap := -math.Log(u) / p.rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// Summary accumulates observations and reports order statistics. It is
+// the measurement container used by the experiment harness.
+type Summary struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty summary.
+func (s *Summary) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation, or 0 with fewer than two
+// observations.
+func (s *Summary) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var t float64
+	for _, x := range s.xs {
+		d := x - m
+		t += d * d
+	}
+	return math.Sqrt(t / float64(len(s.xs)-1))
+}
+
+func (s *Summary) sortIfNeeded() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation, or 0 for an empty summary.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Min returns the smallest observation, or 0 for an empty summary.
+func (s *Summary) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty summary.
+func (s *Summary) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sortIfNeeded()
+	return s.xs[len(s.xs)-1]
+}

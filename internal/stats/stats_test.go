@@ -1,0 +1,255 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewAliasRejectsBadWeights(t *testing.T) {
+	r := NewRand(1)
+	for name, ws := range map[string][]float64{
+		"empty":    nil,
+		"zero-sum": {0, 0, 0},
+		"negative": {1, -1, 2},
+		"nan":      {1, math.NaN()},
+		"inf":      {math.Inf(1)},
+	} {
+		if _, err := NewAlias(r, ws); !errors.Is(err, ErrBadWeights) {
+			t.Errorf("%s: want ErrBadWeights, got %v", name, err)
+		}
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	r := NewRand(2)
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(r, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Next()]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		got := float64(counts[i])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("index %d: got %f draws, want ≈%f", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	r := NewRand(3)
+	a, err := NewAlias(r, []float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if k := a.Next(); k == 0 || k == 2 {
+			t.Fatalf("drew zero-weight index %d", k)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher ranks must be drawn less often; rank 0 frequency should
+	// approximate 1/H_n for s=1.
+	r := NewRand(4)
+	n := 1000
+	z, err := NewZipf(r, 1.0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 300000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	var h float64
+	for k := 1; k <= n; k++ {
+		h += 1 / float64(k)
+	}
+	want := draws / h
+	if math.Abs(float64(counts[0])-want)/want > 0.05 {
+		t.Errorf("rank 0 drawn %d times, want ≈%f", counts[0], want)
+	}
+	if !(counts[0] > counts[9] && counts[9] > counts[99]) {
+		t.Errorf("zipf counts not decreasing: %d, %d, %d", counts[0], counts[9], counts[99])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewRand(5)
+	n := 50
+	z, err := NewZipf(r, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(draws) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Errorf("rank %d drawn %d times, want ≈%f", i, c, want)
+		}
+	}
+}
+
+func TestZipfBadArgs(t *testing.T) {
+	r := NewRand(6)
+	if _, err := NewZipf(r, 1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(r, -1, 10); err == nil {
+		t.Error("s<0 accepted")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRand(7)
+	p := 0.4
+	const draws = 200000
+	var sum int
+	for i := 0; i < draws; i++ {
+		g := Geometric(r, p)
+		if g < 1 {
+			t.Fatalf("geometric draw %d < 1", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / draws
+	if math.Abs(mean-1/p)/(1/p) > 0.03 {
+		t.Errorf("mean = %f, want ≈%f", mean, 1/p)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := NewRand(8)
+	if g := Geometric(r, 1); g != 1 {
+		t.Errorf("p=1: got %d", g)
+	}
+	if g := Geometric(r, 0); g != 1 {
+		t.Errorf("p=0: got %d", g)
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	r := NewRand(9)
+	p := NewPoisson(r, 200) // paper's arrival rate
+	const draws = 100000
+	var total time.Duration
+	for i := 0; i < draws; i++ {
+		g := p.NextGap()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	mean := total.Seconds() / draws
+	if math.Abs(mean-0.005)/0.005 > 0.03 {
+		t.Errorf("mean gap = %fs, want ≈0.005s", mean)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Std() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	for _, x := range []float64{4, 1, 3, 2, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if m := s.Mean(); m != 3 {
+		t.Fatalf("Mean = %f", m)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("P50 = %f", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %f", got)
+	}
+	if got := s.Percentile(100); got != 5 {
+		t.Fatalf("P100 = %f", got)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %f/%f", s.Min(), s.Max())
+	}
+	wantStd := math.Sqrt(2.5)
+	if math.Abs(s.Std()-wantStd) > 1e-12 {
+		t.Fatalf("Std = %f, want %f", s.Std(), wantStd)
+	}
+}
+
+func TestSummaryAddAfterPercentile(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort lazily
+	if got := s.Min(); got != 1 {
+		t.Fatalf("Min after late Add = %f", got)
+	}
+}
+
+// Property: alias sampling always returns a valid index with nonzero
+// weight.
+func TestAliasAlwaysValidIndex(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		var sum float64
+		for i, b := range raw {
+			ws[i] = float64(b)
+			sum += ws[i]
+		}
+		r := NewRand(17)
+		a, err := NewAlias(r, ws)
+		if sum == 0 {
+			return errors.Is(err, ErrBadWeights)
+		}
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			k := a.Next()
+			if k < 0 || k >= len(ws) || ws[k] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	seq := func() []int {
+		r := NewRand(123)
+		z, _ := NewZipf(r, 1.0, 100)
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+	}
+}

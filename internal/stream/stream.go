@@ -1,0 +1,48 @@
+// Package stream turns a document source into the paper's input: a
+// Poisson arrival process (mean 200 docs/second in the evaluation) with
+// monotonically increasing ids and arrival timestamps.
+package stream
+
+import (
+	"time"
+
+	"ita/internal/model"
+	"ita/internal/stats"
+)
+
+// Source produces the next document given its assigned id and arrival
+// time. corpus.Synth.Document satisfies this signature directly.
+type Source func(id model.DocID, arrival time.Time) *model.Document
+
+// Stream draws documents with exponential inter-arrival gaps.
+type Stream struct {
+	src     Source
+	poisson *stats.Poisson
+	now     time.Time
+	nextID  model.DocID
+}
+
+// New returns a stream over src with the given mean arrival rate in
+// documents per second, starting its clock at start.
+func New(src Source, rate float64, seed int64, start time.Time) *Stream {
+	return &Stream{
+		src:     src,
+		poisson: stats.NewPoisson(stats.NewRand(seed), rate),
+		now:     start,
+		nextID:  1,
+	}
+}
+
+// Next draws the next arrival.
+func (s *Stream) Next() *model.Document {
+	s.now = s.now.Add(s.poisson.NextGap())
+	d := s.src(s.nextID, s.now)
+	s.nextID++
+	return d
+}
+
+// Now returns the stream clock (the arrival time of the last document).
+func (s *Stream) Now() time.Time { return s.now }
+
+// Produced returns how many documents have been drawn.
+func (s *Stream) Produced() int { return int(s.nextID - 1) }

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ita/internal/model"
+)
+
+func fakeSource(t *testing.T) Source {
+	t.Helper()
+	return func(id model.DocID, arrival time.Time) *model.Document {
+		d, err := model.NewDocument(id, arrival, []model.Posting{{Term: 1, Weight: 0.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+}
+
+func TestStreamIDsMonotone(t *testing.T) {
+	s := New(fakeSource(t), 200, 1, time.Unix(0, 0))
+	prev := model.DocID(0)
+	for i := 0; i < 100; i++ {
+		d := s.Next()
+		if d.ID != prev+1 {
+			t.Fatalf("id %d after %d", d.ID, prev)
+		}
+		prev = d.ID
+	}
+	if s.Produced() != 100 {
+		t.Fatalf("Produced = %d", s.Produced())
+	}
+}
+
+func TestStreamClockAdvances(t *testing.T) {
+	s := New(fakeSource(t), 200, 1, time.Unix(0, 0))
+	prev := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		d := s.Next()
+		if !d.Arrival.After(prev) {
+			t.Fatalf("arrival %v not after %v", d.Arrival, prev)
+		}
+		prev = d.Arrival
+	}
+	if !s.Now().Equal(prev) {
+		t.Fatalf("Now = %v, last arrival %v", s.Now(), prev)
+	}
+}
+
+func TestStreamMeanRate(t *testing.T) {
+	s := New(fakeSource(t), 200, 2, time.Unix(0, 0))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Next()
+	}
+	elapsed := s.Now().Sub(time.Unix(0, 0)).Seconds()
+	rate := n / elapsed
+	if math.Abs(rate-200)/200 > 0.05 {
+		t.Fatalf("observed rate %f docs/s, want ≈200", rate)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	run := func() time.Time {
+		s := New(fakeSource(t), 200, 42, time.Unix(0, 0))
+		for i := 0; i < 500; i++ {
+			s.Next()
+		}
+		return s.Now()
+	}
+	if a, b := run(), run(); !a.Equal(b) {
+		t.Fatalf("same seed, different clocks: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,73 @@
+package textproc
+
+import (
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// FuzzStem asserts structural safety of the stemmer on arbitrary input:
+// no panics, output never empty for non-empty lowercase alphabetic
+// input, output never longer than the input.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "a", "running", "caresses", "generalizations",
+		"sssss", "yyyyy", "eeeee", "bly", "ies", "ational",
+		"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxation",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		got := Stem(word)
+		if len(got) > len(word) {
+			t.Fatalf("Stem(%q) = %q grew the word", word, got)
+		}
+		isLowerAlpha := len(word) > 0
+		for i := 0; i < len(word); i++ {
+			if word[i] < 'a' || word[i] > 'z' {
+				isLowerAlpha = false
+				break
+			}
+		}
+		if isLowerAlpha && len(got) == 0 {
+			t.Fatalf("Stem(%q) produced empty stem", word)
+		}
+		if !isLowerAlpha && got != word {
+			t.Fatalf("Stem(%q) = %q; non-alphabetic input must pass through", word, got)
+		}
+	})
+}
+
+// FuzzTokenize asserts the tokenizer's contract on arbitrary (including
+// invalid UTF-8) input: tokens are lowercase, at least two characters,
+// contain a letter, and appear in the input order.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "a b c", "x2 2x 42", "naïve café",
+		"\xff\xfe broken utf8", "tabs\tand\nnewlines",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		Tokenize(text, func(tok string) {
+			if utf8.RuneCountInString(tok) < 2 {
+				t.Fatalf("token %q shorter than 2 runes", tok)
+			}
+			hasLetter := false
+			for _, r := range tok {
+				// Some letters (e.g. U+03D2 ϒ) are uppercase with no
+				// lowercase mapping; "lowercased" means fixed under
+				// ToLower, not absence of the Lu category.
+				if r != unicode.ToLower(r) {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+				if unicode.IsLetter(r) {
+					hasLetter = true
+				}
+			}
+			if !hasLetter {
+				t.Fatalf("token %q has no letter", tok)
+			}
+		})
+	})
+}

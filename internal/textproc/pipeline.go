@@ -1,0 +1,59 @@
+package textproc
+
+import "ita/internal/model"
+
+// Pipeline is the document/query analysis chain of the system:
+// tokenize → stopword-filter → (optionally) stem → intern. It produces
+// the raw term frequencies f_{d,t} (or f_{Q,t}) that the vector-space
+// weighting layer turns into impact weights.
+type Pipeline struct {
+	dict *Dictionary
+	stem bool
+	stop bool
+}
+
+// NewPipeline builds a pipeline over dict. When stem is true tokens are
+// Porter-stemmed; when stop is true stopwords are removed first (the
+// paper applies "standard stopword removal" before building its
+// 181,978-term dictionary).
+func NewPipeline(dict *Dictionary, stem, stop bool) *Pipeline {
+	return &Pipeline{dict: dict, stem: stem, stop: stop}
+}
+
+// Dictionary returns the underlying dictionary.
+func (p *Pipeline) Dictionary() *Dictionary { return p.dict }
+
+// TermFreqs analyzes text and returns the frequency of each surviving
+// term. Terms are interned into the pipeline's dictionary.
+func (p *Pipeline) TermFreqs(text string) map[model.TermID]int {
+	freqs := make(map[model.TermID]int)
+	Tokenize(text, func(tok string) {
+		if p.stop && IsStopword(tok) {
+			return
+		}
+		if p.stem {
+			tok = Stem(tok)
+		}
+		freqs[p.dict.Intern(tok)]++
+	})
+	return freqs
+}
+
+// LookupFreqs analyzes text like TermFreqs but never extends the
+// dictionary: tokens that were not interned before are dropped. Queries
+// over a frozen corpus dictionary use this to avoid polluting term ids.
+func (p *Pipeline) LookupFreqs(text string) map[model.TermID]int {
+	freqs := make(map[model.TermID]int)
+	Tokenize(text, func(tok string) {
+		if p.stop && IsStopword(tok) {
+			return
+		}
+		if p.stem {
+			tok = Stem(tok)
+		}
+		if id, ok := p.dict.Lookup(tok); ok {
+			freqs[id]++
+		}
+	})
+	return freqs
+}

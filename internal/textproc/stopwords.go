@@ -1,0 +1,59 @@
+package textproc
+
+// stopwordList is a standard English stopword inventory in the spirit of
+// the list in Baeza-Yates & Ribeiro-Neto, "Modern Information Retrieval"
+// (the paper's reference [7] for stopword removal): closed-class words
+// plus the highest-frequency function words of English.
+var stopwordList = []string{
+	"a", "about", "above", "across", "after", "afterwards", "again",
+	"against", "all", "almost", "alone", "along", "already", "also",
+	"although", "always", "am", "among", "amongst", "an", "and",
+	"another", "any", "anyhow", "anyone", "anything", "anyway",
+	"anywhere", "are", "around", "as", "at", "be", "became", "because",
+	"become", "becomes", "becoming", "been", "before", "beforehand",
+	"behind", "being", "below", "beside", "besides", "between", "beyond",
+	"both", "but", "by", "can", "cannot", "could", "did", "do", "does",
+	"doing", "done", "down", "during", "each", "either", "else",
+	"elsewhere", "enough", "etc", "even", "ever", "every", "everyone",
+	"everything", "everywhere", "except", "few", "for", "former",
+	"formerly", "from", "further", "had", "has", "have", "having", "he",
+	"hence", "her", "here", "hereafter", "hereby", "herein", "hereupon",
+	"hers", "herself", "him", "himself", "his", "how", "however", "i",
+	"ie", "if", "in", "indeed", "into", "is", "it", "its", "itself",
+	"just", "last", "latter", "latterly", "least", "less", "like", "ltd",
+	"made", "many", "may", "me", "meanwhile", "might", "more", "moreover",
+	"most", "mostly", "much", "must", "my", "myself", "namely", "neither",
+	"never", "nevertheless", "next", "no", "nobody", "none", "nonetheless",
+	"noone", "nor", "not", "nothing", "now", "nowhere", "of", "off",
+	"often", "on", "once", "one", "only", "onto", "or", "other", "others",
+	"otherwise", "our", "ours", "ourselves", "out", "over", "own", "per",
+	"perhaps", "rather", "re", "same", "seem", "seemed", "seeming",
+	"seems", "several", "she", "should", "since", "so", "some", "somehow",
+	"someone", "something", "sometime", "sometimes", "somewhere", "still",
+	"such", "than", "that", "the", "their", "theirs", "them", "themselves",
+	"then", "thence", "there", "thereafter", "thereby", "therefore",
+	"therein", "thereupon", "these", "they", "this", "those", "though",
+	"through", "throughout", "thru", "thus", "to", "together", "too",
+	"toward", "towards", "under", "until", "up", "upon", "us", "very",
+	"via", "was", "we", "well", "were", "what", "whatever", "when",
+	"whence", "whenever", "where", "whereafter", "whereas", "whereby",
+	"wherein", "whereupon", "wherever", "whether", "which", "while",
+	"whither", "who", "whoever", "whole", "whom", "whose", "why", "will",
+	"with", "within", "without", "would", "yet", "you", "your", "yours",
+	"yourself", "yourselves",
+}
+
+var stopwords = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(stopwordList))
+	for _, w := range stopwordList {
+		m[w] = struct{}{}
+	}
+	return m
+}()
+
+// IsStopword reports whether the lowercase token is on the stopword
+// list.
+func IsStopword(token string) bool {
+	_, ok := stopwords[token]
+	return ok
+}

@@ -1,0 +1,161 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+
+	"ita/internal/model"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	got := Tokens("The quick, brown fox -- jumped! Over 12 lazy dogs.")
+	want := []string{"the", "quick", "brown", "fox", "jumped", "over", "lazy", "dogs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsBareNumbersAndSingles(t *testing.T) {
+	got := Tokens("7 500 a I x2 2x q10")
+	// "7", "500" have no letter; "a", "I" are length 1; the rest stay.
+	want := []string{"x2", "2x", "q10"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	if got := Tokens(""); got != nil {
+		t.Fatalf("Tokens(\"\") = %v", got)
+	}
+	if got := Tokens("!!! ... ---"); got != nil {
+		t.Fatalf("Tokens(punct) = %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokens("Müller résumé 東京")
+	want := []string{"müller", "résumé", "東京"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is", "with"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"weapons", "market", "tower", "white"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true", w)
+		}
+	}
+}
+
+func TestDictionaryInternStableIDs(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("alpha")
+	b := d.Intern("beta")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if got := d.Intern("alpha"); got != a {
+		t.Fatalf("re-intern changed id: %d vs %d", got, a)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if d.Term(a) != "alpha" || d.Term(b) != "beta" {
+		t.Fatal("Term round-trip failed")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup of unknown term succeeded")
+	}
+}
+
+func TestDictionaryTermPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term on unknown id did not panic")
+		}
+	}()
+	NewDictionary().Term(99)
+}
+
+func TestPipelineTermFreqs(t *testing.T) {
+	d := NewDictionary()
+	p := NewPipeline(d, true, true)
+	freqs := p.TermFreqs("The white tower; the white, WHITE walls!")
+	// stopwords: the, the → removed. Stems: white→white, tower→tower,
+	// walls→wall.
+	if len(freqs) != 3 {
+		t.Fatalf("got %d distinct terms, want 3: %v", len(freqs), freqs)
+	}
+	white, _ := d.Lookup("white")
+	tower, _ := d.Lookup("tower")
+	wall, _ := d.Lookup("wall")
+	if freqs[white] != 3 {
+		t.Errorf("f(white) = %d, want 3", freqs[white])
+	}
+	if freqs[tower] != 1 {
+		t.Errorf("f(tower) = %d, want 1", freqs[tower])
+	}
+	if freqs[wall] != 1 {
+		t.Errorf("f(wall) = %d, want 1", freqs[wall])
+	}
+}
+
+func TestPipelineNoStemNoStop(t *testing.T) {
+	d := NewDictionary()
+	p := NewPipeline(d, false, false)
+	freqs := p.TermFreqs("the walls the")
+	theID, _ := d.Lookup("the")
+	wallsID, _ := d.Lookup("walls")
+	if freqs[theID] != 2 || freqs[wallsID] != 1 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+}
+
+func TestPipelineLookupFreqsDoesNotIntern(t *testing.T) {
+	d := NewDictionary()
+	p := NewPipeline(d, false, true)
+	p.TermFreqs("known terms here")
+	before := d.Size()
+	freqs := p.LookupFreqs("known unknown")
+	if d.Size() != before {
+		t.Fatalf("LookupFreqs grew dictionary from %d to %d", before, d.Size())
+	}
+	known, _ := d.Lookup("known")
+	if freqs[known] != 1 || len(freqs) != 1 {
+		t.Fatalf("freqs = %v", freqs)
+	}
+}
+
+func TestPipelineQueryDocAgreement(t *testing.T) {
+	// A query and a document mentioning the same inflected words must
+	// land on the same term ids — the property continuous matching
+	// depends on.
+	d := NewDictionary()
+	p := NewPipeline(d, true, true)
+	doc := p.TermFreqs("Weapons of mass destruction were found.")
+	query := p.TermFreqs("weapon mass destructions")
+	matches := 0
+	for id := range query {
+		if _, ok := doc[id]; ok {
+			matches++
+		}
+	}
+	if matches != 3 {
+		t.Fatalf("query/doc shared terms = %d, want 3 (doc=%v query=%v)", matches, dump(d, doc), dump(d, query))
+	}
+}
+
+func dump(d *Dictionary, freqs map[model.TermID]int) map[string]int {
+	out := make(map[string]int, len(freqs))
+	for id, f := range freqs {
+		out[d.Term(id)] = f
+	}
+	return out
+}

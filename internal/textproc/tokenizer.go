@@ -1,0 +1,50 @@
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase word tokens and calls fn for each
+// one. A token is a maximal run of letters and digits; it is kept only
+// if it contains at least one letter and at least two characters, which
+// discards punctuation noise and bare numbers the same way the standard
+// indexing pipeline of [Baeza-Yates & Ribeiro-Neto 1999] does.
+//
+// Tokenize never allocates per token for pure-ASCII input beyond the
+// lowercased string handed to fn.
+func Tokenize(text string, fn func(token string)) {
+	start := -1
+	runes := 0
+	hasLetter := false
+	flush := func(end int) {
+		if start >= 0 && hasLetter && runes >= 2 {
+			fn(strings.ToLower(text[start:end]))
+		}
+		start = -1
+		runes = 0
+		hasLetter = false
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			runes++
+			if unicode.IsLetter(r) {
+				hasLetter = true
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+}
+
+// Tokens returns all tokens of text as a slice; a convenience wrapper
+// around Tokenize for tests and small inputs.
+func Tokens(text string) []string {
+	var out []string
+	Tokenize(text, func(tok string) { out = append(out, tok) })
+	return out
+}

@@ -1,0 +1,71 @@
+// Package threshtree implements the paper's threshold trees: one
+// book-keeping structure per inverted list holding an entry ⟨θ_{Q,t}, Q⟩
+// for every query Q that includes term t, ordered so that "all queries
+// whose local threshold lies below a given impact entry" is a suffix
+// scan.
+//
+// Local thresholds are full list positions (invindex.EntryKey), not bare
+// weights, which makes the consumed-region test exact even under weight
+// ties: an entry e is ahead of a threshold θ iff e strictly precedes θ
+// in list order.
+package threshtree
+
+import (
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/skiplist"
+)
+
+type key struct {
+	pos   invindex.EntryKey
+	query model.QueryID
+}
+
+func keyLess(a, b key) bool {
+	if a.pos != b.pos {
+		return invindex.Before(a.pos, b.pos)
+	}
+	return a.query < b.query
+}
+
+// Tree is the threshold tree of one inverted list. The zero value is not
+// usable; call New.
+type Tree struct {
+	sl *skiplist.List[key, struct{}]
+}
+
+// New returns an empty tree.
+func New(seed uint64) *Tree {
+	return &Tree{sl: skiplist.New[key, struct{}](keyLess, seed)}
+}
+
+// Len returns the number of registered thresholds.
+func (t *Tree) Len() int { return t.sl.Len() }
+
+// Set registers (or re-registers) query q's local threshold at pos.
+// A previous threshold for q must be removed with Remove first; Set
+// with two different positions for the same query stores both, which
+// corrupts probing.
+func (t *Tree) Set(q model.QueryID, pos invindex.EntryKey) {
+	t.sl.Insert(key{pos: pos, query: q}, struct{}{})
+}
+
+// Remove deletes query q's threshold at pos, reporting whether it was
+// present.
+func (t *Tree) Remove(q model.QueryID, pos invindex.EntryKey) bool {
+	return t.sl.Delete(key{pos: pos, query: q})
+}
+
+// Probe calls fn for every query whose local threshold lies strictly
+// after entry e in list order — exactly the queries for which e falls
+// inside the consumed region and may therefore affect the result. The
+// iteration order is unspecified. fn must not modify the tree.
+func (t *Tree) Probe(e invindex.EntryKey, fn func(q model.QueryID)) {
+	// Thresholds equal to e (same position) mean e itself is the first
+	// unconsumed entry, so they must not match: start strictly after
+	// every (e, *) key.
+	it := t.sl.SeekGT(key{pos: e, query: ^model.QueryID(0)})
+	for ; it.Valid(); it.Next() {
+		fn(it.Key().query)
+	}
+}

@@ -1,0 +1,117 @@
+package threshtree
+
+import (
+	"sort"
+	"testing"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+)
+
+func probeAll(t *Tree, e invindex.EntryKey) []model.QueryID {
+	var out []model.QueryID
+	t.Probe(e, func(q model.QueryID) { out = append(out, q) })
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eq(a, b []model.QueryID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestProbeReturnsSuffixBelowEntry(t *testing.T) {
+	tr := New(1)
+	// Query 1 has consumed down to weight 0.5; query 2 down to 0.2;
+	// query 3 has consumed the whole list.
+	tr.Set(1, invindex.EntryKey{W: 0.5, Doc: 10})
+	tr.Set(2, invindex.EntryKey{W: 0.2, Doc: 20})
+	tr.Set(3, invindex.Bottom())
+
+	// An arrival with weight 0.9 lands ahead of every threshold.
+	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 99}); !eq(got, []model.QueryID{1, 2, 3}) {
+		t.Fatalf("probe(0.9) = %v", got)
+	}
+	// Weight 0.3 lands ahead of queries 2 and 3 only.
+	if got := probeAll(tr, invindex.EntryKey{W: 0.3, Doc: 99}); !eq(got, []model.QueryID{2, 3}) {
+		t.Fatalf("probe(0.3) = %v", got)
+	}
+	// Weight 0.1 only beats the fully-consumed query 3.
+	if got := probeAll(tr, invindex.EntryKey{W: 0.1, Doc: 99}); !eq(got, []model.QueryID{3}) {
+		t.Fatalf("probe(0.1) = %v", got)
+	}
+}
+
+func TestProbeExcludesThresholdPositionItself(t *testing.T) {
+	tr := New(1)
+	// Query 1's threshold sits exactly at entry (0.5, doc 10): that
+	// entry is the first *unconsumed* one, so probing with it must not
+	// return the query.
+	tr.Set(1, invindex.EntryKey{W: 0.5, Doc: 10})
+	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 10}); len(got) != 0 {
+		t.Fatalf("probe at threshold position = %v, want empty", got)
+	}
+	// A different document with the same weight and a smaller id sits
+	// ahead of the threshold in list order, so it does match.
+	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 9}); !eq(got, []model.QueryID{1}) {
+		t.Fatalf("probe at earlier tie = %v", got)
+	}
+	// A larger id at the same weight is behind the threshold: no match.
+	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 11}); len(got) != 0 {
+		t.Fatalf("probe at later tie = %v, want empty", got)
+	}
+}
+
+func TestRemoveAndLen(t *testing.T) {
+	tr := New(1)
+	pos1 := invindex.EntryKey{W: 0.5, Doc: 1}
+	pos2 := invindex.EntryKey{W: 0.4, Doc: 2}
+	tr.Set(1, pos1)
+	tr.Set(2, pos2)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Remove(1, pos1) {
+		t.Fatal("Remove existing failed")
+	}
+	if tr.Remove(1, pos1) {
+		t.Fatal("Remove twice succeeded")
+	}
+	if tr.Remove(2, pos1) {
+		t.Fatal("Remove with wrong position succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 9}); !eq(got, []model.QueryID{2}) {
+		t.Fatalf("probe after removal = %v", got)
+	}
+}
+
+func TestManyQueriesSameTerm(t *testing.T) {
+	tr := New(1)
+	for q := model.QueryID(1); q <= 100; q++ {
+		tr.Set(q, invindex.EntryKey{W: float64(q) / 100, Doc: model.DocID(q)})
+	}
+	// Weight 0.505 beats thresholds 0.01 .. 0.50 → queries 1..50.
+	got := probeAll(tr, invindex.EntryKey{W: 0.505, Doc: 1000})
+	if len(got) != 50 || got[0] != 1 || got[49] != 50 {
+		t.Fatalf("probe returned %d queries, first %v last %v", len(got), got[0], got[len(got)-1])
+	}
+}
+
+func TestBottomThresholdAlwaysProbed(t *testing.T) {
+	tr := New(1)
+	tr.Set(1, invindex.Bottom())
+	got := probeAll(tr, invindex.EntryKey{W: 1e-9, Doc: ^model.DocID(0) - 1})
+	if !eq(got, []model.QueryID{1}) {
+		t.Fatalf("probe = %v: Bottom thresholds must match every positive-weight entry", got)
+	}
+}

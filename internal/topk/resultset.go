@@ -1,0 +1,131 @@
+// Package topk implements the per-query result list R of the paper: all
+// encountered documents (verified or not) with their exact scores,
+// ordered by descending score, with order-statistic access to the k-th
+// score Sk.
+package topk
+
+import (
+	"ita/internal/model"
+	"ita/internal/skiplist"
+)
+
+type entry struct {
+	score float64
+	doc   model.DocID
+}
+
+// Higher scores first; ties broken by ascending doc id. This matches
+// model.SortScored so engine outputs are directly comparable.
+func entryLess(a, b entry) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.doc < b.doc
+}
+
+// ResultSet is R for a single query. The zero value is not usable; call
+// NewResultSet.
+type ResultSet struct {
+	order *skiplist.List[entry, struct{}]
+	byDoc map[model.DocID]float64
+}
+
+// NewResultSet returns an empty result set.
+func NewResultSet(seed uint64) *ResultSet {
+	return &ResultSet{
+		order: skiplist.New[entry, struct{}](entryLess, seed),
+		byDoc: make(map[model.DocID]float64),
+	}
+}
+
+// Len returns the number of documents in R.
+func (r *ResultSet) Len() int { return r.order.Len() }
+
+// Add inserts document doc with the given score. Adding a document that
+// is already present panics: scores are immutable while a document is in
+// the window, so a re-add indicates an engine bug.
+func (r *ResultSet) Add(doc model.DocID, score float64) {
+	if _, dup := r.byDoc[doc]; dup {
+		panic("topk: document added twice")
+	}
+	r.byDoc[doc] = score
+	r.order.Insert(entry{score: score, doc: doc}, struct{}{})
+}
+
+// Remove deletes doc from R, reporting whether it was present.
+func (r *ResultSet) Remove(doc model.DocID) bool {
+	score, ok := r.byDoc[doc]
+	if !ok {
+		return false
+	}
+	delete(r.byDoc, doc)
+	r.order.Delete(entry{score: score, doc: doc})
+	return true
+}
+
+// Score returns doc's stored score.
+func (r *ResultSet) Score(doc model.DocID) (float64, bool) {
+	s, ok := r.byDoc[doc]
+	return s, ok
+}
+
+// Contains reports whether doc is in R.
+func (r *ResultSet) Contains(doc model.DocID) bool {
+	_, ok := r.byDoc[doc]
+	return ok
+}
+
+// Kth returns the k-th best score Sk (1-based), or 0 when R holds fewer
+// than k documents — the identity under which any positive-scoring
+// document beats an unfilled result slot.
+func (r *ResultSet) Kth(k int) float64 {
+	if k <= 0 || r.order.Len() < k {
+		return 0
+	}
+	e, _ := r.order.At(k - 1)
+	return e.score
+}
+
+// Rank returns the 0-based rank doc currently occupies (0 = best). The
+// second result is false when doc is not in R.
+func (r *ResultSet) Rank(doc model.DocID) (int, bool) {
+	score, ok := r.byDoc[doc]
+	if !ok {
+		return 0, false
+	}
+	return r.order.Rank(entry{score: score, doc: doc}), true
+}
+
+// Top returns the best min(k, Len) documents in result order.
+func (r *ResultSet) Top(k int) []model.ScoredDoc {
+	n := r.order.Len()
+	if k < n {
+		n = k
+	}
+	out := make([]model.ScoredDoc, 0, n)
+	it := r.order.First()
+	for i := 0; i < n; i++ {
+		e := it.Key()
+		out = append(out, model.ScoredDoc{Doc: e.doc, Score: e.score})
+		it.Next()
+	}
+	return out
+}
+
+// Worst returns the lowest-ranked document in R. It is used by the
+// bounded view of the Naïve+kmax baseline to evict beyond kmax.
+func (r *ResultSet) Worst() (model.ScoredDoc, bool) {
+	if r.order.Len() == 0 {
+		return model.ScoredDoc{}, false
+	}
+	e, _ := r.order.At(r.order.Len() - 1)
+	return model.ScoredDoc{Doc: e.doc, Score: e.score}, true
+}
+
+// Each calls fn for every document in R in result order.
+func (r *ResultSet) Each(fn func(doc model.DocID, score float64)) {
+	for it := r.order.First(); it.Valid(); it.Next() {
+		e := it.Key()
+		fn(e.doc, e.score)
+	}
+}

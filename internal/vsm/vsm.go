@@ -1,0 +1,150 @@
+// Package vsm implements the vector-space weighting schemes that turn
+// raw term frequencies into the impact weights consumed by the engines:
+// the paper's cosine formulation (Formula 1) and, as the extension the
+// paper mentions, an Okapi BM25 formulation with static document-side
+// impacts.
+package vsm
+
+import (
+	"math"
+	"sort"
+
+	"ita/internal/model"
+)
+
+// Weighter converts term frequencies into document-side impact weights
+// w_{d,t} and query-side weights w_{Q,t}. Document weights must be fixed
+// at arrival time (they are embedded into inverted-list entries), so a
+// Weighter may not depend on mutable collection statistics.
+type Weighter interface {
+	// DocPostings converts a document's term frequencies into a
+	// composition list, sorted by term id.
+	DocPostings(freqs map[model.TermID]int) []model.Posting
+	// QueryTerms converts a query's term frequencies into weighted
+	// query terms, sorted by term id.
+	QueryTerms(freqs map[model.TermID]int) []model.QueryTerm
+	// Name identifies the scheme in reports.
+	Name() string
+}
+
+// Cosine is the paper's similarity: w_{x,t} = f_{x,t} / sqrt(Σ f²).
+// Document and query vectors are L2-normalized over their own terms
+// (terms with f = 0 contribute nothing to the norm), so S(d|Q) is the
+// cosine of the angle between the two frequency vectors.
+type Cosine struct{}
+
+// Name implements Weighter.
+func (Cosine) Name() string { return "cosine" }
+
+// DocPostings implements Weighter.
+func (Cosine) DocPostings(freqs map[model.TermID]int) []model.Posting {
+	if len(freqs) == 0 {
+		return nil
+	}
+	var norm float64
+	for _, f := range freqs {
+		norm += float64(f) * float64(f)
+	}
+	norm = math.Sqrt(norm)
+	out := make([]model.Posting, 0, len(freqs))
+	for t, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		out = append(out, model.Posting{Term: t, Weight: float64(f) / norm})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// QueryTerms implements Weighter.
+func (Cosine) QueryTerms(freqs map[model.TermID]int) []model.QueryTerm {
+	if len(freqs) == 0 {
+		return nil
+	}
+	var norm float64
+	for _, f := range freqs {
+		norm += float64(f) * float64(f)
+	}
+	norm = math.Sqrt(norm)
+	out := make([]model.QueryTerm, 0, len(freqs))
+	for t, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		out = append(out, model.QueryTerm{Term: t, Weight: float64(f) / norm})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// Okapi is a BM25-style weighting with static document impacts:
+//
+//	w_{d,t} = ((k1+1)·f) / (k1·((1-b) + b·len/avdl) + f)
+//	w_{Q,t} = ((k3+1)·f) / (k3 + f)
+//
+// The document length len is the total token count Σf. AvgDocLen is a
+// fixed calibration constant rather than a live collection statistic, so
+// that document impacts never change after arrival — the property the
+// inverted-list entries and thresholds rely on. Collection-dependent idf
+// can be folded into the query weights by the caller at registration
+// time if desired.
+type Okapi struct {
+	K1        float64 // term-frequency saturation, typically 1.2
+	B         float64 // length normalization, typically 0.75
+	K3        float64 // query-side saturation, typically 8
+	AvgDocLen float64 // calibration constant, e.g. the corpus mean length
+}
+
+// NewOkapi returns an Okapi weighter with the standard parameterization
+// around the given average document length.
+func NewOkapi(avgDocLen float64) Okapi {
+	return Okapi{K1: 1.2, B: 0.75, K3: 8, AvgDocLen: avgDocLen}
+}
+
+// Name implements Weighter.
+func (o Okapi) Name() string { return "okapi" }
+
+// DocPostings implements Weighter.
+func (o Okapi) DocPostings(freqs map[model.TermID]int) []model.Posting {
+	if len(freqs) == 0 {
+		return nil
+	}
+	var dl float64
+	for _, f := range freqs {
+		dl += float64(f)
+	}
+	avdl := o.AvgDocLen
+	if avdl <= 0 {
+		avdl = dl
+	}
+	out := make([]model.Posting, 0, len(freqs))
+	for t, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		tf := float64(f)
+		w := ((o.K1 + 1) * tf) / (o.K1*((1-o.B)+o.B*dl/avdl) + tf)
+		out = append(out, model.Posting{Term: t, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}
+
+// QueryTerms implements Weighter.
+func (o Okapi) QueryTerms(freqs map[model.TermID]int) []model.QueryTerm {
+	if len(freqs) == 0 {
+		return nil
+	}
+	out := make([]model.QueryTerm, 0, len(freqs))
+	for t, f := range freqs {
+		if f <= 0 {
+			continue
+		}
+		tf := float64(f)
+		w := ((o.K3 + 1) * tf) / (o.K3 + tf)
+		out = append(out, model.QueryTerm{Term: t, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Term < out[j].Term })
+	return out
+}

@@ -1,0 +1,188 @@
+package vsm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ita/internal/model"
+)
+
+func TestCosineDocWeightsNormalized(t *testing.T) {
+	w := Cosine{}
+	ps := w.DocPostings(map[model.TermID]int{1: 2, 2: 1, 3: 2})
+	if len(ps) != 3 {
+		t.Fatalf("got %d postings", len(ps))
+	}
+	var norm float64
+	for _, p := range ps {
+		norm += p.Weight * p.Weight
+	}
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("L2 norm² = %g, want 1", norm)
+	}
+	// f=2 terms weigh twice the f=1 term: 2/3, 1/3, 2/3.
+	for _, p := range ps {
+		want := 1.0 / 3
+		if p.Term != 2 {
+			want = 2.0 / 3
+		}
+		if math.Abs(p.Weight-want) > 1e-12 {
+			t.Fatalf("term %d weight %g, want %g", p.Term, p.Weight, want)
+		}
+	}
+}
+
+func TestCosineQueryWeightsPaperExample(t *testing.T) {
+	// Query {white white tower}: weights 2/sqrt(5) and 1/sqrt(5)
+	// (Formula 1 of the paper).
+	w := Cosine{}
+	ts := w.QueryTerms(map[model.TermID]int{20: 2, 11: 1})
+	if len(ts) != 2 {
+		t.Fatalf("got %d terms", len(ts))
+	}
+	byTerm := map[model.TermID]float64{}
+	for _, q := range ts {
+		byTerm[q.Term] = q.Weight
+	}
+	if math.Abs(byTerm[20]-2/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("w(white) = %g", byTerm[20])
+	}
+	if math.Abs(byTerm[11]-1/math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("w(tower) = %g", byTerm[11])
+	}
+}
+
+func TestCosineSelfSimilarityIsOne(t *testing.T) {
+	// S(d|Q) = 1 when the query and document have identical frequency
+	// vectors — the defining property of cosine similarity.
+	w := Cosine{}
+	freqs := map[model.TermID]int{1: 3, 5: 1, 9: 2}
+	d, err := model.NewDocument(1, time.Time{}, w.DocPostings(freqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := model.NewQuery(1, 1, w.QueryTerms(freqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := model.Score(q, d); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self similarity = %g, want 1", s)
+	}
+}
+
+func TestCosineEmptyAndZeroFreqs(t *testing.T) {
+	w := Cosine{}
+	if got := w.DocPostings(nil); got != nil {
+		t.Fatalf("DocPostings(nil) = %v", got)
+	}
+	if got := w.QueryTerms(map[model.TermID]int{}); got != nil {
+		t.Fatalf("QueryTerms(empty) = %v", got)
+	}
+	// Zero frequencies are skipped, not divided by.
+	ps := w.DocPostings(map[model.TermID]int{1: 0, 2: 3})
+	if len(ps) != 1 || ps[0].Term != 2 {
+		t.Fatalf("DocPostings with zero freq = %v", ps)
+	}
+}
+
+func TestCosinePostingsSortedProperty(t *testing.T) {
+	w := Cosine{}
+	f := func(raw []uint8) bool {
+		freqs := map[model.TermID]int{}
+		for i, b := range raw {
+			freqs[model.TermID(b)] = i%5 + 1
+		}
+		ps := w.DocPostings(freqs)
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1].Term >= ps[i].Term {
+				return false
+			}
+		}
+		for _, p := range ps {
+			if p.Weight <= 0 || p.Weight > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOkapiSaturation(t *testing.T) {
+	o := NewOkapi(100)
+	// At fixed document length, weight grows with f but saturates below
+	// k1+1.
+	mk := func(f int) float64 {
+		ps := o.DocPostings(map[model.TermID]int{1: f, 2: 100 - f})
+		for _, p := range ps {
+			if p.Term == 1 {
+				return p.Weight
+			}
+		}
+		return -1
+	}
+	w1, w5, w50 := mk(1), mk(5), mk(50)
+	if !(w1 < w5 && w5 < w50) {
+		t.Fatalf("weights not increasing: %g %g %g", w1, w5, w50)
+	}
+	if w50 >= o.K1+1 {
+		t.Fatalf("weight %g exceeds saturation bound %g", w50, o.K1+1)
+	}
+}
+
+func TestOkapiLengthNormalization(t *testing.T) {
+	o := NewOkapi(100)
+	// The same term frequency in a longer document weighs less.
+	short := o.DocPostings(map[model.TermID]int{1: 5, 2: 45}) // length 50
+	long := o.DocPostings(map[model.TermID]int{1: 5, 2: 195}) // length 200
+	var ws, wl float64
+	for _, p := range short {
+		if p.Term == 1 {
+			ws = p.Weight
+		}
+	}
+	for _, p := range long {
+		if p.Term == 1 {
+			wl = p.Weight
+		}
+	}
+	if !(wl < ws) {
+		t.Fatalf("long-doc weight %g not below short-doc weight %g", wl, ws)
+	}
+}
+
+func TestOkapiQuerySaturation(t *testing.T) {
+	o := NewOkapi(100)
+	ts := o.QueryTerms(map[model.TermID]int{1: 1, 2: 10})
+	byTerm := map[model.TermID]float64{}
+	for _, q := range ts {
+		byTerm[q.Term] = q.Weight
+	}
+	if !(byTerm[1] < byTerm[2]) {
+		t.Fatal("query weight not increasing in frequency")
+	}
+	if byTerm[2] >= o.K3+1 {
+		t.Fatalf("query weight %g exceeds bound", byTerm[2])
+	}
+}
+
+func TestOkapiZeroAvgDocLenFallsBack(t *testing.T) {
+	o := Okapi{K1: 1.2, B: 0.75, K3: 8, AvgDocLen: 0}
+	ps := o.DocPostings(map[model.TermID]int{1: 3})
+	if len(ps) != 1 || ps[0].Weight <= 0 {
+		t.Fatalf("postings = %v", ps)
+	}
+}
+
+func TestWeighterNames(t *testing.T) {
+	if (Cosine{}).Name() != "cosine" {
+		t.Fatal("cosine name")
+	}
+	if NewOkapi(1).Name() != "okapi" {
+		t.Fatal("okapi name")
+	}
+}

@@ -1,0 +1,46 @@
+// Package window defines the sliding-window validity policies of the
+// paper: count-based windows of the N most recent documents and
+// time-based windows covering a fixed span of arrival time.
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy decides when the oldest document of the FIFO store has fallen
+// out of the sliding window. The engine consults it after every arrival
+// (and on explicit clock advances for time-based windows) and expires
+// documents from the front until Expired returns false.
+type Policy interface {
+	// Expired reports whether a document that arrived at `oldest` is no
+	// longer valid given the current clock `now` and the number of
+	// currently stored documents `count` (including the new arrival).
+	Expired(oldest, now time.Time, count int) bool
+	// String describes the policy for reports.
+	String() string
+}
+
+// Count keeps the N most recent documents, the paper's primary window
+// type ("the 500 most recent ones").
+type Count struct{ N int }
+
+// Expired implements Policy: the oldest document expires whenever more
+// than N documents are stored.
+func (c Count) Expired(oldest, now time.Time, count int) bool { return count > c.N }
+
+// String implements Policy.
+func (c Count) String() string { return fmt.Sprintf("count(%d)", c.N) }
+
+// Span keeps documents received in the last D of stream time ("received
+// in the last 15 minutes").
+type Span struct{ D time.Duration }
+
+// Expired implements Policy: the oldest document expires once its age
+// reaches the span.
+func (s Span) Expired(oldest, now time.Time, count int) bool {
+	return now.Sub(oldest) >= s.D
+}
+
+// String implements Policy.
+func (s Span) String() string { return fmt.Sprintf("span(%s)", s.D) }

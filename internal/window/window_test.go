@@ -1,0 +1,54 @@
+package window
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCountPolicy(t *testing.T) {
+	p := Count{N: 3}
+	now := time.Unix(100, 0)
+	old := time.Unix(0, 0)
+	if p.Expired(old, now, 3) {
+		t.Fatal("count 3 of 3 should be valid")
+	}
+	if !p.Expired(old, now, 4) {
+		t.Fatal("count 4 of 3 should expire")
+	}
+	if p.String() != "count(3)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestSpanPolicy(t *testing.T) {
+	p := Span{D: time.Minute}
+	base := time.Unix(0, 0)
+	if p.Expired(base, base.Add(59*time.Second), 1000) {
+		t.Fatal("59s old should be valid in a 1m window")
+	}
+	if !p.Expired(base, base.Add(time.Minute), 1) {
+		t.Fatal("exactly 1m old should expire")
+	}
+	if !p.Expired(base, base.Add(time.Hour), 1) {
+		t.Fatal("1h old should expire")
+	}
+	if p.String() != "span(1m0s)" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestSpanIgnoresCount(t *testing.T) {
+	p := Span{D: time.Minute}
+	base := time.Unix(0, 0)
+	if p.Expired(base, base.Add(time.Second), 1_000_000) {
+		t.Fatal("span policy must not expire on count")
+	}
+}
+
+func TestCountIgnoresTime(t *testing.T) {
+	p := Count{N: 10}
+	base := time.Unix(0, 0)
+	if p.Expired(base, base.Add(1000*time.Hour), 5) {
+		t.Fatal("count policy must not expire on age")
+	}
+}

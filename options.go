@@ -1,0 +1,152 @@
+package ita
+
+import (
+	"fmt"
+	"time"
+
+	"ita/internal/core"
+	"ita/internal/vsm"
+	"ita/internal/window"
+)
+
+// Algorithm selects the maintenance engine.
+type Algorithm int
+
+const (
+	// IncrementalThreshold is the paper's ITA algorithm (the default).
+	IncrementalThreshold Algorithm = iota
+	// NaiveKmax is the paper's competitor: score every arrival against
+	// every query, maintain a top-2k materialized view per query, and
+	// rescan the window when a view underflows k.
+	NaiveKmax
+	// NaivePlain is NaiveKmax with kmax = k: the unenhanced baseline of
+	// §II of the paper.
+	NaivePlain
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case IncrementalThreshold:
+		return "ita"
+	case NaiveKmax:
+		return "naive-kmax"
+	case NaivePlain:
+		return "naive-plain"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+type config struct {
+	policy        window.Policy
+	algorithm     Algorithm
+	weighter      vsm.Weighter
+	stemming      bool
+	stopwords     bool
+	retainText    bool
+	seed          uint64
+	disableRollup bool
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// WithCountWindow keeps the n most recent documents valid (the paper's
+// primary window type). Exactly one window option must be supplied.
+func WithCountWindow(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("ita: count window must be positive, got %d", n)
+		}
+		if c.policy != nil {
+			return fmt.Errorf("ita: window specified twice")
+		}
+		c.policy = window.Count{N: n}
+		return nil
+	}
+}
+
+// WithTimeWindow keeps documents received in the last d of stream time.
+func WithTimeWindow(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("ita: time window must be positive, got %s", d)
+		}
+		if c.policy != nil {
+			return fmt.Errorf("ita: window specified twice")
+		}
+		c.policy = window.Span{D: d}
+		return nil
+	}
+}
+
+// WithAlgorithm selects the engine; the default is IncrementalThreshold.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) error {
+		switch a {
+		case IncrementalThreshold, NaiveKmax, NaivePlain:
+			c.algorithm = a
+			return nil
+		default:
+			return fmt.Errorf("ita: unknown algorithm %d", int(a))
+		}
+	}
+}
+
+// WithOkapiScoring replaces cosine similarity with the Okapi BM25
+// formulation, calibrated around the given average document length in
+// tokens (the paper notes ITA applies unchanged to Okapi weights).
+func WithOkapiScoring(avgDocLen float64) Option {
+	return func(c *config) error {
+		if avgDocLen <= 0 {
+			return fmt.Errorf("ita: average document length must be positive, got %g", avgDocLen)
+		}
+		c.weighter = vsm.NewOkapi(avgDocLen)
+		return nil
+	}
+}
+
+// WithoutStemming disables Porter stemming in the analysis pipeline.
+func WithoutStemming() Option {
+	return func(c *config) error { c.stemming = false; return nil }
+}
+
+// WithoutStopwords disables stopword removal in the analysis pipeline.
+func WithoutStopwords() Option {
+	return func(c *config) error { c.stopwords = false; return nil }
+}
+
+// WithTextRetention keeps each valid document's original text in memory
+// so Results can return it; costs one string per window slot.
+func WithTextRetention() Option {
+	return func(c *config) error { c.retainText = true; return nil }
+}
+
+// WithSeed fixes internal randomization (result-set skip lists) for
+// bit-reproducible runs.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error { c.seed = seed; return nil }
+}
+
+// WithoutRollup disables ITA's threshold roll-up; exposed for the
+// ablation experiments, not recommended for production use.
+func WithoutRollup() Option {
+	return func(c *config) error { c.disableRollup = true; return nil }
+}
+
+func (c *config) build() core.Engine {
+	switch c.algorithm {
+	case NaiveKmax:
+		return core.NewNaive(c.policy, core.WithNaiveSeed(c.seed))
+	case NaivePlain:
+		return core.NewNaive(c.policy, core.WithNaiveSeed(c.seed),
+			core.WithKmax(func(k int) int { return k }))
+	default:
+		opts := []core.ITAOption{core.WithITASeed(c.seed)}
+		if c.disableRollup {
+			opts = append(opts, core.WithoutRollup())
+		}
+		return core.NewITA(c.policy, opts...)
+	}
+}

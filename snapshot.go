@@ -1,0 +1,193 @@
+package ita
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ita/internal/model"
+	"ita/internal/vsm"
+	"ita/internal/window"
+)
+
+// snapshotVersion guards the wire format; bump on incompatible change.
+const snapshotVersion = 1
+
+// snapshot is the serialized engine state. The incremental structures
+// (inverted lists, thresholds, result sets) are deliberately excluded:
+// they are derivable, and replaying the window through a fresh engine
+// rebuilds them in a guaranteed-consistent state.
+type snapshot struct {
+	Version   int
+	Algorithm Algorithm
+	// Window policy: exactly one of CountN/SpanNanos is set.
+	CountN    int
+	SpanNanos int64
+	// Analysis configuration.
+	Stemming   bool
+	Stopwords  bool
+	Okapi      bool
+	OkapiAvgDL float64
+	RetainText bool
+	Seed       uint64
+	// Dictionary terms in id order, so interned ids survive the round
+	// trip and query/document term ids keep matching.
+	Terms []string
+	// Registered queries.
+	Queries []snapshotQuery
+	// Valid documents in FIFO (arrival) order.
+	Docs []snapshotDoc
+	// Retained texts parallel to Docs (empty when RetainText is false).
+	Texts     []string
+	NextDoc   uint64
+	NextQuery uint64
+	LastAtNs  int64
+}
+
+type snapshotQuery struct {
+	ID    uint64
+	K     int
+	Text  string
+	Terms []model.QueryTerm
+}
+
+type snapshotDoc struct {
+	ID        uint64
+	ArrivalNs int64
+	Postings  []model.Posting
+}
+
+// Snapshot serializes the engine: configuration, dictionary, registered
+// queries and the current window. Watchers are not serialized (they are
+// process-local callbacks). The engine stays usable afterwards.
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	s := snapshot{
+		Version:    snapshotVersion,
+		Algorithm:  e.cfg.algorithm,
+		Stemming:   e.cfg.stemming,
+		Stopwords:  e.cfg.stopwords,
+		RetainText: e.cfg.retainText,
+		Seed:       e.cfg.seed,
+		NextDoc:    uint64(e.nextDoc),
+		NextQuery:  uint64(e.nextQuery),
+		LastAtNs:   e.lastAt.UnixNano(),
+	}
+	switch pol := e.cfg.policy.(type) {
+	case window.Count:
+		s.CountN = pol.N
+	case window.Span:
+		s.SpanNanos = int64(pol.D)
+	default:
+		return fmt.Errorf("ita: cannot snapshot window policy %T", pol)
+	}
+	if o, ok := e.cfg.weighter.(vsm.Okapi); ok {
+		s.Okapi = true
+		s.OkapiAvgDL = o.AvgDocLen
+	}
+
+	dict := e.pipeline.Dictionary()
+	s.Terms = make([]string, dict.Size())
+	for i := range s.Terms {
+		s.Terms[i] = dict.Term(model.TermID(i))
+	}
+
+	e.inner.EachQuery(func(q *model.Query) {
+		s.Queries = append(s.Queries, snapshotQuery{
+			ID:    uint64(q.ID),
+			K:     q.K,
+			Text:  e.queryText[q.ID],
+			Terms: q.Terms,
+		})
+	})
+	// EachQuery order is unspecified; sort for a canonical encoding.
+	sort.Slice(s.Queries, func(i, j int) bool { return s.Queries[i].ID < s.Queries[j].ID })
+	e.inner.EachDoc(func(d *model.Document) {
+		s.Docs = append(s.Docs, snapshotDoc{
+			ID:        uint64(d.ID),
+			ArrivalNs: d.Arrival.UnixNano(),
+			Postings:  d.Postings,
+		})
+		if e.texts != nil {
+			s.Texts = append(s.Texts, e.texts.get(d.ID))
+		}
+	})
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Restore rebuilds an engine from a snapshot written by Snapshot. The
+// restored engine serves identical results for every query; internal
+// incremental state is recomputed, not copied.
+func Restore(r io.Reader) (*Engine, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ita: decode snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("ita: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	opts := []Option{WithAlgorithm(s.Algorithm), WithSeed(s.Seed)}
+	if s.CountN > 0 {
+		opts = append(opts, WithCountWindow(s.CountN))
+	} else {
+		opts = append(opts, WithTimeWindow(time.Duration(s.SpanNanos)))
+	}
+	if !s.Stemming {
+		opts = append(opts, WithoutStemming())
+	}
+	if !s.Stopwords {
+		opts = append(opts, WithoutStopwords())
+	}
+	if s.Okapi {
+		opts = append(opts, WithOkapiScoring(s.OkapiAvgDL))
+	}
+	if s.RetainText {
+		opts = append(opts, WithTextRetention())
+	}
+	e, err := New(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("ita: restore: %w", err)
+	}
+
+	// Rebuild the dictionary with identical interning order.
+	dict := e.pipeline.Dictionary()
+	for i, term := range s.Terms {
+		if id := dict.Intern(term); id != model.TermID(i) {
+			return nil, fmt.Errorf("ita: dictionary out of order at %d (%q)", i, term)
+		}
+	}
+
+	// Queries first (their initial searches run on an empty window and
+	// are cheap), then the window replays in arrival order.
+	for _, sq := range s.Queries {
+		q, err := model.NewQuery(model.QueryID(sq.ID), sq.K, sq.Terms)
+		if err != nil {
+			return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+		}
+		if err := e.inner.Register(q); err != nil {
+			return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+		}
+		e.queryText[model.QueryID(sq.ID)] = sq.Text
+	}
+	for i, sd := range s.Docs {
+		at := time.Unix(0, sd.ArrivalNs)
+		doc, err := model.NewDocument(model.DocID(sd.ID), at, sd.Postings)
+		if err != nil {
+			return nil, fmt.Errorf("ita: restore doc %d: %w", sd.ID, err)
+		}
+		if err := e.inner.Process(doc); err != nil {
+			return nil, fmt.Errorf("ita: restore doc %d: %w", sd.ID, err)
+		}
+		if e.texts != nil && i < len(s.Texts) {
+			e.texts.add(doc.ID, at, s.Texts[i])
+		}
+	}
+	e.nextDoc = model.DocID(s.NextDoc)
+	e.nextQuery = model.QueryID(s.NextQuery)
+	e.lastAt = time.Unix(0, s.LastAtNs)
+	return e, nil
+}

@@ -1,0 +1,161 @@
+package ita
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func snapshotRoundTrip(t *testing.T, e *Engine) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := Restore(&buf)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	return restored
+}
+
+func sameResults(t *testing.T, a, b *Engine, q QueryID) {
+	t.Helper()
+	ra, rb := a.Results(q), b.Results(q)
+	if len(ra) != len(rb) {
+		t.Fatalf("restored results differ: %v vs %v", ra, rb)
+	}
+	for i := range ra {
+		if ra[i].Doc != rb[i].Doc || ra[i].Score != rb[i].Score || ra[i].Text != rb[i].Text {
+			t.Fatalf("restored result[%d] = %+v, want %+v", i, rb[i], ra[i])
+		}
+	}
+}
+
+func TestSnapshotRoundTripPreservesResults(t *testing.T) {
+	e := newEngine(t, WithCountWindow(20), WithTextRetention())
+	q1, err := e.Register("crude oil refinery", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register("interest rates inflation", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := NewNewsFeed(11)
+	for i := 0; i < 40; i++ {
+		_, text := feed.Mixed()
+		if _, err := e.IngestText(text, at(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := snapshotRoundTrip(t, e)
+	sameResults(t, e, r, q1)
+	sameResults(t, e, r, q2)
+	if r.WindowLen() != e.WindowLen() {
+		t.Fatalf("window %d vs %d", r.WindowLen(), e.WindowLen())
+	}
+	if r.DictionarySize() != e.DictionarySize() {
+		t.Fatalf("dictionary %d vs %d", r.DictionarySize(), e.DictionarySize())
+	}
+	if txt, ok := r.QueryText(q1); !ok || txt != "crude oil refinery" {
+		t.Fatalf("query text = %q,%v", txt, ok)
+	}
+
+	// Both engines must evolve identically after the snapshot point.
+	for i := 40; i < 60; i++ {
+		_, text := feed.Mixed()
+		if _, err := e.IngestText(text, at(i*10)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.IngestText(text, at(i*10)); err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, e, r, q1)
+		sameResults(t, e, r, q2)
+	}
+}
+
+func TestSnapshotPreservesDocIDSequence(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	id1, err := e.IngestText("first document here", at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := snapshotRoundTrip(t, e)
+	id2a, err := e.IngestText("second document here", at(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2b, err := r.IngestText("second document here", at(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2a != id2b || id2b != id1+1 {
+		t.Fatalf("doc id sequence diverged: %d vs %d", id2a, id2b)
+	}
+}
+
+func TestSnapshotTimeWindow(t *testing.T) {
+	e := newEngine(t, WithTimeWindow(200*time.Millisecond))
+	q, err := e.Register("solar turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("solar turbine farm", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	r := snapshotRoundTrip(t, e)
+	sameResults(t, e, r, q)
+	// The restored span policy must keep expiring on the clock.
+	if err := r.Advance(at(300)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Results(q); len(got) != 0 {
+		t.Fatalf("restored time window did not expire: %+v", got)
+	}
+}
+
+func TestSnapshotOkapiAndFlags(t *testing.T) {
+	e := newEngine(t, WithCountWindow(10), WithOkapiScoring(25), WithoutStemming())
+	q, err := e.Register("turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("turbine turbine spinning", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("turbines spinning", at(5)); err != nil {
+		t.Fatal(err)
+	}
+	r := snapshotRoundTrip(t, e)
+	sameResults(t, e, r, q)
+	// Stemming stayed off: "turbines" must not match after restore
+	// either, which sameResults already proved (1 match, not 2).
+	if got := r.Results(q); len(got) != 1 {
+		t.Fatalf("results = %+v", got)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSnapshotNaiveEngine(t *testing.T) {
+	e := newEngine(t, WithCountWindow(10), WithAlgorithm(NaiveKmax))
+	q, err := e.Register("pipeline exports", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("gas pipeline exports grew", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	r := snapshotRoundTrip(t, e)
+	if r.Algorithm() != NaiveKmax {
+		t.Fatalf("algorithm = %v", r.Algorithm())
+	}
+	sameResults(t, e, r, q)
+}

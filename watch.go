@@ -1,0 +1,119 @@
+package ita
+
+import (
+	"fmt"
+
+	"ita/internal/model"
+)
+
+// Delta describes how one query's result changed as a consequence of a
+// single stream event (IngestText or Advance). Entered lists documents
+// newly present in the top-k, in result order; Exited lists documents
+// that left it (by expiring or by being displaced).
+type Delta struct {
+	Query   QueryID
+	Entered []Match
+	Exited  []DocID
+}
+
+// WatchFunc receives result deltas. It is invoked synchronously after
+// the triggering call returns the engine lock, in registration order;
+// it may call back into the Engine.
+type WatchFunc func(Delta)
+
+type watchState struct {
+	fn   WatchFunc
+	last []model.ScoredDoc
+}
+
+// Watch subscribes fn to result changes of query id. The continuous
+// query model makes this the natural alerting primitive: the paper's
+// security analyst wants the moment an email enters a threat profile's
+// top-k, not a poll loop. One watcher per query; watching again
+// replaces the previous watcher.
+func (e *Engine) Watch(id QueryID, fn WatchFunc) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.inner.Result(id)
+	if !ok {
+		return fmt.Errorf("ita: watch: unknown query %d", id)
+	}
+	if e.watches == nil {
+		e.watches = make(map[QueryID]*watchState)
+	}
+	e.watches[id] = &watchState{fn: fn, last: cur}
+	return nil
+}
+
+// Unwatch removes the watcher of query id, reporting whether one
+// existed.
+func (e *Engine) Unwatch(id QueryID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.watches[id]; !ok {
+		return false
+	}
+	delete(e.watches, id)
+	return true
+}
+
+// collectDeltas compares every watched query's current result against
+// the last delivered one and returns the non-empty deltas along with
+// their callbacks. Must be called with e.mu held.
+func (e *Engine) collectDeltas() []pendingDelta {
+	if len(e.watches) == 0 {
+		return nil
+	}
+	var out []pendingDelta
+	for id, ws := range e.watches {
+		cur, ok := e.inner.Result(id)
+		if !ok {
+			// Query unregistered out from under the watch; drop it.
+			delete(e.watches, id)
+			continue
+		}
+		delta := diffResults(id, ws.last, cur, e.texts)
+		if len(delta.Entered) == 0 && len(delta.Exited) == 0 {
+			continue
+		}
+		ws.last = cur
+		out = append(out, pendingDelta{fn: ws.fn, delta: delta})
+	}
+	return out
+}
+
+type pendingDelta struct {
+	fn    WatchFunc
+	delta Delta
+}
+
+func deliver(deltas []pendingDelta) {
+	for _, p := range deltas {
+		p.fn(p.delta)
+	}
+}
+
+func diffResults(id QueryID, prev, cur []model.ScoredDoc, texts *textRing) Delta {
+	prevSet := make(map[model.DocID]bool, len(prev))
+	for _, d := range prev {
+		prevSet[d.Doc] = true
+	}
+	curSet := make(map[model.DocID]bool, len(cur))
+	delta := Delta{Query: id}
+	for _, d := range cur {
+		curSet[d.Doc] = true
+		if !prevSet[d.Doc] {
+			m := Match{Doc: d.Doc, Score: d.Score}
+			if texts != nil {
+				m.Text = texts.get(d.Doc)
+			}
+			delta.Entered = append(delta.Entered, m)
+		}
+	}
+	for _, d := range prev {
+		if !curSet[d.Doc] {
+			delta.Exited = append(delta.Exited, d.Doc)
+		}
+	}
+	return delta
+}

@@ -1,0 +1,211 @@
+package ita
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWatchUnknownQuery(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	if err := e.Watch(42, func(Delta) {}); err == nil {
+		t.Fatal("watch on unknown query succeeded")
+	}
+}
+
+func TestWatchDeliversEntries(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5), WithTextRetention())
+	q, err := e.Register("solar turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := e.IngestText("the weather was mild", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("irrelevant arrival produced delta: %+v", got)
+	}
+
+	id, err := e.IngestText("a new solar turbine array", at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("deltas = %+v, want 1", got)
+	}
+	d := got[0]
+	if d.Query != q || len(d.Entered) != 1 || d.Entered[0].Doc != id || len(d.Exited) != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Entered[0].Text == "" {
+		t.Fatal("entered match missing retained text")
+	}
+}
+
+func TestWatchDeliversExits(t *testing.T) {
+	e := newEngine(t, WithCountWindow(2))
+	q, err := e.Register("solar turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.IngestText("solar turbine output rose", at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	// Two unrelated docs push the match out of the 2-doc window.
+	if _, err := e.IngestText("markets were calm", at(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("a quiet day in parliament", at(10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("deltas = %+v, want exactly 1 (the exit)", got)
+	}
+	if len(got[0].Exited) != 1 || got[0].Exited[0] != id || len(got[0].Entered) != 0 {
+		t.Fatalf("delta = %+v", got[0])
+	}
+}
+
+func TestWatchOnAdvanceExpiry(t *testing.T) {
+	e := newEngine(t, WithTimeWindow(50*time.Millisecond))
+	q, err := e.Register("breaking story", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("a breaking story develops", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Advance(at(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Exited) != 1 {
+		t.Fatalf("deltas = %+v", got)
+	}
+}
+
+func TestWatchCallbackMayReenterEngine(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q, err := e.Register("solar turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	if err := e.Watch(q, func(d Delta) {
+		fired = true
+		// Re-entrancy: reading results inside the callback must not
+		// deadlock.
+		_ = e.Results(q)
+		_ = e.Stats()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("solar turbine blades", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("watch never fired")
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q, err := e.Register("solar turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := e.Watch(q, func(Delta) { calls++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Unwatch(q) {
+		t.Fatal("Unwatch failed")
+	}
+	if e.Unwatch(q) {
+		t.Fatal("double Unwatch succeeded")
+	}
+	if _, err := e.IngestText("solar turbine", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatal("unwatched callback fired")
+	}
+}
+
+func TestWatchReplacesPrevious(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q, err := e.Register("solar turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b int
+	if err := e.Watch(q, func(Delta) { a++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Watch(q, func(Delta) { b++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("solar turbine", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 1 {
+		t.Fatalf("a=%d b=%d, want 0/1", a, b)
+	}
+}
+
+func TestWatchDroppedWithUnregister(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q, err := e.Register("solar turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Watch(q, func(Delta) { t.Fatal("fired after unregister") }); err != nil {
+		t.Fatal(err)
+	}
+	e.Unregister(q)
+	if _, err := e.IngestText("solar turbine", at(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchDisplacementProducesEnterAndExit(t *testing.T) {
+	e := newEngine(t, WithCountWindow(10))
+	q, err := e.Register("turbine", 1) // top-1: displacement swaps the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := e.IngestText("one turbine among many other words entirely unrelated", at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	strong, err := e.IngestText("turbine turbine turbine", at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("deltas = %+v", got)
+	}
+	d := got[0]
+	if len(d.Entered) != 1 || d.Entered[0].Doc != strong {
+		t.Fatalf("entered = %+v, want doc %d", d.Entered, strong)
+	}
+	if len(d.Exited) != 1 || d.Exited[0] != weak {
+		t.Fatalf("exited = %+v, want doc %d", d.Exited, weak)
+	}
+}
