@@ -7,6 +7,7 @@
 //	itabench -exp fig3b -profile paper
 //	itabench -exp setup               # corpus calibration report (E0)
 //	itabench -exp ablations -csv out/ # ablations, also written as CSV
+//	itabench -exp throughput -queries 10000 -shards 1,2,4,8 -json BENCH_SHARDED.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"ita/internal/harness"
@@ -26,10 +29,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
+		// -exp throughput knobs: the sharding experiment sweeps the
+		// single-threaded engine plus every count in -shards.
+		queries  = flag.Int("queries", 10000, "throughput: standing queries")
+		shardSet = flag.String("shards", "1,2,4,8", "throughput: comma-separated shard counts")
+		batch    = flag.Int("batch", 64, "throughput: ProcessBatch size")
+		events   = flag.Int("events", 2000, "throughput: measured events per configuration")
+		jsonOut  = flag.String("json", "", "throughput: write the report as JSON to this path")
 	)
 	flag.Parse()
 
@@ -76,6 +86,34 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(report.Format())
+		return
+	case "throughput":
+		var counts []int
+		for _, f := range strings.Split(*shardSet, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "itabench: bad -shards element %q\n", f)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		rep, err := harness.Throughput(p, *queries, 10, 1000, *batch, counts, *events, progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Format())
+		if *jsonOut != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+			}
+		}
 		return
 	case "fig3a":
 		figures = []harness.Figure{harness.Fig3a(p, progress)}

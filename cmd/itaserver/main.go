@@ -140,6 +140,7 @@ func main() {
 		span    = flag.Duration("span", 0, "time-based window span (overrides -window when set)")
 		demo    = flag.Bool("demo", false, "publish a built-in newswire stream")
 		rate    = flag.Float64("rate", 10, "demo feed rate, documents/second")
+		shards  = flag.Int("shards", 1, "query-maintenance shards: 1 = single-threaded ITA, 0 = one per CPU, n = fixed count")
 	)
 	flag.Parse()
 
@@ -148,6 +149,9 @@ func main() {
 		opts = append(opts, ita.WithTimeWindow(*span))
 	} else {
 		opts = append(opts, ita.WithCountWindow(*windowN))
+	}
+	if *shards != 1 {
+		opts = append(opts, ita.WithShards(*shards))
 	}
 	eng, err := ita.New(opts...)
 	if err != nil {

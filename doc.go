@@ -37,6 +37,26 @@
 // Engines are safe for concurrent use; all methods serialize on an
 // internal mutex, matching the paper's single-CPU cost model.
 //
+// # Sharded parallel maintenance
+//
+// WithShards(n) replaces the single-threaded maintenance engine with a
+// query-sharded parallel one (Algorithm ShardedIncrementalThreshold):
+// registered queries are partitioned across n shards — n = 0 picks
+// runtime.GOMAXPROCS — each owning the threshold trees, result lists
+// and local thresholds of its queries, while the inverted index and
+// FIFO store remain a single-writer structure owned by the
+// coordinator. Every arrival or expiration is a two-phase event: the
+// coordinator first mutates the index, then all shards concurrently
+// run their per-query maintenance against the now-quiescent index.
+// Because ITA couples queries only through the read-only index,
+// results are identical to the single-threaded engine — the
+// equivalence suite drives both against a brute-force oracle under the
+// race detector. Choose WithShards when many standing queries make
+// per-event maintenance, not index mutation, the dominant cost, and
+// there are spare cores to fan out to; call Close to release the shard
+// workers, and prefer IngestBatch for high-volume feeds. See README.md
+// for the architecture.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.
 package ita

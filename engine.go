@@ -77,6 +77,15 @@ func New(opts ...Option) (*Engine, error) {
 	if cfg.policy == nil {
 		return nil, errors.New("ita: a window option is required (WithCountWindow or WithTimeWindow)")
 	}
+	if cfg.shardsSet {
+		switch {
+		case !cfg.algorithmSet || cfg.algorithm == IncrementalThreshold:
+			cfg.algorithm = ShardedIncrementalThreshold
+		case cfg.algorithm == ShardedIncrementalThreshold:
+		default:
+			return nil, fmt.Errorf("ita: WithShards requires the ITA algorithm, got %s", cfg.algorithm)
+		}
+	}
 	if cfg.weighter == nil {
 		cfg.weighter = defaultWeighter()
 	}
@@ -128,6 +137,93 @@ func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta,
 		e.texts.add(doc.ID, at, text)
 	}
 	return doc.ID, e.collectDeltas(), nil
+}
+
+// TimedText is one element of an IngestBatch call.
+type TimedText struct {
+	Text string
+	At   time.Time
+}
+
+// batchProcessor is implemented by engines (the sharded ITA) that accept
+// a whole batch of arrivals in one call.
+type batchProcessor interface {
+	ProcessBatch(docs []*model.Document) error
+}
+
+// IngestBatch analyzes and processes a batch of document arrivals under
+// a single engine lock, returning the assigned ids in order. Arrival
+// times must be non-decreasing within the batch and not precede earlier
+// ingests. Results are identical to calling IngestText in a loop; the
+// batch amortizes the facade's per-call work — lock acquisition,
+// monotonicity validation and watch-delta collection — across the
+// batch, which makes it the preferred ingestion path for high-volume
+// feeds. (Engine-level event processing is not batched: every event
+// still fans out individually so maintenance sees the exact per-event
+// index states.) Watch callbacks observe one cumulative delta per
+// query instead of one per document.
+func (e *Engine) IngestBatch(items []TimedText) ([]DocID, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	ids, deltas, err := e.ingestBatchLocked(items)
+	e.mu.Unlock()
+	deliver(deltas)
+	return ids, err
+}
+
+func (e *Engine) ingestBatchLocked(items []TimedText) ([]DocID, []pendingDelta, error) {
+	// Validate and analyze everything up front so a bad item fails the
+	// batch before any document is processed.
+	last := e.lastAt
+	for i, it := range items {
+		if it.At.Before(last) {
+			return nil, nil, fmt.Errorf("%w: item %d: %s < %s", ErrTimeRegression, i, it.At, last)
+		}
+		last = it.At
+	}
+	docs := make([]*model.Document, len(items))
+	ids := make([]DocID, len(items))
+	for i, it := range items {
+		doc, err := model.NewDocument(e.nextDoc+model.DocID(i), it.At, e.cfg.weighter.DocPostings(e.pipeline.TermFreqs(it.Text)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("ita: analyze document %d: %w", i, err)
+		}
+		docs[i] = doc
+		ids[i] = doc.ID
+	}
+	if bp, ok := e.inner.(batchProcessor); ok {
+		if err := bp.ProcessBatch(docs); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		for _, doc := range docs {
+			if err := e.inner.Process(doc); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	e.nextDoc += model.DocID(len(docs))
+	e.lastAt = last
+	if e.texts != nil {
+		for i, doc := range docs {
+			e.texts.add(doc.ID, doc.Arrival, items[i].Text)
+		}
+	}
+	return ids, e.collectDeltas(), nil
+}
+
+// Close releases engine resources — for the sharded engine, its shard
+// worker goroutines. The engine must not be used afterwards. Close is
+// idempotent and a no-op for the single-threaded engines.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.inner.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Advance moves the stream clock forward without an arrival, expiring
@@ -242,11 +338,17 @@ func (e *Engine) DictionarySize() int {
 	return e.pipeline.Dictionary().Size()
 }
 
-// textRing mirrors the window policy for retained document texts.
+// textRing mirrors the window policy for retained document texts. Dead
+// entries accumulate at the front of order as a head index rather than
+// by reslicing: order = order[1:] would pin the whole backing array (and
+// every expired entry in it) for the lifetime of the stream, so the
+// drained prefix is compacted away once it dominates the array, keeping
+// memory at O(window) instead of O(stream).
 type textRing struct {
 	policy window.Policy
 	byID   map[model.DocID]string
 	order  []retained
+	head   int
 }
 
 type retained struct {
@@ -265,9 +367,16 @@ func (r *textRing) add(id model.DocID, at time.Time, text string) {
 }
 
 func (r *textRing) expire(now time.Time) {
-	for len(r.order) > 0 && r.policy.Expired(r.order[0].at, now, len(r.order)) {
-		delete(r.byID, r.order[0].id)
-		r.order = r.order[1:]
+	for r.head < len(r.order) && r.policy.Expired(r.order[r.head].at, now, len(r.order)-r.head) {
+		delete(r.byID, r.order[r.head].id)
+		r.order[r.head] = retained{}
+		r.head++
+	}
+	if r.head > 64 && r.head*2 > len(r.order) {
+		n := copy(r.order, r.order[r.head:])
+		clear(r.order[n:])
+		r.order = r.order[:n]
+		r.head = 0
 	}
 }
 

@@ -1,0 +1,3 @@
+module ita
+
+go 1.24

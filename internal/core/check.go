@@ -12,11 +12,15 @@ import (
 // registered query, plus structural consistency between the threshold
 // trees and the per-query threshold state. It costs a full index scan
 // per query and exists for tests and debugging, not production paths.
-func (e *ITA) CheckInvariants() error {
+func (e *ITA) CheckInvariants() error { return e.m.CheckInvariants() }
+
+// CheckInvariants verifies I1–I3 for every owned query plus the
+// tree/threshold structural consistency of this maintainer.
+func (m *Maintainer) CheckInvariants() error {
 	// Structural: every (term, theta) pair must be present in its tree,
 	// and tree sizes must add up to the total number of query terms.
 	total := 0
-	for _, qs := range e.queries {
+	for _, qs := range m.queries {
 		total += len(qs.terms)
 		for i := range qs.terms {
 			ts := &qs.terms[i]
@@ -29,22 +33,22 @@ func (e *ITA) CheckInvariants() error {
 		}
 	}
 	trees := 0
-	for _, tr := range e.trees {
+	for _, tr := range m.trees {
 		trees += tr.Len()
 	}
 	if trees != total {
 		return fmt.Errorf("threshold trees hold %d entries, queries own %d terms", trees, total)
 	}
 
-	for _, qs := range e.queries {
-		if err := e.checkQuery(qs); err != nil {
+	for _, qs := range m.queries {
+		if err := m.checkQuery(qs); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (e *ITA) checkQuery(qs *queryState) error {
+func (m *Maintainer) checkQuery(qs *queryState) error {
 	qid := qs.q.ID
 	tau := qs.tau()
 
@@ -54,7 +58,7 @@ func (e *ITA) checkQuery(qs *queryState) error {
 	covered := make(map[model.DocID]bool)
 	for i := range qs.terms {
 		ts := &qs.terms[i]
-		l := e.index.List(ts.term)
+		l := m.index.List(ts.term)
 		if l == nil {
 			continue
 		}
@@ -79,7 +83,7 @@ func (e *ITA) checkQuery(qs *queryState) error {
 		if rErr != nil {
 			return
 		}
-		d, ok := e.index.Get(doc)
+		d, ok := m.index.Get(doc)
 		if !ok {
 			rErr = fmt.Errorf("R: query %d holds expired doc %d", qid, doc)
 			return
@@ -98,7 +102,7 @@ func (e *ITA) checkQuery(qs *queryState) error {
 
 	// I2 (safety) — every valid document outside R scores at most τ.
 	var i2Err error
-	e.index.Docs(func(d *model.Document) {
+	m.index.Docs(func(d *model.Document) {
 		if i2Err != nil || qs.r.Contains(d.ID) {
 			return
 		}

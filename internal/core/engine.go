@@ -74,3 +74,21 @@ type Stats struct {
 	// Naïve counters.
 	Rescans uint64 // full window rescans (view refills)
 }
+
+// Add accumulates o into s field-wise. The sharded engine keeps one
+// Stats block per shard (so counting stays contention-free during the
+// parallel fan-out) and merges them on read.
+func (s *Stats) Add(o *Stats) {
+	s.Arrivals += o.Arrivals
+	s.Expirations += o.Expirations
+	s.ProbeHits += o.ProbeHits
+	s.SearchReads += o.SearchReads
+	s.RollupSteps += o.RollupSteps
+	s.RollupDrops += o.RollupDrops
+	s.Refills += o.Refills
+	s.TreeUpdates += o.TreeUpdates
+	s.IndexInserts += o.IndexInserts
+	s.IndexDeletes += o.IndexDeletes
+	s.ScoreComputations += o.ScoreComputations
+	s.Rescans += o.Rescans
+}

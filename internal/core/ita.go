@@ -1,13 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"ita/internal/invindex"
 	"ita/internal/model"
-	"ita/internal/threshtree"
-	"ita/internal/topk"
 	"ita/internal/window"
 )
 
@@ -27,23 +24,18 @@ import (
 // (rolling thresholds up when they improve the top-k); expirations of
 // documents ahead of a threshold are removed from R (resuming the
 // threshold-algorithm search downwards when they leave the top-k).
+//
+// Structurally ITA is a coordinator (window policy + inverted index)
+// over a single Maintainer holding every query; the sharded engine in
+// internal/shard reuses the same Maintainer across many parallel
+// shards.
 type ITA struct {
-	policy  window.Policy
-	index   *invindex.Index
-	trees   map[model.TermID]*threshtree.Tree
-	queries map[model.QueryID]*queryState
-	stats   Stats
-	seed    uint64
+	policy window.Policy
+	index  *invindex.Index
+	m      *Maintainer
+	stats  Stats
 
-	// Ablation switches (DESIGN.md A1, A2). Both default to the paper's
-	// configuration: greedy probing and roll-up enabled.
-	rollupEnabled bool
-	greedyProbe   bool
-
-	// Scratch buffers reused across events to keep steady-state
-	// processing allocation-free.
-	touched     []*queryState
-	touchedMark map[model.QueryID]struct{}
+	cfg MaintainerConfig
 }
 
 // ITAOption configures an ITA engine.
@@ -52,72 +44,38 @@ type ITAOption func(*ITA)
 // WithoutRollup disables the threshold roll-up of §III-B (ablation A2):
 // thresholds then only ever move down, so the monitored region grows
 // monotonically between expirations.
-func WithoutRollup() ITAOption { return func(e *ITA) { e.rollupEnabled = false } }
+func WithoutRollup() ITAOption { return func(e *ITA) { e.cfg.DisableRollup = true } }
 
 // WithRoundRobinProbe replaces the paper's greedy w_{Q,t}·c_t probe
 // order with the original threshold algorithm's round-robin order
 // (ablation A1).
-func WithRoundRobinProbe() ITAOption { return func(e *ITA) { e.greedyProbe = false } }
+func WithRoundRobinProbe() ITAOption { return func(e *ITA) { e.cfg.RoundRobinProbe = true } }
 
 // WithITASeed fixes the skip-list randomness seed.
-func WithITASeed(seed uint64) ITAOption { return func(e *ITA) { e.seed = seed } }
+func WithITASeed(seed uint64) ITAOption { return func(e *ITA) { e.cfg.Seed = seed } }
 
 // NewITA returns an empty ITA engine over the given window policy.
 func NewITA(policy window.Policy, opts ...ITAOption) *ITA {
 	e := &ITA{
-		policy:        policy,
-		trees:         make(map[model.TermID]*threshtree.Tree),
-		queries:       make(map[model.QueryID]*queryState),
-		seed:          1,
-		rollupEnabled: true,
-		greedyProbe:   true,
-		touchedMark:   make(map[model.QueryID]struct{}),
+		policy: policy,
+		cfg:    MaintainerConfig{Seed: 1},
 	}
 	for _, o := range opts {
 		o(e)
 	}
-	e.index = invindex.NewIndex(e.seed)
+	e.index = invindex.NewIndex(e.cfg.Seed)
+	e.m = NewMaintainer(e.index, &e.stats, e.cfg)
 	return e
-}
-
-// termState tracks one query term: its weight and its local threshold,
-// the position of the first unconsumed entry of the term's inverted
-// list (Bottom once the list is exhausted).
-type termState struct {
-	term  model.TermID
-	qw    float64
-	theta invindex.EntryKey
-}
-
-type queryState struct {
-	q     *model.Query
-	terms []termState
-	r     *topk.ResultSet
-}
-
-// tau returns the influence threshold τ = Σ w_{Q,t}·θ_{Q,t}.W, the least
-// upper bound on the score of any valid document outside R (invariant
-// I2).
-func (qs *queryState) tau() float64 {
-	var t float64
-	for i := range qs.terms {
-		t += qs.terms[i].qw * qs.terms[i].theta.W
-	}
-	return t
 }
 
 // Name implements Engine.
 func (e *ITA) Name() string { return "ita" }
 
 // Queries implements Engine.
-func (e *ITA) Queries() int { return len(e.queries) }
+func (e *ITA) Queries() int { return e.m.Len() }
 
 // EachQuery implements Engine.
-func (e *ITA) EachQuery(fn func(q *model.Query)) {
-	for _, qs := range e.queries {
-		fn(qs.q)
-	}
-}
+func (e *ITA) EachQuery(fn func(q *model.Query)) { e.m.EachQuery(fn) }
 
 // WindowLen implements Engine.
 func (e *ITA) WindowLen() int { return e.index.Len() }
@@ -128,66 +86,15 @@ func (e *ITA) EachDoc(fn func(d *model.Document)) { e.index.Docs(fn) }
 // Stats implements Engine.
 func (e *ITA) Stats() *Stats { return &e.stats }
 
-// tree returns the threshold tree for term t, creating it on first use.
-// Trees exist independently of inverted lists: a query term that matches
-// no valid document still needs its threshold registered so future
-// arrivals can probe it.
-func (e *ITA) tree(t model.TermID) *threshtree.Tree {
-	tr := e.trees[t]
-	if tr == nil {
-		tr = threshtree.New(e.seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1))
-		e.trees[t] = tr
-	}
-	return tr
-}
-
 // Register implements Engine: it runs the initial top-k search of
 // §III-A and installs the resulting local thresholds.
-func (e *ITA) Register(q *model.Query) error {
-	if _, dup := e.queries[q.ID]; dup {
-		return fmt.Errorf("core: duplicate query id %d", q.ID)
-	}
-	qs := &queryState{
-		q:     q,
-		terms: make([]termState, len(q.Terms)),
-		r:     topk.NewResultSet(e.seed ^ uint64(q.ID)),
-	}
-	for i, t := range q.Terms {
-		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: invindex.Top()}
-	}
-	e.queries[q.ID] = qs
-	e.runSearch(qs)
-	return nil
-}
+func (e *ITA) Register(q *model.Query) error { return e.m.Register(q) }
 
 // Unregister implements Engine.
-func (e *ITA) Unregister(id model.QueryID) bool {
-	qs, ok := e.queries[id]
-	if !ok {
-		return false
-	}
-	for i := range qs.terms {
-		ts := &qs.terms[i]
-		if tr := e.trees[ts.term]; tr != nil {
-			tr.Remove(id, ts.theta)
-			e.stats.TreeUpdates++
-			if tr.Len() == 0 {
-				delete(e.trees, ts.term)
-			}
-		}
-	}
-	delete(e.queries, id)
-	return true
-}
+func (e *ITA) Unregister(id model.QueryID) bool { return e.m.Unregister(id) }
 
 // Result implements Engine.
-func (e *ITA) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
-	qs, ok := e.queries[id]
-	if !ok {
-		return nil, false
-	}
-	return qs.r.Top(qs.q.K), true
-}
+func (e *ITA) Result(id model.QueryID) ([]model.ScoredDoc, bool) { return e.m.Result(id) }
 
 // Process implements Engine: the arrival is indexed and handled, then
 // the window policy expires documents from the FIFO head.
@@ -197,7 +104,7 @@ func (e *ITA) Process(d *model.Document) error {
 	}
 	e.stats.Arrivals++
 	e.stats.IndexInserts += uint64(len(d.Postings))
-	e.handleArrival(d)
+	e.m.HandleArrival(d)
 	e.expireWhile(d.Arrival)
 	return nil
 }
@@ -211,77 +118,9 @@ func (e *ITA) expireWhile(now time.Time) {
 		if oldest == nil || !e.policy.Expired(oldest.Arrival, now, e.index.Len()) {
 			return
 		}
-		e.expireOldest()
-	}
-}
-
-// collectAffected probes the threshold tree of every term of d and
-// gathers, without duplicates, the queries whose consumed region
-// contains the corresponding impact entry. The paper's note that "d is
-// processed only once for each Qi even if d ranks higher than several of
-// Q's local thresholds" is the deduplication here.
-//
-// The result is an engine-owned scratch slice, valid until the next
-// call.
-func (e *ITA) collectAffected(d *model.Document) []*queryState {
-	e.touched = e.touched[:0]
-	for _, p := range d.Postings {
-		tr := e.trees[p.Term]
-		if tr == nil || tr.Len() == 0 {
-			continue
-		}
-		entry := invindex.EntryKey{W: p.Weight, Doc: d.ID}
-		tr.Probe(entry, func(qid model.QueryID) {
-			e.stats.ProbeHits++
-			if _, dup := e.touchedMark[qid]; dup {
-				return
-			}
-			e.touchedMark[qid] = struct{}{}
-			e.touched = append(e.touched, e.queries[qid])
-		})
-	}
-	for _, qs := range e.touched {
-		delete(e.touchedMark, qs.q.ID)
-	}
-	return e.touched
-}
-
-// handleArrival implements the arrival procedure of §III-B.
-func (e *ITA) handleArrival(d *model.Document) {
-	for _, qs := range e.collectAffected(d) {
-		e.stats.ScoreComputations++
-		score := model.Score(qs.q, d)
-		skBefore := qs.r.Kth(qs.q.K)
-		qs.r.Add(d.ID, score)
-		if score > skBefore && e.rollupEnabled {
-			// The arrival entered the top-k, raising Sk: shrink the
-			// monitored region.
-			e.rollUp(qs)
-		}
-	}
-}
-
-// expireOldest implements the expiration procedure of §III-B.
-func (e *ITA) expireOldest() {
-	d := e.index.RemoveOldest()
-	if d == nil {
-		return
-	}
-	e.stats.Expirations++
-	e.stats.IndexDeletes += uint64(len(d.Postings))
-	for _, qs := range e.collectAffected(d) {
-		rank, inR := qs.r.Rank(d.ID)
-		if !inR {
-			// Possible only for boundary positions the roll-up already
-			// evicted; nothing to do.
-			continue
-		}
-		qs.r.Remove(d.ID)
-		if rank < qs.q.K {
-			// The expired document was in the top-k: refill by resuming
-			// the threshold search from the local thresholds downwards.
-			e.stats.Refills++
-			e.runSearch(qs)
-		}
+		d := e.index.RemoveOldest()
+		e.stats.Expirations++
+		e.stats.IndexDeletes += uint64(len(d.Postings))
+		e.m.HandleExpire(d)
 	}
 }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/threshtree"
+	"ita/internal/topk"
+)
+
+// Maintainer owns the per-query maintenance state of ITA for a set of
+// queries: their threshold trees, result sets R and local thresholds.
+// It is the unit of parallelism of the sharded engine — every piece of
+// state it touches during event handling is strictly per-query (trees,
+// queryStates, stats, scratch buffers), while the inverted index it
+// reads is owned by its coordinator and guaranteed quiescent for the
+// duration of HandleArrival/HandleExpire.
+//
+// A Maintainer is not safe for concurrent use with itself; the sharded
+// engine runs many maintainers concurrently, each on its own goroutine,
+// which is safe exactly because they share nothing but the read-only
+// index.
+type Maintainer struct {
+	index   *invindex.Index
+	stats   *Stats
+	trees   map[model.TermID]*threshtree.Tree
+	queries map[model.QueryID]*queryState
+	seed    uint64
+
+	// Ablation switches (DESIGN.md A1, A2). Both default to the paper's
+	// configuration: greedy probing and roll-up enabled.
+	rollupEnabled bool
+	greedyProbe   bool
+
+	// Scratch buffers reused across events to keep steady-state
+	// processing allocation-free.
+	touched     []*queryState
+	touchedMark map[model.QueryID]struct{}
+}
+
+// MaintainerConfig carries the tuning knobs shared by the single-threaded
+// and sharded engines.
+type MaintainerConfig struct {
+	Seed            uint64
+	DisableRollup   bool // ablation A2
+	RoundRobinProbe bool // ablation A1
+}
+
+// NewMaintainer returns an empty maintainer reading from index and
+// accumulating its operation counters into stats. The caller owns both:
+// the sharded engine hands every shard the same index but a private
+// stats block, merged on read.
+func NewMaintainer(index *invindex.Index, stats *Stats, cfg MaintainerConfig) *Maintainer {
+	return &Maintainer{
+		index:         index,
+		stats:         stats,
+		trees:         make(map[model.TermID]*threshtree.Tree),
+		queries:       make(map[model.QueryID]*queryState),
+		seed:          cfg.Seed,
+		rollupEnabled: !cfg.DisableRollup,
+		greedyProbe:   !cfg.RoundRobinProbe,
+		touchedMark:   make(map[model.QueryID]struct{}),
+	}
+}
+
+// termState tracks one query term: its weight and its local threshold,
+// the position of the first unconsumed entry of the term's inverted
+// list (Bottom once the list is exhausted).
+type termState struct {
+	term  model.TermID
+	qw    float64
+	theta invindex.EntryKey
+}
+
+type queryState struct {
+	q     *model.Query
+	terms []termState
+	r     *topk.ResultSet
+}
+
+// tau returns the influence threshold τ = Σ w_{Q,t}·θ_{Q,t}.W, the least
+// upper bound on the score of any valid document outside R (invariant
+// I2).
+func (qs *queryState) tau() float64 {
+	var t float64
+	for i := range qs.terms {
+		t += qs.terms[i].qw * qs.terms[i].theta.W
+	}
+	return t
+}
+
+// Len returns the number of queries this maintainer owns.
+func (m *Maintainer) Len() int { return len(m.queries) }
+
+// Has reports whether the maintainer owns query id.
+func (m *Maintainer) Has(id model.QueryID) bool {
+	_, ok := m.queries[id]
+	return ok
+}
+
+// EachQuery calls fn for every owned query in unspecified order.
+func (m *Maintainer) EachQuery(fn func(q *model.Query)) {
+	for _, qs := range m.queries {
+		fn(qs.q)
+	}
+}
+
+// tree returns the threshold tree for term t, creating it on first use.
+// Trees exist independently of inverted lists: a query term that matches
+// no valid document still needs its threshold registered so future
+// arrivals can probe it.
+func (m *Maintainer) tree(t model.TermID) *threshtree.Tree {
+	tr := m.trees[t]
+	if tr == nil {
+		tr = threshtree.New(m.seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1))
+		m.trees[t] = tr
+	}
+	return tr
+}
+
+// Register runs the initial top-k search of §III-A for q and installs
+// the resulting local thresholds. It fails on a duplicate query id.
+func (m *Maintainer) Register(q *model.Query) error {
+	if _, dup := m.queries[q.ID]; dup {
+		return fmt.Errorf("core: duplicate query id %d", q.ID)
+	}
+	qs := &queryState{
+		q:     q,
+		terms: make([]termState, len(q.Terms)),
+		r:     topk.NewResultSet(m.seed ^ uint64(q.ID)),
+	}
+	for i, t := range q.Terms {
+		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: invindex.Top()}
+	}
+	m.queries[q.ID] = qs
+	m.runSearch(qs)
+	return nil
+}
+
+// Unregister removes a query, reporting whether it existed.
+func (m *Maintainer) Unregister(id model.QueryID) bool {
+	qs, ok := m.queries[id]
+	if !ok {
+		return false
+	}
+	for i := range qs.terms {
+		ts := &qs.terms[i]
+		if tr := m.trees[ts.term]; tr != nil {
+			tr.Remove(id, ts.theta)
+			m.stats.TreeUpdates++
+			if tr.Len() == 0 {
+				delete(m.trees, ts.term)
+			}
+		}
+	}
+	delete(m.queries, id)
+	return true
+}
+
+// Result returns the current top-k of a query in descending score order.
+func (m *Maintainer) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
+	qs, ok := m.queries[id]
+	if !ok {
+		return nil, false
+	}
+	return qs.r.Top(qs.q.K), true
+}
+
+// collectAffected probes the threshold tree of every term of d and
+// gathers, without duplicates, the queries whose consumed region
+// contains the corresponding impact entry. The paper's note that "d is
+// processed only once for each Qi even if d ranks higher than several of
+// Q's local thresholds" is the deduplication here.
+//
+// The result is a maintainer-owned scratch slice, valid until the next
+// call.
+func (m *Maintainer) collectAffected(d *model.Document) []*queryState {
+	m.touched = m.touched[:0]
+	for _, p := range d.Postings {
+		tr := m.trees[p.Term]
+		if tr == nil || tr.Len() == 0 {
+			continue
+		}
+		entry := invindex.EntryKey{W: p.Weight, Doc: d.ID}
+		tr.Probe(entry, func(qid model.QueryID) {
+			m.stats.ProbeHits++
+			if _, dup := m.touchedMark[qid]; dup {
+				return
+			}
+			m.touchedMark[qid] = struct{}{}
+			m.touched = append(m.touched, m.queries[qid])
+		})
+	}
+	for _, qs := range m.touched {
+		delete(m.touchedMark, qs.q.ID)
+	}
+	return m.touched
+}
+
+// HandleArrival implements the arrival procedure of §III-B for the
+// owned queries. The document must already be present in the index, and
+// the index must stay unmodified for the duration of the call.
+func (m *Maintainer) HandleArrival(d *model.Document) {
+	for _, qs := range m.collectAffected(d) {
+		m.stats.ScoreComputations++
+		score := model.Score(qs.q, d)
+		skBefore := qs.r.Kth(qs.q.K)
+		qs.r.Add(d.ID, score)
+		if score > skBefore && m.rollupEnabled {
+			// The arrival entered the top-k, raising Sk: shrink the
+			// monitored region.
+			m.rollUp(qs)
+		}
+	}
+}
+
+// HandleExpire implements the expiration procedure of §III-B for the
+// owned queries. The document must already be removed from the index,
+// and the index must stay unmodified for the duration of the call.
+func (m *Maintainer) HandleExpire(d *model.Document) {
+	for _, qs := range m.collectAffected(d) {
+		rank, inR := qs.r.Rank(d.ID)
+		if !inR {
+			// Possible only for boundary positions the roll-up already
+			// evicted; nothing to do.
+			continue
+		}
+		qs.r.Remove(d.ID)
+		if rank < qs.q.K {
+			// The expired document was in the top-k: refill by resuming
+			// the threshold search from the local thresholds downwards.
+			m.stats.Refills++
+			m.runSearch(qs)
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 // score, and the lift is admissible only against that value. Without
 // this guard a tie at the k-th score could shrink the monitored region
 // below what the reported top-k needs (violating invariant I3).
-func (e *ITA) rollUp(qs *queryState) {
+func (m *Maintainer) rollUp(qs *queryState) {
 	k := qs.q.K
 	for qs.r.Len() >= k {
 		sk := qs.r.Kth(k)
@@ -34,7 +34,7 @@ func (e *ITA) rollUp(qs *queryState) {
 		bestVal := math.Inf(1)
 		for i := range qs.terms {
 			ts := &qs.terms[i]
-			l := e.index.List(ts.term)
+			l := m.index.List(ts.term)
 			if l == nil {
 				continue
 			}
@@ -56,7 +56,7 @@ func (e *ITA) rollUp(qs *queryState) {
 		// other list of Q still covers one of its entries.
 		dropDoc := bestKey.Doc
 		stillConsumed := false
-		doc, ok := e.index.Get(dropDoc)
+		doc, ok := m.index.Get(dropDoc)
 		if !ok {
 			// The entry exists in the list, so the document must exist.
 			panic("core: inverted list entry for unknown document")
@@ -92,12 +92,12 @@ func (e *ITA) rollUp(qs *queryState) {
 			if newTau <= sk && bestKey.Doc != ^model.DocID(0) {
 				phantom := invindex.EntryKey{W: bestKey.W, Doc: bestKey.Doc + 1}
 				if invindex.Before(phantom, ts.theta) {
-					tr := e.tree(ts.term)
+					tr := m.tree(ts.term)
 					tr.Remove(qs.q.ID, ts.theta)
 					tr.Set(qs.q.ID, phantom)
-					e.stats.TreeUpdates += 2
+					m.stats.TreeUpdates += 2
 					ts.theta = phantom
-					e.stats.RollupSteps++
+					m.stats.RollupSteps++
 					continue
 				}
 			}
@@ -105,15 +105,15 @@ func (e *ITA) rollUp(qs *queryState) {
 		}
 
 		// Commit the lift.
-		tr := e.tree(ts.term)
+		tr := m.tree(ts.term)
 		tr.Remove(qs.q.ID, ts.theta)
 		tr.Set(qs.q.ID, bestKey)
-		e.stats.TreeUpdates += 2
+		m.stats.TreeUpdates += 2
 		ts.theta = bestKey
-		e.stats.RollupSteps++
+		m.stats.RollupSteps++
 		if !stillConsumed {
 			if qs.r.Remove(dropDoc) {
-				e.stats.RollupDrops++
+				m.stats.RollupDrops++
 			}
 		}
 	}

@@ -19,12 +19,12 @@ import (
 // On return the local thresholds are set to the final cursor positions
 // (the latest c_t values, Bottom for exhausted lists) and the threshold
 // trees are updated accordingly.
-func (e *ITA) runSearch(qs *queryState) {
+func (m *Maintainer) runSearch(qs *queryState) {
 	k := qs.q.K
 	n := len(qs.terms)
 	iters := make([]invindex.Iterator, n)
 	for i := range qs.terms {
-		if l := e.index.List(qs.terms[i].term); l != nil {
+		if l := m.index.List(qs.terms[i].term); l != nil {
 			iters[i] = l.SeekGE(qs.terms[i].theta)
 		}
 	}
@@ -47,7 +47,7 @@ func (e *ITA) runSearch(qs *queryState) {
 			break
 		}
 		best := -1
-		if e.greedyProbe {
+		if m.greedyProbe {
 			bestVal := 0.0
 			for i := range iters {
 				if !iters[i].Valid() {
@@ -69,10 +69,10 @@ func (e *ITA) runSearch(qs *queryState) {
 		}
 		key := iters[best].Key()
 		iters[best].Next()
-		e.stats.SearchReads++
+		m.stats.SearchReads++
 		if !qs.r.Contains(key.Doc) {
-			if d, ok := e.index.Get(key.Doc); ok {
-				e.stats.ScoreComputations++
+			if d, ok := m.index.Get(key.Doc); ok {
+				m.stats.ScoreComputations++
 				qs.r.Add(key.Doc, model.Score(qs.q, d))
 			}
 		}
@@ -89,13 +89,13 @@ func (e *ITA) runSearch(qs *queryState) {
 		if newTheta == ts.theta {
 			continue
 		}
-		tr := e.tree(ts.term)
+		tr := m.tree(ts.term)
 		if ts.theta != invindex.Top() {
 			tr.Remove(qs.q.ID, ts.theta)
-			e.stats.TreeUpdates++
+			m.stats.TreeUpdates++
 		}
 		tr.Set(qs.q.ID, newTheta)
-		e.stats.TreeUpdates++
+		m.stats.TreeUpdates++
 		ts.theta = newTheta
 	}
 }

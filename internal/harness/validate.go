@@ -8,6 +8,7 @@ import (
 	"ita/internal/core"
 	"ita/internal/corpus"
 	"ita/internal/model"
+	"ita/internal/shard"
 	"ita/internal/stream"
 	"ita/internal/vsm"
 	"ita/internal/window"
@@ -74,8 +75,10 @@ func Validate(p Profile, events int) (ValidationReport, error) {
 	}
 	pol := window.Count{N: win}
 	oracle := core.NewOracle(pol)
-	engines := []core.Engine{core.NewITA(pol), core.NewNaive(pol)}
-	names := []string{"ITA", "Naive"}
+	sharded := shard.New(pol, 4)
+	defer sharded.Close()
+	engines := []core.Engine{core.NewITA(pol), core.NewNaive(pol), sharded}
+	names := []string{"ITA", "Naive", "ITA-sharded-4"}
 
 	var queries []*model.Query
 	for i := 0; i < nQueries; i++ {
@@ -115,9 +118,15 @@ func Validate(p Profile, events int) (ValidationReport, error) {
 				return rep, err
 			}
 		}
-		if ita, ok := engines[0].(*core.ITA); ok && step%16 == 0 {
-			if err := ita.CheckInvariants(); err != nil && len(rep.InvariantErrs) < 5 {
-				rep.InvariantErrs = append(rep.InvariantErrs, fmt.Sprintf("event %d: %v", step, err))
+		if step%16 == 0 {
+			for ei, e := range engines {
+				ck, ok := e.(interface{ CheckInvariants() error })
+				if !ok {
+					continue
+				}
+				if err := ck.CheckInvariants(); err != nil && len(rep.InvariantErrs) < 5 {
+					rep.InvariantErrs = append(rep.InvariantErrs, fmt.Sprintf("%s event %d: %v", names[ei], step, err))
+				}
 			}
 		}
 		for _, q := range queries {

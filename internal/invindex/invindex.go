@@ -218,6 +218,11 @@ func (l *List) PredBefore(pos EntryKey) (EntryKey, bool) {
 type Index struct {
 	*Store
 	lists map[model.TermID]*List
+	// nonEmpty counts lists with at least one entry. The term map
+	// deliberately retains emptied lists (see RemoveOldest), so Terms()
+	// would otherwise need a full map scan — a dictionary-sized cost on
+	// what callers treat as a cheap gauge.
+	nonEmpty int
 }
 
 // NewIndex returns an empty index. The seed is accepted for interface
@@ -248,6 +253,9 @@ func (x *Index) Insert(d *model.Document) error {
 			l = newList()
 			x.lists[p.Term] = l
 		}
+		if l.length == 0 {
+			x.nonEmpty++
+		}
 		l.insert(EntryKey{W: p.Weight, Doc: d.ID})
 	}
 	return nil
@@ -267,19 +275,14 @@ func (x *Index) RemoveOldest() *model.Document {
 	}
 	for _, p := range d.Postings {
 		if l := x.lists[p.Term]; l != nil {
-			l.delete(EntryKey{W: p.Weight, Doc: d.ID})
+			if l.delete(EntryKey{W: p.Weight, Doc: d.ID}) && l.length == 0 {
+				x.nonEmpty--
+			}
 		}
 	}
 	return d
 }
 
-// Terms returns the number of terms with non-empty inverted lists.
-func (x *Index) Terms() int {
-	n := 0
-	for _, l := range x.lists {
-		if l.Len() > 0 {
-			n++
-		}
-	}
-	return n
-}
+// Terms returns the number of terms with non-empty inverted lists, in
+// O(1) via a counter maintained by Insert/RemoveOldest.
+func (x *Index) Terms() int { return x.nonEmpty }

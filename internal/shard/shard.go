@@ -1,0 +1,335 @@
+// Package shard implements the sharded parallel ITA engine: registered
+// queries are partitioned across S shards, each owning the threshold
+// trees, result sets and local thresholds (a core.Maintainer) for its
+// queries, while the inverted index and FIFO document store remain a
+// single-writer structure owned by the coordinator.
+//
+// Event processing is a two-phase pipeline per arrival or expiration:
+//
+//  1. The coordinator mutates the index (insert the arriving document,
+//     or pop the expired one), on the caller's goroutine.
+//  2. All shards concurrently run their per-query maintenance —
+//     probe → score → add/roll-up for arrivals, probe → remove → refill
+//     for expirations — against the now-quiescent index.
+//
+// The fan-out is exact, not approximate: ITA's maintenance state is
+// strictly per-query (the paper's threshold trees and result lists R
+// never couple two queries), and within one event every shard only
+// *reads* the shared index. The sharded engine therefore returns
+// results identical to the single-threaded ITA for every query at every
+// instant; internal/shard's equivalence tests drive both against the
+// brute-force oracle to enforce exactly that.
+//
+// Like every core.Engine, the sharded engine's public methods must be
+// called from one goroutine at a time (the ita facade adds locking);
+// parallelism lives entirely inside Process/ProcessBatch.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ita/internal/core"
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/window"
+)
+
+// Engine is the sharded parallel ITA. It implements core.Engine plus
+// ProcessBatch and Close.
+type Engine struct {
+	policy window.Policy
+	index  *invindex.Index
+	shards []*shardState
+	assign map[model.QueryID]int // query → owning shard
+	total  int                   // registered queries across all shards
+
+	// coord holds the coordinator's counters (arrivals, expirations,
+	// index mutations); merged is the scratch block Stats() merges the
+	// per-shard counters into.
+	coord  core.Stats
+	merged core.Stats
+
+	pending  sync.WaitGroup // per-event completion barrier
+	workers  sync.WaitGroup // worker lifetime
+	stopOnce sync.Once
+}
+
+// shardState is one shard: a maintainer plus its private stats block
+// and the channel its worker goroutine receives events on. Keeping the
+// stats per shard makes counting contention-free during the fan-out.
+type shardState struct {
+	m     *core.Maintainer
+	stats core.Stats
+	ch    chan event // nil when the engine runs inline (S == 1)
+}
+
+type event struct {
+	arrival bool
+	doc     *model.Document
+}
+
+// Option configures New.
+type Option func(*core.MaintainerConfig)
+
+// WithSeed fixes the skip-list randomness seed, matching
+// core.WithITASeed so sharded and single-threaded runs are structurally
+// comparable.
+func WithSeed(seed uint64) Option {
+	return func(c *core.MaintainerConfig) { c.Seed = seed }
+}
+
+// WithoutRollup disables the threshold roll-up (ablation A2), matching
+// core.WithoutRollup.
+func WithoutRollup() Option {
+	return func(c *core.MaintainerConfig) { c.DisableRollup = true }
+}
+
+// WithRoundRobinProbe selects the round-robin probe order (ablation A1),
+// matching core.WithRoundRobinProbe.
+func WithRoundRobinProbe() Option {
+	return func(c *core.MaintainerConfig) { c.RoundRobinProbe = true }
+}
+
+// New returns an empty sharded engine with the given shard count;
+// shards <= 0 selects runtime.GOMAXPROCS(0). With one shard the engine
+// runs maintenance inline on the caller's goroutine (no workers, no
+// synchronization); with more it starts one worker goroutine per shard,
+// released per event and joined on a barrier before Process returns.
+// Call Close when done to stop the workers.
+func New(policy window.Policy, shards int, opts ...Option) *Engine {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	cfg := core.MaintainerConfig{Seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{
+		policy: policy,
+		index:  invindex.NewIndex(cfg.Seed),
+		shards: make([]*shardState, shards),
+		assign: make(map[model.QueryID]int),
+	}
+	for i := range e.shards {
+		s := &shardState{}
+		s.m = core.NewMaintainer(e.index, &s.stats, cfg)
+		e.shards[i] = s
+	}
+	if shards > 1 {
+		for _, s := range e.shards {
+			s.ch = make(chan event, 1)
+			e.workers.Add(1)
+			go e.worker(s)
+		}
+	}
+	return e
+}
+
+func (e *Engine) worker(s *shardState) {
+	defer e.workers.Done()
+	for ev := range s.ch {
+		if ev.arrival {
+			s.m.HandleArrival(ev.doc)
+		} else {
+			s.m.HandleExpire(ev.doc)
+		}
+		e.pending.Done()
+	}
+}
+
+// Close stops the worker goroutines. The engine must be quiescent (no
+// Process in flight); further Process calls panic. Close is idempotent.
+func (e *Engine) Close() error {
+	e.stopOnce.Do(func() {
+		for _, s := range e.shards {
+			if s.ch != nil {
+				close(s.ch)
+			}
+		}
+		e.workers.Wait()
+	})
+	return nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "ita-sharded" }
+
+// Queries implements core.Engine.
+func (e *Engine) Queries() int { return e.total }
+
+// EachQuery implements core.Engine.
+func (e *Engine) EachQuery(fn func(q *model.Query)) {
+	for _, s := range e.shards {
+		s.m.EachQuery(fn)
+	}
+}
+
+// WindowLen implements core.Engine.
+func (e *Engine) WindowLen() int { return e.index.Len() }
+
+// EachDoc implements core.Engine.
+func (e *Engine) EachDoc(fn func(d *model.Document)) { e.index.Docs(fn) }
+
+// Stats implements core.Engine: the coordinator's counters plus every
+// shard's, merged. The merged totals equal the single-threaded ITA's
+// counters on the same stream, since each query's maintenance performs
+// identical operations regardless of which shard runs it.
+func (e *Engine) Stats() *core.Stats {
+	e.merged = e.coord
+	for _, s := range e.shards {
+		e.merged.Add(&s.stats)
+	}
+	return &e.merged
+}
+
+// shardFor spreads query ids across shards with a multiplicative hash,
+// so clustered id patterns (all-even ids, striding registrants) still
+// balance.
+func (e *Engine) shardFor(id model.QueryID) int {
+	return int((uint64(id) * 0x9e3779b97f4a7c15 >> 32) % uint64(len(e.shards)))
+}
+
+// Register implements core.Engine: the query is assigned to a shard and
+// its initial top-k search runs there (inline — registration is not a
+// stream event and needs no fan-out).
+func (e *Engine) Register(q *model.Query) error {
+	if _, dup := e.assign[q.ID]; dup {
+		return fmt.Errorf("core: duplicate query id %d", q.ID)
+	}
+	si := e.shardFor(q.ID)
+	if err := e.shards[si].m.Register(q); err != nil {
+		return err
+	}
+	e.assign[q.ID] = si
+	e.total++
+	return nil
+}
+
+// Unregister implements core.Engine.
+func (e *Engine) Unregister(id model.QueryID) bool {
+	si, ok := e.assign[id]
+	if !ok {
+		return false
+	}
+	e.shards[si].m.Unregister(id)
+	delete(e.assign, id)
+	e.total--
+	return true
+}
+
+// Result implements core.Engine.
+func (e *Engine) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
+	si, ok := e.assign[id]
+	if !ok {
+		return nil, false
+	}
+	return e.shards[si].m.Result(id)
+}
+
+// Process implements core.Engine: phase 1 mutates the index on the
+// caller's goroutine, phase 2 fans the per-query maintenance out across
+// the shards, then the window policy expires documents the same way.
+func (e *Engine) Process(d *model.Document) error {
+	if err := e.index.Insert(d); err != nil {
+		return err
+	}
+	e.coord.Arrivals++
+	e.coord.IndexInserts += uint64(len(d.Postings))
+	e.fanOut(event{arrival: true, doc: d})
+	e.expireWhile(d.Arrival)
+	return nil
+}
+
+// ProcessBatch processes a batch of arrivals in order, with their
+// interleaved expirations, exactly as a loop over Process would — the
+// per-event fan-out barrier is deliberately kept, because each event's
+// maintenance must see the exact index state the single-threaded
+// algorithm would, so there is no shard-level amortization to be had
+// without giving up equivalence. The batch entry point exists so
+// callers (the ita facade's IngestBatch, the throughput harness) can
+// amortize their own per-call work — locking, validation, watch-delta
+// collection — over many events in one call. On error, documents
+// before the failing one remain processed.
+func (e *Engine) ProcessBatch(docs []*model.Document) error {
+	for _, d := range docs {
+		if err := e.Process(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExpireUntil implements core.Engine.
+func (e *Engine) ExpireUntil(now time.Time) { e.expireWhile(now) }
+
+func (e *Engine) expireWhile(now time.Time) {
+	for {
+		oldest := e.index.Oldest()
+		if oldest == nil || !e.policy.Expired(oldest.Arrival, now, e.index.Len()) {
+			return
+		}
+		d := e.index.RemoveOldest()
+		e.coord.Expirations++
+		e.coord.IndexDeletes += uint64(len(d.Postings))
+		e.fanOut(event{arrival: false, doc: d})
+	}
+}
+
+// fanOut runs one event's per-query maintenance on every shard that
+// owns at least one query and waits for all of them. The index is
+// quiescent for the duration: the coordinator blocks here and only it
+// may mutate the index.
+func (e *Engine) fanOut(ev event) {
+	if e.total == 0 {
+		return
+	}
+	if len(e.shards) == 1 {
+		s := e.shards[0]
+		if ev.arrival {
+			s.m.HandleArrival(ev.doc)
+		} else {
+			s.m.HandleExpire(ev.doc)
+		}
+		return
+	}
+	active := 0
+	for _, s := range e.shards {
+		if s.m.Len() > 0 {
+			active++
+		}
+	}
+	e.pending.Add(active)
+	for _, s := range e.shards {
+		if s.m.Len() > 0 {
+			s.ch <- ev
+		}
+	}
+	e.pending.Wait()
+}
+
+// CheckInvariants verifies every shard's maintenance invariants plus the
+// coordinator's query-to-shard assignment. Test/debug only.
+func (e *Engine) CheckInvariants() error {
+	owned := 0
+	for _, s := range e.shards {
+		owned += s.m.Len()
+		if err := s.m.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if owned != e.total || len(e.assign) != e.total {
+		return fmt.Errorf("shard: %d queries assigned, shards own %d, total %d", len(e.assign), owned, e.total)
+	}
+	for id, si := range e.assign {
+		if si < 0 || si >= len(e.shards) || !e.shards[si].m.Has(id) {
+			return fmt.Errorf("shard: query %d assigned to shard %d but not owned there", id, si)
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ita/internal/core"
+	"ita/internal/shard"
 	"ita/internal/vsm"
 	"ita/internal/window"
 )
@@ -22,6 +23,12 @@ const (
 	// NaivePlain is NaiveKmax with kmax = k: the unenhanced baseline of
 	// §II of the paper.
 	NaivePlain
+	// ShardedIncrementalThreshold is ITA with query-sharded parallel
+	// maintenance: the inverted index stays a single-writer structure,
+	// and per-query threshold/result maintenance fans out across shard
+	// worker goroutines after every index mutation. Results are
+	// identical to IncrementalThreshold; see WithShards.
+	ShardedIncrementalThreshold
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +40,8 @@ func (a Algorithm) String() string {
 		return "naive-kmax"
 	case NaivePlain:
 		return "naive-plain"
+	case ShardedIncrementalThreshold:
+		return "ita-sharded"
 	default:
 		return fmt.Sprintf("algorithm(%d)", int(a))
 	}
@@ -41,12 +50,15 @@ func (a Algorithm) String() string {
 type config struct {
 	policy        window.Policy
 	algorithm     Algorithm
+	algorithmSet  bool
 	weighter      vsm.Weighter
 	stemming      bool
 	stopwords     bool
 	retainText    bool
 	seed          uint64
 	disableRollup bool
+	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
+	shardsSet     bool
 }
 
 // Option configures New.
@@ -85,12 +97,33 @@ func WithTimeWindow(d time.Duration) Option {
 func WithAlgorithm(a Algorithm) Option {
 	return func(c *config) error {
 		switch a {
-		case IncrementalThreshold, NaiveKmax, NaivePlain:
+		case IncrementalThreshold, NaiveKmax, NaivePlain, ShardedIncrementalThreshold:
 			c.algorithm = a
+			c.algorithmSet = true
 			return nil
 		default:
 			return fmt.Errorf("ita: unknown algorithm %d", int(a))
 		}
+	}
+}
+
+// WithShards selects the sharded parallel ITA engine
+// (ShardedIncrementalThreshold) with n shards; n = 0 uses
+// runtime.GOMAXPROCS. Registered queries are partitioned across the
+// shards and every arrival/expiration fans its per-query maintenance
+// out to shard worker goroutines against a quiescent index, so results
+// are identical to the single-threaded engine. Worth it once the
+// per-event query maintenance (many standing queries) dominates the
+// index mutation; a single-shard engine runs inline with no worker
+// goroutines. Combining WithShards with a Naïve algorithm is an error.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("ita: shard count must be >= 0, got %d", n)
+		}
+		c.shards = n
+		c.shardsSet = true
+		return nil
 	}
 }
 
@@ -142,6 +175,12 @@ func (c *config) build() core.Engine {
 	case NaivePlain:
 		return core.NewNaive(c.policy, core.WithNaiveSeed(c.seed),
 			core.WithKmax(func(k int) int { return k }))
+	case ShardedIncrementalThreshold:
+		opts := []shard.Option{shard.WithSeed(c.seed)}
+		if c.disableRollup {
+			opts = append(opts, shard.WithoutRollup())
+		}
+		return shard.New(c.policy, c.shards, opts...)
 	default:
 		opts := []core.ITAOption{core.WithITASeed(c.seed)}
 		if c.disableRollup {

@@ -1,0 +1,274 @@
+package ita
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// feedTexts generates a deterministic stream of small overlapping
+// documents for facade-level equivalence checks.
+func feedTexts(n int) []string {
+	words := []string{"oil", "crude", "market", "price", "export", "tanker", "refinery", "barrel"}
+	out := make([]string, n)
+	for i := range out {
+		a := words[i%len(words)]
+		b := words[(i*3+1)%len(words)]
+		c := words[(i*5+2)%len(words)]
+		out[i] = fmt.Sprintf("%s %s %s report %d", a, b, c, i%7)
+	}
+	return out
+}
+
+// TestWithShardsMatchesSingleThreaded drives the sharded facade engine
+// and the default single-threaded one through an identical text stream
+// and requires identical results for every query at every step.
+func TestWithShardsMatchesSingleThreaded(t *testing.T) {
+	single := newEngine(t, WithCountWindow(12))
+	sharded := newEngine(t, WithCountWindow(12), WithShards(4))
+	defer sharded.Close()
+
+	if got := sharded.Algorithm(); got != ShardedIncrementalThreshold {
+		t.Fatalf("Algorithm() = %v, want ShardedIncrementalThreshold", got)
+	}
+	if got := sharded.Algorithm().String(); got != "ita-sharded" {
+		t.Fatalf("Algorithm().String() = %q", got)
+	}
+
+	queries := []string{"crude oil", "tanker export market", "refinery barrel price", "oil price"}
+	for _, q := range queries {
+		id1, err := single.Register(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id2, err := sharded.Register(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id1 != id2 {
+			t.Fatalf("query ids diverge: %d vs %d", id1, id2)
+		}
+	}
+	for i, text := range feedTexts(80) {
+		ts := at(i * 10)
+		if _, err := single.IngestText(text, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.IngestText(text, ts); err != nil {
+			t.Fatal(err)
+		}
+		for qid := QueryID(1); qid <= 4; qid++ {
+			want := single.Results(qid)
+			got := sharded.Results(qid)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d query %d:\nsharded %v\nsingle  %v", i, qid, got, want)
+			}
+		}
+	}
+	if single.Stats() != sharded.Stats() {
+		t.Fatalf("stats diverge:\nsharded %+v\nsingle  %+v", sharded.Stats(), single.Stats())
+	}
+}
+
+// TestIngestBatch checks the batch ingestion path against per-document
+// ingestion on both the single-threaded (fallback loop) and sharded
+// (ProcessBatch) engines, including watch-delta delivery.
+func TestIngestBatch(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var loop, batch *Engine
+			if shards == 1 {
+				loop, batch = newEngine(t, WithCountWindow(10)), newEngine(t, WithCountWindow(10))
+			} else {
+				loop = newEngine(t, WithCountWindow(10), WithShards(shards))
+				batch = newEngine(t, WithCountWindow(10), WithShards(shards))
+				defer loop.Close()
+				defer batch.Close()
+			}
+			if _, err := loop.Register("crude oil market", 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := batch.Register("crude oil market", 3); err != nil {
+				t.Fatal(err)
+			}
+			var fired int
+			if err := batch.Watch(1, func(d Delta) { fired++ }); err != nil {
+				t.Fatal(err)
+			}
+
+			texts := feedTexts(30)
+			items := make([]TimedText, len(texts))
+			var loopIDs []DocID
+			for i, text := range texts {
+				ts := at(i * 10)
+				items[i] = TimedText{Text: text, At: ts}
+				id, err := loop.IngestText(text, ts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				loopIDs = append(loopIDs, id)
+			}
+			batchIDs, err := batch.IngestBatch(items)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batchIDs, loopIDs) {
+				t.Fatalf("ids diverge: %v vs %v", batchIDs, loopIDs)
+			}
+			if got, want := batch.Results(1), loop.Results(1); !reflect.DeepEqual(got, want) {
+				t.Fatalf("results diverge:\nbatch %v\nloop  %v", got, want)
+			}
+			if fired != 1 {
+				t.Fatalf("watch fired %d times, want 1 cumulative delta", fired)
+			}
+			if batch.WindowLen() != 10 {
+				t.Fatalf("WindowLen = %d, want 10", batch.WindowLen())
+			}
+
+			// Empty and regressing batches.
+			if ids, err := batch.IngestBatch(nil); err != nil || ids != nil {
+				t.Fatalf("empty batch: %v, %v", ids, err)
+			}
+			_, err = batch.IngestBatch([]TimedText{{Text: "x", At: at(0)}})
+			if err == nil {
+				t.Fatal("time-regressing batch succeeded")
+			}
+			// Regression *within* a batch must fail before processing.
+			before := batch.Stats().Arrivals
+			_, err = batch.IngestBatch([]TimedText{
+				{Text: "x", At: at(10000)},
+				{Text: "y", At: at(9000)},
+			})
+			if err == nil {
+				t.Fatal("internally regressing batch succeeded")
+			}
+			if got := batch.Stats().Arrivals; got != before {
+				t.Fatalf("failed batch processed %d documents", got-before)
+			}
+		})
+	}
+}
+
+// TestWithShardsValidation covers the option's interaction with
+// explicit algorithm choices.
+func TestWithShardsValidation(t *testing.T) {
+	if _, err := New(WithCountWindow(5), WithShards(-1)); err == nil {
+		t.Fatal("WithShards(-1) accepted")
+	}
+	if _, err := New(WithCountWindow(5), WithShards(2), WithAlgorithm(NaiveKmax)); err == nil {
+		t.Fatal("WithShards + NaiveKmax accepted")
+	}
+	// Explicit single-threaded ITA + shards upgrades to sharded.
+	e, err := New(WithCountWindow(5), WithAlgorithm(IncrementalThreshold), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Algorithm() != ShardedIncrementalThreshold {
+		t.Fatalf("Algorithm() = %v", e.Algorithm())
+	}
+	// Auto shard count.
+	auto, err := New(WithCountWindow(5), WithShards(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+	// Close is idempotent and safe on unsharded engines too.
+	plain := newEngine(t, WithCountWindow(5))
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedSnapshotRoundTrip checks that the shard configuration
+// survives Snapshot/Restore and the restored engine serves identical
+// results.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8), WithShards(3), WithTextRetention())
+	defer e.Close()
+	if _, err := e.Register("crude oil market", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i, text := range feedTexts(20) {
+		if _, err := e.IngestText(text, at(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Algorithm() != ShardedIncrementalThreshold {
+		t.Fatalf("restored Algorithm() = %v", r.Algorithm())
+	}
+	if got, want := r.Results(1), e.Results(1); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored results diverge:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestTextRingCompaction exercises the head-compaction path of the
+// retained-text ring: under a small count window and a long stream the
+// dead prefix must be reclaimed instead of pinning the backing array.
+func TestTextRingCompaction(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5), WithTextRetention())
+	for i := 0; i < 500; i++ {
+		if _, err := e.IngestText(fmt.Sprintf("doc number %d unique text", i), at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := e.texts
+	if len(r.byID) != 5 {
+		t.Fatalf("retained %d texts, want 5", len(r.byID))
+	}
+	if len(r.order)-r.head != 5 {
+		t.Fatalf("live order region %d, want 5", len(r.order)-r.head)
+	}
+	if len(r.order) > 200 {
+		t.Fatalf("order backing grew to %d entries under a 5-document window; dead prefix not compacted", len(r.order))
+	}
+	// The five youngest documents keep their texts.
+	for i := 495; i < 500; i++ {
+		want := fmt.Sprintf("doc number %d unique text", i)
+		if got := r.get(DocID(i + 1)); got != want {
+			t.Fatalf("text of doc %d = %q, want %q", i+1, got, want)
+		}
+	}
+}
+
+// TestShardedWatch checks watches fire identically on the sharded
+// engine.
+func TestShardedWatch(t *testing.T) {
+	e := newEngine(t, WithCountWindow(4), WithShards(2), WithTextRetention())
+	defer e.Close()
+	q, err := e.Register("breaking alert", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entered []DocID
+	if err := e.Watch(q, func(d Delta) {
+		for _, m := range d.Entered {
+			entered = append(entered, m.Doc)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("no match here", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.IngestText("breaking news alert", at(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entered) != 1 || entered[0] != id {
+		t.Fatalf("entered = %v, want [%d]", entered, id)
+	}
+}

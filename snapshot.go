@@ -32,6 +32,10 @@ type snapshot struct {
 	OkapiAvgDL float64
 	RetainText bool
 	Seed       uint64
+	// Shard count of the sharded engine (0 = auto); meaningful only
+	// when Algorithm is ShardedIncrementalThreshold. Older snapshots
+	// decode it as zero, which restores with the automatic count.
+	Shards int
 	// Dictionary terms in id order, so interned ids survive the round
 	// trip and query/document term ids keep matching.
 	Terms []string
@@ -73,6 +77,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		Stopwords:  e.cfg.stopwords,
 		RetainText: e.cfg.retainText,
 		Seed:       e.cfg.seed,
+		Shards:     e.cfg.shards,
 		NextDoc:    uint64(e.nextDoc),
 		NextQuery:  uint64(e.nextQuery),
 		LastAtNs:   e.lastAt.UnixNano(),
@@ -131,6 +136,9 @@ func Restore(r io.Reader) (*Engine, error) {
 		return nil, fmt.Errorf("ita: snapshot version %d, want %d", s.Version, snapshotVersion)
 	}
 	opts := []Option{WithAlgorithm(s.Algorithm), WithSeed(s.Seed)}
+	if s.Algorithm == ShardedIncrementalThreshold {
+		opts = append(opts, WithShards(s.Shards))
+	}
 	if s.CountN > 0 {
 		opts = append(opts, WithCountWindow(s.CountN))
 	} else {
