@@ -8,6 +8,7 @@
 //	itabench -exp setup               # corpus calibration report (E0)
 //	itabench -exp ablations -csv out/ # ablations, also written as CSV
 //	itabench -exp throughput -queries 10000 -shards 1,2,4,8 -json BENCH_SHARDED.json
+//	itabench -exp batch -queries 10000 -epochs 1,8,64,256 -shards 4 -json BENCH_BATCH.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -29,17 +30,18 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
 		// -exp throughput knobs: the sharding experiment sweeps the
 		// single-threaded engine plus every count in -shards.
-		queries  = flag.Int("queries", 10000, "throughput: standing queries")
-		shardSet = flag.String("shards", "1,2,4,8", "throughput: comma-separated shard counts")
+		queries  = flag.Int("queries", 10000, "throughput/batch: standing queries")
+		shardSet = flag.String("shards", "1,2,4,8", "throughput/batch: comma-separated shard counts")
 		batch    = flag.Int("batch", 64, "throughput: ProcessBatch size")
-		events   = flag.Int("events", 2000, "throughput: measured events per configuration")
-		jsonOut  = flag.String("json", "", "throughput: write the report as JSON to this path")
+		epochSet = flag.String("epochs", "1,8,64,256", "batch: comma-separated epoch sizes B")
+		events   = flag.Int("events", 2000, "throughput/batch: measured events per configuration")
+		jsonOut  = flag.String("json", "", "throughput/batch: write the report as JSON to this path")
 	)
 	flag.Parse()
 
@@ -88,32 +90,21 @@ func main() {
 		fmt.Print(report.Format())
 		return
 	case "throughput":
-		var counts []int
-		for _, f := range strings.Split(*shardSet, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 0 {
-				fmt.Fprintf(os.Stderr, "itabench: bad -shards element %q\n", f)
-				os.Exit(2)
-			}
-			counts = append(counts, n)
-		}
-		rep, err := harness.Throughput(p, *queries, 10, 1000, *batch, counts, *events, progress)
+		rep, err := harness.Throughput(p, *queries, 10, 1000, *batch, parseInts(*shardSet, "-shards", 0), *events, progress)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Print(rep.Format())
-		if *jsonOut != "" {
-			data, err := rep.JSON()
-			if err != nil {
-				fail(err)
-			}
-			if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
-				fail(err)
-			}
-			if !*quiet {
-				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
-			}
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "batch":
+		rep, err := harness.BatchSweep(p, *queries, 10, 1000,
+			parseInts(*epochSet, "-epochs", 1), parseInts(*shardSet, "-shards", 0), *events, progress)
+		if err != nil {
+			fail(err)
 		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
 		return
 	case "fig3a":
 		figures = []harness.Figure{harness.Fig3a(p, progress)}
@@ -168,4 +159,37 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "itabench: %v\n", err)
 	os.Exit(1)
+}
+
+// parseInts parses a comma-separated list of integers, each at least
+// minVal (0 for -shards, where 0 means the automatic count; 1 for
+// -epochs, where no smaller epoch exists).
+func parseInts(s, flagName string, minVal int) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < minVal {
+			fmt.Fprintf(os.Stderr, "itabench: bad %s element %q\n", flagName, f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// writeJSON writes a report to path when path is non-empty.
+func writeJSON(path string, marshal func() ([]byte, error), quiet bool) {
+	if path == "" {
+		return
+	}
+	data, err := marshal()
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
 }

@@ -11,8 +11,11 @@
 //	GET  /queries/{id}                                → current top-k
 //	GET  /stats                                       → engine counters
 //
-// With -demo, a built-in newswire feed publishes articles at -rate
-// documents per second so the server is immediately interesting:
+// With -batch n, ingested documents coalesce into epochs of n that are
+// processed in one amortized pass (a background -flush interval bounds
+// how long a partial epoch can keep results stale). With -demo, a
+// built-in newswire feed publishes articles at -rate documents per
+// second so the server is immediately interesting:
 //
 //	itaserver -demo -rate 20 &
 //	curl -s -X POST localhost:8095/queries -d '{"text":"crude oil production","k":3}'
@@ -141,6 +144,8 @@ func main() {
 		demo    = flag.Bool("demo", false, "publish a built-in newswire stream")
 		rate    = flag.Float64("rate", 10, "demo feed rate, documents/second")
 		shards  = flag.Int("shards", 1, "query-maintenance shards: 1 = single-threaded ITA, 0 = one per CPU, n = fixed count")
+		batch   = flag.Int("batch", 1, "epoch batch size: ingested documents coalesce into epochs of this size (1 = process every document immediately)")
+		flushIv = flag.Duration("flush", 50*time.Millisecond, "with -batch > 1: maximum time a partial epoch stays buffered before a background flush")
 	)
 	flag.Parse()
 
@@ -153,11 +158,30 @@ func main() {
 	if *shards != 1 {
 		opts = append(opts, ita.WithShards(*shards))
 	}
+	if *batch > 1 {
+		opts = append(opts, ita.WithBatchSize(*batch))
+	}
 	eng, err := ita.New(opts...)
 	if err != nil {
 		log.Fatalf("itaserver: %v", err)
 	}
 	s := &server{eng: eng}
+
+	if *batch > 1 && *flushIv > 0 {
+		// Bound result staleness: a partial epoch flushes after at most
+		// -flush of quiet, so a burst gets epoch amortization while a
+		// trickle still surfaces promptly.
+		go func() {
+			tick := time.NewTicker(*flushIv)
+			defer tick.Stop()
+			for range tick.C {
+				if err := eng.Flush(); err != nil {
+					log.Printf("itaserver: flush: %v", err)
+				}
+			}
+		}()
+		log.Printf("epoch batching: B=%d, background flush every %s", *batch, *flushIv)
+	}
 
 	if *demo {
 		go func() {

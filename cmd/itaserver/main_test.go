@@ -11,12 +11,14 @@ import (
 	"ita"
 )
 
-func newTestServer(t *testing.T) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, extra ...ita.Option) (*server, *httptest.Server) {
 	t.Helper()
-	eng, err := ita.New(ita.WithCountWindow(100), ita.WithTextRetention())
+	opts := append([]ita.Option{ita.WithCountWindow(100), ita.WithTextRetention()}, extra...)
+	eng, err := ita.New(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { eng.Close() })
 	s := &server{eng: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
@@ -202,6 +204,37 @@ func TestServerDefaultK(t *testing.T) {
 	}
 	if got := len(s.eng.Results(qid)); got != 10 {
 		t.Fatalf("results = %d, want default k=10", got)
+	}
+}
+
+// TestServerBatchedIngestion runs the server over an epoch-batched
+// engine (the -batch flag's configuration): documents buffer until an
+// epoch fills or a flush runs, then results catch up.
+func TestServerBatchedIngestion(t *testing.T) {
+	s, ts := newTestServer(t, ita.WithBatchSize(3))
+	resp, body := post(t, ts.URL+"/queries", `{"text":"crude oil","k":5}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /queries = %d", resp.StatusCode)
+	}
+	qid := ita.QueryID(body["query"].(float64))
+
+	for i, text := range []string{"crude oil exports rose", "crude oil futures fell"} {
+		resp, _ := post(t, ts.URL+"/documents", `{"text":`+strconvQuote(text)+`}`)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /documents %d = %d", i, resp.StatusCode)
+		}
+	}
+	// Two of three epoch slots filled: results still reflect the empty
+	// flushed state.
+	if got := s.eng.Results(qid); len(got) != 0 {
+		t.Fatalf("results before flush = %+v, want none", got)
+	}
+	// The background -flush ticker calls exactly this.
+	if err := s.eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.eng.Results(qid); len(got) != 2 {
+		t.Fatalf("results after flush = %+v, want both documents", got)
 	}
 }
 

@@ -57,6 +57,31 @@
 // workers, and prefer IngestBatch for high-volume feeds. See README.md
 // for the architecture.
 //
+// # Epoch-batched ingestion
+//
+// WithBatchSize(B) lifts event processing from event-serial to
+// epoch-batched: IngestText calls buffer their analyzed documents and
+// the engine applies them as one epoch — a single net index-mutation
+// pass (documents that arrive and expire within the epoch never touch
+// the inverted lists), batch-wide deduplication of affected queries,
+// and at most one refill search plus one roll-up per query per epoch
+// instead of per event. IngestBatch always routes through the epoch
+// path. An epoch flushes when B documents accumulate, on Flush, or
+// before any operation that needs the stream applied (Register,
+// Unregister, Advance, Snapshot, Close).
+//
+// Per-query results at every epoch boundary equal event-serial
+// processing of the same stream (documents tying exactly at a query's
+// k-th score may resolve to either tied document — both are correct);
+// the race-enabled equivalence suites enforce this for epoch sizes
+// B ∈ {1, 4, 64} across shard counts S ∈ {1, 2, 8}. The trade is
+// bounded read staleness: Results, Stats and WindowLen reflect flushed
+// epochs only, at most B−1 documents behind, and watchers receive one
+// coalesced delta per query per epoch. Combine with WithShards to also
+// amortize the per-event fan-out barrier — one two-phase barrier per
+// epoch instead of per event. BENCH_BATCH.json records the measured
+// epoch-size sweep (itabench -exp batch).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.
 package ita

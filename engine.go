@@ -56,6 +56,21 @@ type Engine struct {
 	queryText map[QueryID]string
 	texts     *textRing
 	watches   map[QueryID]*watchState
+
+	// Epoch buffer (WithBatchSize > 1): analyzed documents awaiting the
+	// next flush, with their original texts when retention is on. Ids
+	// and the stream clock are assigned at buffer time; the documents
+	// reach the inner engine as one epoch at flush time.
+	pending     []*model.Document
+	pendingText []string
+
+	// Watch-delta delivery queue: deltas are enqueued in epoch order
+	// under mu and drained by one goroutine at a time outside it, so
+	// concurrent flushers cannot deliver epochs out of order. See
+	// queueDeltasLocked / deliverQueued in watch.go.
+	dmu        sync.Mutex
+	deliveryQ  []pendingDelta
+	delivering bool
 }
 
 // New builds an engine. A window option (WithCountWindow or
@@ -109,13 +124,20 @@ func New(opts ...Option) (*Engine, error) {
 // no terms (for example, all stopwords) is still ingested: it occupies
 // a window slot, matches nothing, and expires normally — exactly how
 // the paper's window semantics treat it.
+//
+// With WithBatchSize(n), the document is buffered and processed as part
+// of the next epoch (when n documents have accumulated, on Flush, or
+// before Register/Unregister/Advance/Snapshot/Close); the id is
+// assigned immediately, but reads reflect the document only after the
+// epoch flushes.
 func (e *Engine) IngestText(text string, at time.Time) (DocID, error) {
 	e.mu.Lock()
 	id, deltas, err := e.ingestLocked(text, at)
+	e.queueDeltasLocked(deltas)
 	e.mu.Unlock()
 	// Watch callbacks run outside the lock so they may call back into
 	// the engine.
-	deliver(deltas)
+	e.deliverQueued()
 	return id, err
 }
 
@@ -127,6 +149,23 @@ func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta,
 	doc, err := model.NewDocument(e.nextDoc, at, e.cfg.weighter.DocPostings(freqs))
 	if err != nil {
 		return 0, nil, fmt.Errorf("ita: analyze document: %w", err)
+	}
+	if e.cfg.batchSize > 1 {
+		// Epoch-batched ingestion: buffer the analyzed document and
+		// flush once a full epoch has accumulated.
+		e.lastAt = at
+		e.nextDoc++
+		e.pending = append(e.pending, doc)
+		if e.texts != nil {
+			e.pendingText = append(e.pendingText, text)
+		}
+		if len(e.pending) < e.cfg.batchSize {
+			return doc.ID, nil, nil
+		}
+		if err := e.flushLocked(); err != nil {
+			return doc.ID, nil, err
+		}
+		return doc.ID, e.collectDeltas(), nil
 	}
 	if err := e.inner.Process(doc); err != nil {
 		return 0, nil, err
@@ -145,31 +184,37 @@ type TimedText struct {
 	At   time.Time
 }
 
-// batchProcessor is implemented by engines (the sharded ITA) that accept
-// a whole batch of arrivals in one call.
-type batchProcessor interface {
-	ProcessBatch(docs []*model.Document) error
+// epochProcessor is implemented by engines (ITA and the sharded ITA)
+// that process a whole batch of arrivals as one epoch; see
+// core.EpochProcessor. Engines without it (the Naïve baselines) fall
+// back to an event-serial loop inside the flush.
+type epochProcessor interface {
+	ProcessEpoch(docs []*model.Document) error
 }
 
 // IngestBatch analyzes and processes a batch of document arrivals under
 // a single engine lock, returning the assigned ids in order. Arrival
 // times must be non-decreasing within the batch and not precede earlier
-// ingests. Results are identical to calling IngestText in a loop; the
-// batch amortizes the facade's per-call work — lock acquisition,
-// monotonicity validation and watch-delta collection — across the
-// batch, which makes it the preferred ingestion path for high-volume
-// feeds. (Engine-level event processing is not batched: every event
-// still fans out individually so maintenance sees the exact per-event
-// index states.) Watch callbacks observe one cumulative delta per
-// query instead of one per document.
+// ingests. The batch is routed through the epoch pipeline: the call's
+// documents (together with any WithBatchSize buffer) form one epoch —
+// one net index mutation pass and one net maintenance pass per affected
+// query — so per-query results after the call are identical to calling
+// IngestText in a loop (when documents tie exactly at a query's k-th
+// score, either maintenance schedule may report either tied document;
+// both are correct top-k answers), while the per-event work — index
+// point mutations, shard fan-out barriers, redundant refills — is
+// amortized across the batch. This makes IngestBatch the preferred
+// ingestion path for high-volume feeds. Watch callbacks observe one
+// cumulative delta per query instead of one per document.
 func (e *Engine) IngestBatch(items []TimedText) ([]DocID, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
 	e.mu.Lock()
 	ids, deltas, err := e.ingestBatchLocked(items)
+	e.queueDeltasLocked(deltas)
 	e.mu.Unlock()
-	deliver(deltas)
+	e.deliverQueued()
 	return ids, err
 }
 
@@ -183,8 +228,10 @@ func (e *Engine) ingestBatchLocked(items []TimedText) ([]DocID, []pendingDelta, 
 		}
 		last = it.At
 	}
-	docs := make([]*model.Document, len(items))
+	// Analyze into a local slice first: a bad item must fail the batch
+	// before anything reaches the epoch buffer.
 	ids := make([]DocID, len(items))
+	docs := make([]*model.Document, len(items))
 	for i, it := range items {
 		doc, err := model.NewDocument(e.nextDoc+model.DocID(i), it.At, e.cfg.weighter.DocPostings(e.pipeline.TermFreqs(it.Text)))
 		if err != nil {
@@ -193,94 +240,171 @@ func (e *Engine) ingestBatchLocked(items []TimedText) ([]DocID, []pendingDelta, 
 		docs[i] = doc
 		ids[i] = doc.ID
 	}
-	if bp, ok := e.inner.(batchProcessor); ok {
-		if err := bp.ProcessBatch(docs); err != nil {
-			return nil, nil, err
-		}
-	} else {
-		for _, doc := range docs {
-			if err := e.inner.Process(doc); err != nil {
-				return nil, nil, err
-			}
+	e.pending = append(e.pending, docs...)
+	if e.texts != nil {
+		for _, it := range items {
+			e.pendingText = append(e.pendingText, it.Text)
 		}
 	}
-	e.nextDoc += model.DocID(len(docs))
+	e.nextDoc += model.DocID(len(items))
 	e.lastAt = last
-	if e.texts != nil {
-		for i, doc := range docs {
-			e.texts.add(doc.ID, doc.Arrival, items[i].Text)
+	// Without WithBatchSize the whole call is one epoch; with it, the
+	// buffer keeps accumulating until a full epoch is reached.
+	if e.cfg.batchSize <= 1 || len(e.pending) >= e.cfg.batchSize {
+		if err := e.flushLocked(); err != nil {
+			return ids, nil, err
 		}
 	}
 	return ids, e.collectDeltas(), nil
 }
 
-// Close releases engine resources — for the sharded engine, its shard
-// worker goroutines. The engine must not be used afterwards. Close is
-// idempotent and a no-op for the single-threaded engines.
-func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if c, ok := e.inner.(interface{ Close() error }); ok {
-		return c.Close()
+// flushLocked processes the buffered epoch through the inner engine.
+// Must be called with e.mu held. On return the buffer is empty; on
+// error the buffered documents are discarded (their ids stay consumed).
+func (e *Engine) flushLocked() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	docs, texts := e.pending, e.pendingText
+	e.pending, e.pendingText = e.pending[:0], e.pendingText[:0]
+	if ep, ok := e.inner.(epochProcessor); ok {
+		if err := ep.ProcessEpoch(docs); err != nil {
+			return err
+		}
+	} else {
+		for _, doc := range docs {
+			if err := e.inner.Process(doc); err != nil {
+				return err
+			}
+		}
+	}
+	if e.texts != nil {
+		for i, doc := range docs {
+			e.texts.add(doc.ID, doc.Arrival, texts[i])
+		}
 	}
 	return nil
 }
 
+// Flush processes any documents buffered by WithBatchSize as one epoch,
+// delivering the epoch's watch deltas. It is a no-op when nothing is
+// buffered (in particular, always, without WithBatchSize). Use it to
+// bound result staleness on a stream that has gone quiet.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	err := e.flushLocked()
+	e.queueDeltasLocked(e.collectDeltas())
+	e.mu.Unlock()
+	e.deliverQueued()
+	return err
+}
+
+// Close flushes any buffered epoch and releases engine resources — for
+// the sharded engine, its shard worker goroutines. The final epoch's
+// watch deltas are delivered before the inner engine shuts down, so a
+// callback that re-enters the engine (as WatchFunc permits) still finds
+// it live. The engine must not be used afterwards. Close is idempotent
+// and a no-op for the single-threaded engines.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	err := e.flushLocked()
+	e.queueDeltasLocked(e.collectDeltas())
+	e.mu.Unlock()
+	e.deliverQueued()
+	e.mu.Lock()
+	if c, ok := e.inner.(interface{ Close() error }); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	e.mu.Unlock()
+	return err
+}
+
 // Advance moves the stream clock forward without an arrival, expiring
 // documents from time-based windows. Count-based windows are unaffected.
+// Any buffered epoch is flushed first: its documents arrived before now.
 func (e *Engine) Advance(now time.Time) error {
 	e.mu.Lock()
 	if now.Before(e.lastAt) {
 		e.mu.Unlock()
 		return fmt.Errorf("%w: %s < %s", ErrTimeRegression, now, e.lastAt)
 	}
+	if err := e.flushLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	e.lastAt = now
 	e.inner.ExpireUntil(now)
-	deltas := e.collectDeltas()
+	e.queueDeltasLocked(e.collectDeltas())
 	if e.texts != nil {
 		e.texts.expire(now)
 	}
 	e.mu.Unlock()
-	deliver(deltas)
+	e.deliverQueued()
 	return nil
 }
 
 // Register installs a continuous query: the k most similar documents to
 // queryText are maintained from now on. Term frequency in the query
 // text weights the terms, as in the paper's {white white tower} example.
+// Any buffered epoch is flushed first so the initial top-k search sees
+// every document ingested before the call.
 func (e *Engine) Register(queryText string, k int) (QueryID, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	id, deltas, err := e.registerLocked(queryText, k)
+	e.queueDeltasLocked(deltas)
+	e.mu.Unlock()
+	e.deliverQueued()
+	return id, err
+}
+
+func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelta, error) {
 	freqs := e.pipeline.TermFreqs(queryText)
 	if len(freqs) == 0 {
-		return 0, ErrNoQueryTerms
+		return 0, nil, ErrNoQueryTerms
 	}
 	q, err := model.NewQuery(e.nextQuery, k, e.cfg.weighter.QueryTerms(freqs))
 	if err != nil {
-		return 0, fmt.Errorf("ita: analyze query: %w", err)
+		return 0, nil, fmt.Errorf("ita: analyze query: %w", err)
 	}
+	if err := e.flushLocked(); err != nil {
+		return 0, nil, err
+	}
+	deltas := e.collectDeltas()
 	if err := e.inner.Register(q); err != nil {
-		return 0, err
+		return 0, deltas, err
 	}
 	id := e.nextQuery
 	e.nextQuery++
 	e.queryText[id] = queryText
-	return id, nil
+	return id, deltas, nil
 }
 
 // Unregister removes a query and any watcher on it, reporting whether
-// the query existed.
+// the query existed. Like Register, it flushes any buffered epoch first
+// so the buffered documents were maintained while the query was live.
 func (e *Engine) Unregister(id QueryID) bool {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	// The bool signature cannot carry a flush error; one is impossible
+	// by construction here (facade-assigned ids are unique and arrival
+	// times were validated at buffer time), so it is deliberately
+	// discarded rather than widening the API.
+	_ = e.flushLocked()
+	e.queueDeltasLocked(e.collectDeltas())
 	delete(e.queryText, id)
 	delete(e.watches, id)
-	return e.inner.Unregister(id)
+	ok := e.inner.Unregister(id)
+	e.mu.Unlock()
+	e.deliverQueued()
+	return ok
 }
 
 // Results returns the query's current top-k in descending score order.
 // It returns nil for an unknown query; a registered query with no
-// matching documents returns an empty non-nil slice.
+// matching documents returns an empty non-nil slice. With WithBatchSize,
+// results reflect flushed epochs only — at most batchSize-1 documents
+// behind the last IngestText; call Flush first for read-your-writes.
 func (e *Engine) Results(id QueryID) []Match {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -307,7 +431,8 @@ func (e *Engine) QueryText(id QueryID) (string, bool) {
 	return s, ok
 }
 
-// WindowLen returns the number of currently valid documents.
+// WindowLen returns the number of currently valid documents in flushed
+// epochs (buffered documents are not yet part of the window).
 func (e *Engine) WindowLen() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -54,12 +54,25 @@ type Engine interface {
 	Stats() *Stats
 }
 
+// EpochProcessor is implemented by engines (ITA and the sharded ITA)
+// that can process a batch of arrivals — plus every expiration the
+// window policy derives from it — as a single epoch: index mutations
+// are staged in one pass, and per-query maintenance runs once per
+// affected query with the batch's net effect. Per-query results at the
+// epoch boundary are identical to a Process loop over the same
+// documents; intermediate per-event states are never materialized, and
+// operation counters reflect the amortized work actually performed.
+type EpochProcessor interface {
+	ProcessEpoch(docs []*model.Document) error
+}
+
 // Stats counts the primitive operations that dominate each algorithm's
 // cost. The experiment harness reports them alongside wall-clock
 // timings to explain *why* the curves look the way they do.
 type Stats struct {
 	Arrivals    uint64 // documents inserted
 	Expirations uint64 // documents expired
+	Epochs      uint64 // multi-document epochs processed (ProcessEpoch)
 	// ITA counters.
 	ProbeHits    uint64 // threshold-tree probe results (query, event) pairs
 	SearchReads  uint64 // inverted-list entries consumed by search/refill
@@ -81,6 +94,7 @@ type Stats struct {
 func (s *Stats) Add(o *Stats) {
 	s.Arrivals += o.Arrivals
 	s.Expirations += o.Expirations
+	s.Epochs += o.Epochs
 	s.ProbeHits += o.ProbeHits
 	s.SearchReads += o.SearchReads
 	s.RollupSteps += o.RollupSteps

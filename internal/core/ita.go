@@ -109,6 +109,37 @@ func (e *ITA) Process(d *model.Document) error {
 	return nil
 }
 
+// ProcessEpoch implements EpochProcessor: the whole batch of arrivals,
+// and every expiration the window policy derives from it, is applied as
+// one epoch. The index absorbs the net mutations in a single ApplyBatch
+// pass, then the maintainer runs one net-effect pass over the affected
+// queries (HandleEpoch). Per-query results at the epoch boundary are
+// identical to a Process loop over the same documents; intermediate
+// states are simply never materialized. Arrival times must be
+// non-decreasing within the batch.
+func (e *ITA) ProcessEpoch(docs []*model.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	if len(docs) == 1 {
+		return e.Process(docs[0])
+	}
+	now := docs[len(docs)-1].Arrival
+	res, err := e.index.ApplyBatch(docs, func(oldest *model.Document, count int) bool {
+		return e.policy.Expired(oldest.Arrival, now, count)
+	})
+	if err != nil {
+		return err
+	}
+	e.stats.Epochs++
+	e.stats.Arrivals += uint64(len(docs))
+	e.stats.Expirations += uint64(len(res.Expired) + res.Dropped)
+	e.stats.IndexInserts += uint64(res.Inserts)
+	e.stats.IndexDeletes += uint64(res.Deletes)
+	e.m.HandleEpoch(docs[res.Dropped:], res.Expired)
+	return nil
+}
+
 // ExpireUntil implements Engine.
 func (e *ITA) ExpireUntil(now time.Time) { e.expireWhile(now) }
 

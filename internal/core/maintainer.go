@@ -37,6 +37,19 @@ type Maintainer struct {
 	// processing allocation-free.
 	touched     []*queryState
 	touchedMark map[model.QueryID]struct{}
+
+	// Epoch scratch: per-query net work lists reused across HandleEpoch
+	// calls (the inner adds/dels slices keep their capacity).
+	epochQueue []epochWork
+	epochIdx   map[model.QueryID]int
+}
+
+// epochWork is the net effect of one epoch on one query: the arrived
+// documents that probe ahead of a local threshold and the expired ones.
+type epochWork struct {
+	qs   *queryState
+	adds []*model.Document
+	dels []*model.Document
 }
 
 // MaintainerConfig carries the tuning knobs shared by the single-threaded
@@ -61,6 +74,7 @@ func NewMaintainer(index *invindex.Index, stats *Stats, cfg MaintainerConfig) *M
 		rollupEnabled: !cfg.DisableRollup,
 		greedyProbe:   !cfg.RoundRobinProbe,
 		touchedMark:   make(map[model.QueryID]struct{}),
+		epochIdx:      make(map[model.QueryID]int),
 	}
 }
 
@@ -233,5 +247,127 @@ func (m *Maintainer) HandleExpire(d *model.Document) {
 			m.stats.Refills++
 			m.runSearch(qs)
 		}
+	}
+}
+
+// HandleEpoch applies the net effect of one epoch — a batch of arrivals
+// and expirations — to the owned queries. The index must already
+// reflect the epoch-end state (arrived inserted, expired removed, both
+// lists excluding documents that arrived and expired within the epoch)
+// and stay unmodified for the duration of the call.
+//
+// Every epoch document is probed against the threshold trees first,
+// with the epoch-start thresholds, deduplicating affected queries
+// across the whole batch; each affected query then gets one net
+// maintenance pass (maintainEpoch). Probing before any maintenance is
+// sound in both directions: an expired document still in some R is
+// necessarily covered by an epoch-start threshold (the R-coverage
+// invariant), so its queries are always collected; and an arrival
+// consumed here that per-event processing would have skipped (because
+// an intra-epoch roll-up lifted the threshold first) is merely extra
+// coverage that the epoch-end roll-up re-evicts.
+//
+// At the epoch boundary the maintained state satisfies the same
+// invariants I1–I3 as event-serial processing, so the reported top-k is
+// identical; internal state (threshold positions, R membership beyond
+// the top-k) and operation counters legitimately differ, which is
+// exactly where the amortization comes from.
+func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
+	if len(m.queries) == 0 {
+		return
+	}
+	// Single-event epochs take the per-event procedures unchanged.
+	if len(expired) == 0 && len(arrived) == 1 {
+		m.HandleArrival(arrived[0])
+		return
+	}
+	if len(arrived) == 0 && len(expired) == 1 {
+		m.HandleExpire(expired[0])
+		return
+	}
+	for _, d := range expired {
+		for _, qs := range m.collectAffected(d) {
+			w := m.epochFor(qs)
+			w.dels = append(w.dels, d)
+		}
+	}
+	for _, d := range arrived {
+		for _, qs := range m.collectAffected(d) {
+			w := m.epochFor(qs)
+			w.adds = append(w.adds, d)
+		}
+	}
+	for i := range m.epochQueue {
+		w := &m.epochQueue[i]
+		m.maintainEpoch(w.qs, w.adds, w.dels)
+		delete(m.epochIdx, w.qs.q.ID)
+		// Drop the document references (keeping capacity): otherwise the
+		// scratch pins one burst's worth of expired documents until a
+		// future epoch happens to reuse every slot to the same depth.
+		w.qs = nil
+		clear(w.adds)
+		clear(w.dels)
+		w.adds, w.dels = w.adds[:0], w.dels[:0]
+	}
+	m.epochQueue = m.epochQueue[:0]
+}
+
+// epochFor returns the epoch work entry for qs, creating it on first
+// touch. Entries live in a reusable queue so steady-state epochs do not
+// allocate.
+func (m *Maintainer) epochFor(qs *queryState) *epochWork {
+	if i, ok := m.epochIdx[qs.q.ID]; ok {
+		return &m.epochQueue[i]
+	}
+	i := len(m.epochQueue)
+	if i < cap(m.epochQueue) {
+		m.epochQueue = m.epochQueue[:i+1]
+		w := &m.epochQueue[i]
+		w.qs, w.adds, w.dels = qs, w.adds[:0], w.dels[:0]
+	} else {
+		m.epochQueue = append(m.epochQueue, epochWork{qs: qs})
+	}
+	m.epochIdx[qs.q.ID] = i
+	return &m.epochQueue[i]
+}
+
+// maintainEpoch is the net-effect maintenance of one query for one
+// epoch: all expirations are removed from R and all consumed arrivals
+// scored and added, then at most one refill search (only when the
+// removals actually left the top-k deficient — additions may have
+// already repaired it) and at most one roll-up (only when some arrival
+// raised Sk) run, instead of one of each per event.
+func (m *Maintainer) maintainEpoch(qs *queryState, adds, dels []*model.Document) {
+	k := qs.q.K
+	lostTopK := false
+	for _, d := range dels {
+		rank, inR := qs.r.Rank(d.ID)
+		if !inR {
+			continue // evicted earlier by a roll-up
+		}
+		qs.r.Remove(d.ID)
+		if rank < k {
+			lostTopK = true
+		}
+	}
+	skBefore := qs.r.Kth(k)
+	raised := false
+	for _, d := range adds {
+		m.stats.ScoreComputations++
+		score := model.Score(qs.q, d)
+		qs.r.Add(d.ID, score)
+		if score > skBefore {
+			raised = true
+		}
+	}
+	// I3 can only have broken if a top-k member left: τ is untouched and
+	// additions only raise Sk. Refill exactly when it is still broken
+	// after the additions.
+	if lostTopK && (qs.r.Len() < k || qs.tau() > qs.r.Kth(k)) {
+		m.stats.Refills++
+		m.runSearch(qs)
+	}
+	if raised && m.rollupEnabled {
+		m.rollUp(qs)
 	}
 }

@@ -1,0 +1,209 @@
+package invindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ita/internal/model"
+)
+
+// randomDoc builds a document with 1–6 random terms over the vocabulary.
+func randomDoc(rng *rand.Rand, id model.DocID, seq, vocab int) *model.Document {
+	n := 1 + rng.Intn(6)
+	used := map[model.TermID]bool{}
+	var ps []model.Posting
+	for len(ps) < n {
+		t := model.TermID(rng.Intn(vocab))
+		if used[t] {
+			continue
+		}
+		used[t] = true
+		ps = append(ps, model.Posting{Term: t, Weight: rng.Float64()})
+	}
+	d, err := model.NewDocument(id, timeAt(seq), ps)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// listEntries flattens a list into a single slice for comparison.
+func listEntries(l *List) []EntryKey {
+	var out []EntryKey
+	for it := l.First(); it.Valid(); it.Next() {
+		out = append(out, it.Key())
+	}
+	return out
+}
+
+// indexState captures everything ApplyBatch is allowed to change.
+func indexState(t *testing.T, x *Index) (fifo []model.DocID, lists map[model.TermID][]EntryKey) {
+	t.Helper()
+	x.Docs(func(d *model.Document) { fifo = append(fifo, d.ID) })
+	lists = make(map[model.TermID][]EntryKey)
+	for term, l := range x.lists {
+		if l.Len() > 0 {
+			lists[term] = listEntries(l)
+		}
+	}
+	return fifo, lists
+}
+
+// TestApplyBatchMatchesSerial drives a batched index and a serially
+// maintained one through identical streams under a count window and
+// requires identical store and list state after every epoch, including
+// epochs larger than the window (same-epoch transients).
+func TestApplyBatchMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct {
+		vocab, win, batch, epochs int
+	}{
+		{vocab: 8, win: 10, batch: 4, epochs: 40},     // heavy term overlap
+		{vocab: 50, win: 20, batch: 1, epochs: 60},    // single-event epochs
+		{vocab: 20, win: 5, batch: 16, epochs: 30},    // batch > window: transients
+		{vocab: 300, win: 200, batch: 64, epochs: 12}, // rebuild path on hot lists
+	} {
+		t.Run(fmt.Sprintf("v%d_w%d_b%d", cfg.vocab, cfg.win, cfg.batch), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			batched, serial := NewIndex(1), NewIndex(1)
+			nextID := model.DocID(1)
+			seq := 0
+			expire := func(oldest *model.Document, count int) bool { return count > cfg.win }
+
+			for epoch := 0; epoch < cfg.epochs; epoch++ {
+				docs := make([]*model.Document, cfg.batch)
+				for i := range docs {
+					docs[i] = randomDoc(rng, nextID, seq, cfg.vocab)
+					nextID++
+					seq++
+				}
+				res, err := batched.ApplyBatch(docs, expire)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantExpired []model.DocID
+				for _, d := range docs {
+					if err := serial.Insert(d); err != nil {
+						t.Fatal(err)
+					}
+					for serial.Len() > cfg.win {
+						wantExpired = append(wantExpired, serial.RemoveOldest().ID)
+					}
+				}
+				// Expired must list exactly the pre-epoch victims, in
+				// order; transients are reported as Dropped instead.
+				var gotExpired []model.DocID
+				for _, d := range res.Expired {
+					gotExpired = append(gotExpired, d.ID)
+				}
+				batchIDs := map[model.DocID]bool{}
+				for _, d := range docs {
+					batchIDs[d.ID] = true
+				}
+				var wantPre []model.DocID
+				wantDropped := 0
+				for _, id := range wantExpired {
+					if batchIDs[id] {
+						wantDropped++
+					} else {
+						wantPre = append(wantPre, id)
+					}
+				}
+				if fmt.Sprint(gotExpired) != fmt.Sprint(wantPre) || res.Dropped != wantDropped {
+					t.Fatalf("epoch %d: expired %v dropped %d, want %v / %d",
+						epoch, gotExpired, res.Dropped, wantPre, wantDropped)
+				}
+
+				bFifo, bLists := indexState(t, batched)
+				sFifo, sLists := indexState(t, serial)
+				if fmt.Sprint(bFifo) != fmt.Sprint(sFifo) {
+					t.Fatalf("epoch %d: fifo diverged\nbatch  %v\nserial %v", epoch, bFifo, sFifo)
+				}
+				if len(bLists) != len(sLists) {
+					t.Fatalf("epoch %d: %d non-empty lists, serial has %d", epoch, len(bLists), len(sLists))
+				}
+				for term, want := range sLists {
+					if got := bLists[term]; fmt.Sprint(got) != fmt.Sprint(want) {
+						t.Fatalf("epoch %d term %d:\nbatch  %v\nserial %v", epoch, term, got, want)
+					}
+				}
+				if batched.Terms() != serial.Terms() {
+					t.Fatalf("epoch %d: Terms() %d vs %d", epoch, batched.Terms(), serial.Terms())
+				}
+			}
+		})
+	}
+}
+
+// TestApplyBatchValidation checks the all-or-nothing duplicate checks.
+func TestApplyBatchValidation(t *testing.T) {
+	x := NewIndex(1)
+	d1 := randomDoc(rand.New(rand.NewSource(1)), 1, 0, 10)
+	if _, err := x.ApplyBatch([]*model.Document{d1}, func(*model.Document, int) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := indexState(t, x)
+
+	// Duplicate against the store.
+	d2 := randomDoc(rand.New(rand.NewSource(2)), 2, 1, 10)
+	if _, err := x.ApplyBatch([]*model.Document{d2, d1}, func(*model.Document, int) bool { return false }); err == nil {
+		t.Fatal("duplicate against store accepted")
+	}
+	// Duplicate within the batch.
+	d3 := randomDoc(rand.New(rand.NewSource(3)), 3, 2, 10)
+	if _, err := x.ApplyBatch([]*model.Document{d3, d3}, func(*model.Document, int) bool { return false }); err == nil {
+		t.Fatal("duplicate within batch accepted")
+	}
+	after, _ := indexState(t, x)
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Fatalf("failed batch mutated the store: %v -> %v", before, after)
+	}
+}
+
+// TestListApplyBatchRebuild forces the merge-rebuild path and checks it
+// against point operations on lists spanning multiple chunks.
+func TestListApplyBatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := newList(), newList()
+	var present []EntryKey
+	for i := 0; i < 2000; i++ {
+		e := EntryKey{W: rng.Float64(), Doc: model.DocID(i)}
+		a.insert(e)
+		b.insert(e)
+		present = append(present, e)
+	}
+	// Large mutation set relative to the list: half the entries deleted,
+	// a thousand inserted.
+	var ins, del []EntryKey
+	for i := 0; i < 1000; i++ {
+		ins = append(ins, EntryKey{W: rng.Float64(), Doc: model.DocID(10000 + i)})
+	}
+	rng.Shuffle(len(present), func(i, j int) { present[i], present[j] = present[j], present[i] })
+	del = append(del, present[:1000]...)
+
+	sortKeys := func(ks []EntryKey) {
+		for i := 1; i < len(ks); i++ {
+			for j := i; j > 0 && Before(ks[j], ks[j-1]); j-- {
+				ks[j], ks[j-1] = ks[j-1], ks[j]
+			}
+		}
+	}
+	sortKeys(ins)
+	sortKeys(del)
+	a.applyBatch(ins, del, nil)
+	for _, e := range del {
+		b.delete(e)
+	}
+	for _, e := range ins {
+		b.insert(e)
+	}
+	if got, want := listEntries(a), listEntries(b); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rebuild diverged: %d vs %d entries", len(got), len(want))
+	}
+	// Chunk invariants: non-empty, within bounds, globally sorted.
+	for ci, ch := range a.chunks {
+		if len(ch) == 0 || len(ch) > maxChunk {
+			t.Fatalf("chunk %d has %d entries", ci, len(ch))
+		}
+	}
+}

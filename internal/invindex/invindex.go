@@ -11,6 +11,7 @@
 package invindex
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -149,6 +150,80 @@ func (l *List) delete(e EntryKey) bool {
 	return true
 }
 
+// applyBatch applies one epoch's mutations to the list: ins entries are
+// inserted and del entries removed, both given in list order. For small
+// mutation sets it falls back to the point operations; once the batch is
+// a meaningful fraction of the list it rewrites the list in a single
+// merge pass, so B inserts into a hot Zipf-head list cost one O(list)
+// sweep instead of B chunk searches and B memmoves — the index-level
+// amortization of the epoch pipeline. Unmatched delete keys are
+// skipped. scratch is reusable merge space (may be nil); the possibly
+// grown scratch is returned for the caller to keep.
+func (l *List) applyBatch(ins, del, scratch []EntryKey) []EntryKey {
+	m := len(ins) + len(del)
+	if m == 0 {
+		return scratch
+	}
+	// Point operations win whenever the mutation set is small — in
+	// absolute terms (each point op is a binary search plus one
+	// sub-chunk memmove, allocation-free, and at realistic dictionary
+	// sparsity almost every touched list takes a handful of mutations)
+	// or relative to the list (the rebuild walks everything). The
+	// rebuild pays off only once a large fraction of the list changes
+	// in one epoch: one merge sweep and one allocation replace m chunk
+	// searches and m memmoves.
+	if m < hotTermMutations || m*2 < l.length {
+		for _, e := range del {
+			l.delete(e)
+		}
+		for _, e := range ins {
+			l.insert(e)
+		}
+		return scratch
+	}
+	merged := scratch[:0]
+	ii, di := 0, 0
+	for _, ch := range l.chunks {
+		for _, e := range ch {
+			for ii < len(ins) && Before(ins[ii], e) {
+				merged = append(merged, ins[ii])
+				ii++
+			}
+			for di < len(del) && Before(del[di], e) {
+				di++ // delete key not present; tolerate and move on
+			}
+			if di < len(del) && del[di] == e {
+				di++
+				continue
+			}
+			merged = append(merged, e)
+		}
+	}
+	merged = append(merged, ins[ii:]...)
+	l.length = len(merged)
+	if l.length == 0 {
+		l.chunks = nil
+		return merged
+	}
+	// Re-chunk at half fill so subsequent point inserts have headroom
+	// before forcing splits, matching the steady state split leaves.
+	// All chunks slice one backing array (capacity-capped, so a growing
+	// chunk copies out instead of clobbering its neighbor), keeping the
+	// rebuild at a single persistent allocation.
+	const target = maxChunk / 2
+	backing := make([]EntryKey, len(merged))
+	copy(backing, merged)
+	l.chunks = l.chunks[:0]
+	for start := 0; start < len(backing); start += target {
+		end := start + target
+		if end > len(backing) {
+			end = len(backing)
+		}
+		l.chunks = append(l.chunks, backing[start:end:end])
+	}
+	return merged
+}
+
 // Iterator walks a list from a position towards lower impacts. It stays
 // valid only while the list is not modified.
 type Iterator struct {
@@ -223,6 +298,11 @@ type Index struct {
 	// would otherwise need a full map scan — a dictionary-sized cost on
 	// what callers treat as a cheap gauge.
 	nonEmpty int
+	// batchCounts is ApplyBatch's reusable per-term mutation counter,
+	// cleared after every call; batchScratch is the reusable merge
+	// space of hot-list rebuilds.
+	batchCounts  map[model.TermID]int32
+	batchScratch []EntryKey
 }
 
 // NewIndex returns an empty index. The seed is accepted for interface
@@ -240,6 +320,28 @@ func NewIndex(seed uint64) *Index {
 // document contains t.
 func (x *Index) List(t model.TermID) *List { return x.lists[t] }
 
+// insertEntry posts one impact entry, maintaining the non-empty count.
+func (x *Index) insertEntry(t model.TermID, e EntryKey) {
+	l := x.lists[t]
+	if l == nil {
+		l = newList()
+		x.lists[t] = l
+	}
+	if l.length == 0 {
+		x.nonEmpty++
+	}
+	l.insert(e)
+}
+
+// deleteEntry removes one impact entry, maintaining the non-empty count.
+func (x *Index) deleteEntry(t model.TermID, e EntryKey) {
+	if l := x.lists[t]; l != nil {
+		if l.delete(e) && l.length == 0 {
+			x.nonEmpty--
+		}
+	}
+}
+
 // Insert adds an arriving document to the store and posts an impact
 // entry into the inverted list of each of its terms. It fails on a
 // duplicate document id.
@@ -248,15 +350,7 @@ func (x *Index) Insert(d *model.Document) error {
 		return err
 	}
 	for _, p := range d.Postings {
-		l := x.lists[p.Term]
-		if l == nil {
-			l = newList()
-			x.lists[p.Term] = l
-		}
-		if l.length == 0 {
-			x.nonEmpty++
-		}
-		l.insert(EntryKey{W: p.Weight, Doc: d.ID})
+		x.insertEntry(p.Term, EntryKey{W: p.Weight, Doc: d.ID})
 	}
 	return nil
 }
@@ -274,11 +368,7 @@ func (x *Index) RemoveOldest() *model.Document {
 		return nil
 	}
 	for _, p := range d.Postings {
-		if l := x.lists[p.Term]; l != nil {
-			if l.delete(EntryKey{W: p.Weight, Doc: d.ID}) && l.length == 0 {
-				x.nonEmpty--
-			}
-		}
+		x.deleteEntry(p.Term, EntryKey{W: p.Weight, Doc: d.ID})
 	}
 	return d
 }
@@ -286,3 +376,157 @@ func (x *Index) RemoveOldest() *model.Document {
 // Terms returns the number of terms with non-empty inverted lists, in
 // O(1) via a counter maintained by Insert/RemoveOldest.
 func (x *Index) Terms() int { return x.nonEmpty }
+
+// BatchResult reports what one ApplyBatch call actually did.
+type BatchResult struct {
+	// Expired holds the documents that were valid before the epoch and
+	// expired during it, in FIFO (arrival) order.
+	Expired []*model.Document
+	// Dropped is the number of leading arrivals that expired within the
+	// same epoch (arrivals[:Dropped]); their postings were never indexed.
+	// Expirations pop in FIFO order, so the dropped arrivals always form
+	// a prefix of the batch and arrivals[Dropped:] are the survivors.
+	Dropped int
+	// Inserts and Deletes count the impact entries actually posted and
+	// removed — same-epoch transients contribute to neither.
+	Inserts int
+	Deletes int
+}
+
+// ApplyBatch applies one epoch of the stream in a single pass: it
+// appends the arriving documents to the FIFO store in order, pops
+// expired documents from the head while expired says so (the window
+// policy bound to the epoch's end time; it must be monotone in both
+// arguments, as count- and time-based sliding windows are), and then
+// mutates the inverted lists with the epoch's *net* postings, grouped
+// per term so each touched list is edited in one pass. Documents that
+// arrive and expire within the same epoch occupy window slots while the
+// epoch plays out but are never posted to the lists.
+//
+// Validation is all-or-nothing: a duplicate document id (against the
+// store or within the batch) fails the call before any mutation.
+func (x *Index) ApplyBatch(arrivals []*model.Document, expired func(oldest *model.Document, count int) bool) (BatchResult, error) {
+	var res BatchResult
+	ids := make(map[model.DocID]struct{}, len(arrivals))
+	for _, d := range arrivals {
+		if _, dup := x.Store.Get(d.ID); dup {
+			return res, fmt.Errorf("invindex: duplicate document id %d", d.ID)
+		}
+		if _, dup := ids[d.ID]; dup {
+			return res, fmt.Errorf("invindex: duplicate document id %d within batch", d.ID)
+		}
+		ids[d.ID] = struct{}{}
+	}
+	for _, d := range arrivals {
+		if err := x.Store.Insert(d); err != nil {
+			return res, err // unreachable after validation
+		}
+	}
+	for {
+		oldest := x.Store.Oldest()
+		if oldest == nil || !expired(oldest, x.Store.Len()) {
+			break
+		}
+		x.Store.RemoveOldest()
+		if _, transient := ids[oldest.ID]; transient {
+			res.Dropped++
+		} else {
+			res.Expired = append(res.Expired, oldest)
+		}
+	}
+
+	// Net posting mutations. Grouping a term's mutations to apply them
+	// in one list pass only pays off for hot terms — Zipf-head lists
+	// collecting a meaningful number of entries per epoch; at realistic
+	// dictionary sparsity the vast majority of touched terms see one or
+	// two mutations, where buffering costs more than the point
+	// operations it saves. So a cheap counting pass finds the hot
+	// terms, cold terms take direct point operations with no buffering,
+	// and only hot terms are grouped and merge-applied.
+	counts := x.batchCounts
+	if counts == nil {
+		counts = make(map[model.TermID]int32)
+		x.batchCounts = counts
+	}
+	survivors := arrivals[res.Dropped:]
+	for _, d := range survivors {
+		for _, p := range d.Postings {
+			counts[p.Term]++
+		}
+		res.Inserts += len(d.Postings)
+	}
+	for _, d := range res.Expired {
+		for _, p := range d.Postings {
+			counts[p.Term]++
+		}
+		res.Deletes += len(d.Postings)
+	}
+	type listMut struct{ ins, del []EntryKey }
+	var muts map[model.TermID]listMut
+	// hot reports whether term t's mutations are worth grouping: enough
+	// of them in absolute terms AND a meaningful fraction of the
+	// current list, mirroring applyBatch's rebuild condition — there is
+	// no point buffering mutations that will be applied as point
+	// operations anyway.
+	hot := func(t model.TermID) bool {
+		c := counts[t]
+		if c < hotTermMutations {
+			return false
+		}
+		l := x.lists[t]
+		return l == nil || int(c)*2 >= l.length
+	}
+	for _, d := range res.Expired {
+		for _, p := range d.Postings {
+			e := EntryKey{W: p.Weight, Doc: d.ID}
+			if !hot(p.Term) {
+				x.deleteEntry(p.Term, e)
+				continue
+			}
+			if muts == nil {
+				muts = make(map[model.TermID]listMut)
+			}
+			mu := muts[p.Term]
+			mu.del = append(mu.del, e)
+			muts[p.Term] = mu
+		}
+	}
+	for _, d := range survivors {
+		for _, p := range d.Postings {
+			e := EntryKey{W: p.Weight, Doc: d.ID}
+			if !hot(p.Term) {
+				x.insertEntry(p.Term, e)
+				continue
+			}
+			if muts == nil {
+				muts = make(map[model.TermID]listMut)
+			}
+			mu := muts[p.Term]
+			mu.ins = append(mu.ins, e)
+			muts[p.Term] = mu
+		}
+	}
+	clear(counts)
+	for t, mu := range muts {
+		sort.Slice(mu.ins, func(i, j int) bool { return Before(mu.ins[i], mu.ins[j]) })
+		sort.Slice(mu.del, func(i, j int) bool { return Before(mu.del[i], mu.del[j]) })
+		l := x.lists[t]
+		if l == nil {
+			l = newList()
+			x.lists[t] = l
+		}
+		wasEmpty := l.length == 0
+		x.batchScratch = l.applyBatch(mu.ins, mu.del, x.batchScratch)
+		if wasEmpty && l.length > 0 {
+			x.nonEmpty++
+		} else if !wasEmpty && l.length == 0 {
+			x.nonEmpty--
+		}
+	}
+	return res, nil
+}
+
+// hotTermMutations is the per-term mutation count at which ApplyBatch
+// switches from direct point operations to grouped one-pass
+// application. It matches applyBatch's own small-set cutoff.
+const hotTermMutations = 8

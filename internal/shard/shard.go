@@ -12,6 +12,13 @@
 //     probe → score → add/roll-up for arrivals, probe → remove → refill
 //     for expirations — against the now-quiescent index.
 //
+// ProcessEpoch lifts the same two phases from per-event to per-epoch:
+// the coordinator stages a whole batch's net index mutations in one
+// pass, then all shards fan out exactly once, each applying the epoch's
+// net effect to its queries. One barrier per epoch instead of one per
+// event is what lets the sharded engine scale past the per-event
+// synchronization floor.
+//
 // The fan-out is exact, not approximate: ITA's maintenance state is
 // strictly per-query (the paper's threshold trees and result lists R
 // never couple two queries), and within one event every shard only
@@ -66,9 +73,26 @@ type shardState struct {
 	ch    chan event // nil when the engine runs inline (S == 1)
 }
 
+// event is one unit of fan-out work: either a single arrival or
+// expiration (doc != nil), or a whole epoch's net arrivals and
+// expirations (doc == nil).
 type event struct {
 	arrival bool
 	doc     *model.Document
+	arrived []*model.Document
+	expired []*model.Document
+}
+
+// handle dispatches one event on this shard's maintainer.
+func (s *shardState) handle(ev event) {
+	switch {
+	case ev.doc == nil:
+		s.m.HandleEpoch(ev.arrived, ev.expired)
+	case ev.arrival:
+		s.m.HandleArrival(ev.doc)
+	default:
+		s.m.HandleExpire(ev.doc)
+	}
 }
 
 // Option configures New.
@@ -131,11 +155,7 @@ func New(policy window.Policy, shards int, opts ...Option) *Engine {
 func (e *Engine) worker(s *shardState) {
 	defer e.workers.Done()
 	for ev := range s.ch {
-		if ev.arrival {
-			s.m.HandleArrival(ev.doc)
-		} else {
-			s.m.HandleExpire(ev.doc)
-		}
+		s.handle(ev)
 		e.pending.Done()
 	}
 }
@@ -247,20 +267,52 @@ func (e *Engine) Process(d *model.Document) error {
 }
 
 // ProcessBatch processes a batch of arrivals in order, with their
-// interleaved expirations, exactly as a loop over Process would — the
-// per-event fan-out barrier is deliberately kept, because each event's
-// maintenance must see the exact index state the single-threaded
-// algorithm would, so there is no shard-level amortization to be had
-// without giving up equivalence. The batch entry point exists so
-// callers (the ita facade's IngestBatch, the throughput harness) can
-// amortize their own per-call work — locking, validation, watch-delta
-// collection — over many events in one call. On error, documents
-// before the failing one remain processed.
+// interleaved expirations, exactly as a loop over Process would — one
+// fan-out barrier per event, each event's maintenance seeing the exact
+// per-event index state of the single-threaded algorithm. It is the
+// strict event-serial batch entry; ProcessEpoch is the amortized one.
+// On error, documents before the failing one remain processed.
 func (e *Engine) ProcessBatch(docs []*model.Document) error {
 	for _, d := range docs {
 		if err := e.Process(d); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ProcessEpoch implements core.EpochProcessor: the whole batch is one
+// epoch, processed with a single two-phase barrier instead of one per
+// event. Phase 1 stages every index mutation on the caller's goroutine
+// (one ApplyBatch pass: insert the surviving arrivals, pop everything
+// the window policy expires, net per-term list edits); phase 2 fans the
+// epoch out once, each shard running its net per-query maintenance
+// (core.Maintainer.HandleEpoch) against the quiescent epoch-end index.
+// Results at the epoch boundary are identical to ProcessBatch; the
+// per-event synchronization cost — the dominant scaling limit of the
+// per-event pipeline — is paid once per epoch. Arrival times must be
+// non-decreasing within the batch.
+func (e *Engine) ProcessEpoch(docs []*model.Document) error {
+	if len(docs) == 0 {
+		return nil
+	}
+	if len(docs) == 1 {
+		return e.Process(docs[0])
+	}
+	now := docs[len(docs)-1].Arrival
+	res, err := e.index.ApplyBatch(docs, func(oldest *model.Document, count int) bool {
+		return e.policy.Expired(oldest.Arrival, now, count)
+	})
+	if err != nil {
+		return err
+	}
+	e.coord.Epochs++
+	e.coord.Arrivals += uint64(len(docs))
+	e.coord.Expirations += uint64(len(res.Expired) + res.Dropped)
+	e.coord.IndexInserts += uint64(res.Inserts)
+	e.coord.IndexDeletes += uint64(res.Deletes)
+	if arrived := docs[res.Dropped:]; len(arrived) > 0 || len(res.Expired) > 0 {
+		e.fanOut(event{arrived: arrived, expired: res.Expired})
 	}
 	return nil
 }
@@ -290,12 +342,7 @@ func (e *Engine) fanOut(ev event) {
 		return
 	}
 	if len(e.shards) == 1 {
-		s := e.shards[0]
-		if ev.arrival {
-			s.m.HandleArrival(ev.doc)
-		} else {
-			s.m.HandleExpire(ev.doc)
-		}
+		e.shards[0].handle(ev)
 		return
 	}
 	active := 0

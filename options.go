@@ -59,6 +59,7 @@ type config struct {
 	disableRollup bool
 	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
 	shardsSet     bool
+	batchSize     int // epoch size for auto-coalesced ingestion; <= 1 disables
 }
 
 // Option configures New.
@@ -123,6 +124,28 @@ func WithShards(n int) Option {
 		}
 		c.shards = n
 		c.shardsSet = true
+		return nil
+	}
+}
+
+// WithBatchSize enables epoch-batched ingestion: IngestText calls
+// buffer their analyzed documents and the engine processes them as one
+// epoch — a single net index mutation pass plus one net maintenance
+// pass per affected query — once n have accumulated, when Flush is
+// called, or before any operation that needs the stream applied
+// (Register, Unregister, Advance, Snapshot, Close). Per-query results
+// at every epoch boundary are identical to unbatched processing; the
+// trade is bounded read staleness (Results, Stats, WindowLen reflect
+// flushed epochs only, at most n-1 documents behind) for substantially
+// higher sustained throughput, and watchers receive one coalesced delta
+// per query per epoch. n = 1 (the default) disables buffering. See the
+// "Epoch-batched ingestion" section of the package documentation.
+func WithBatchSize(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("ita: batch size must be >= 1, got %d", n)
+		}
+		c.batchSize = n
 		return nil
 	}
 }

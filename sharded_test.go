@@ -71,9 +71,36 @@ func TestWithShardsMatchesSingleThreaded(t *testing.T) {
 	}
 }
 
-// TestIngestBatch checks the batch ingestion path against per-document
-// ingestion on both the single-threaded (fallback loop) and sharded
-// (ProcessBatch) engines, including watch-delta delivery.
+// sameTopK compares two result lists under the epoch pipeline's
+// guarantee: identical scores at every rank, and identical documents at
+// every rank whose score differs from the k-th (last) score. Documents
+// inside the equal-score group at the k-th score may legitimately
+// differ between maintenance schedules — every member of the group is
+// an equally correct k-th result (invariant I2 forces all docs scoring
+// above Sk into every correct result, so only the boundary group has
+// freedom).
+func sameTopK(got, want []Match) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d results, want %d (got=%v want=%v)", len(got), len(want), got, want)
+	}
+	if len(got) == 0 {
+		return nil
+	}
+	last := want[len(want)-1].Score
+	for i := range got {
+		if got[i].Score != want[i].Score {
+			return fmt.Errorf("position %d score %g, want %g (got=%v want=%v)", i, got[i].Score, want[i].Score, got, want)
+		}
+		if got[i].Score != last && got[i] != want[i] {
+			return fmt.Errorf("position %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// TestIngestBatch checks the batch ingestion path — routed through the
+// epoch pipeline — against per-document ingestion on both the
+// single-threaded and sharded engines, including watch-delta delivery.
 func TestIngestBatch(t *testing.T) {
 	for _, shards := range []int{1, 4} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
@@ -116,8 +143,8 @@ func TestIngestBatch(t *testing.T) {
 			if !reflect.DeepEqual(batchIDs, loopIDs) {
 				t.Fatalf("ids diverge: %v vs %v", batchIDs, loopIDs)
 			}
-			if got, want := batch.Results(1), loop.Results(1); !reflect.DeepEqual(got, want) {
-				t.Fatalf("results diverge:\nbatch %v\nloop  %v", got, want)
+			if err := sameTopK(batch.Results(1), loop.Results(1)); err != nil {
+				t.Fatalf("results diverge: %v", err)
 			}
 			if fired != 1 {
 				t.Fatalf("watch fired %d times, want 1 cumulative delta", fired)

@@ -36,6 +36,9 @@ type snapshot struct {
 	// when Algorithm is ShardedIncrementalThreshold. Older snapshots
 	// decode it as zero, which restores with the automatic count.
 	Shards int
+	// Epoch size of WithBatchSize. Older snapshots decode it as zero,
+	// which restores unbatched — the pre-batching behavior.
+	BatchSize int
 	// Dictionary terms in id order, so interned ids survive the round
 	// trip and query/document term ids keep matching.
 	Terms []string
@@ -63,13 +66,25 @@ type snapshotDoc struct {
 	Postings  []model.Posting
 }
 
-// Snapshot serializes the engine: configuration, dictionary, registered
-// queries and the current window. Watchers are not serialized (they are
-// process-local callbacks). The engine stays usable afterwards.
+// Snapshot serializes the engine: configuration (including the epoch
+// batch size, so a restored engine keeps its ingestion configuration),
+// dictionary, registered queries and the current window. Any buffered
+// epoch is flushed first so the snapshot captures every ingested
+// document. Watchers are not serialized (they are process-local
+// callbacks). The engine stays usable afterwards.
 func (e *Engine) Snapshot(w io.Writer) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	err := e.snapshotLocked(w)
+	e.queueDeltasLocked(e.collectDeltas())
+	e.mu.Unlock()
+	e.deliverQueued()
+	return err
+}
 
+func (e *Engine) snapshotLocked(w io.Writer) error {
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
 	s := snapshot{
 		Version:    snapshotVersion,
 		Algorithm:  e.cfg.algorithm,
@@ -78,6 +93,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 		RetainText: e.cfg.retainText,
 		Seed:       e.cfg.seed,
 		Shards:     e.cfg.shards,
+		BatchSize:  e.cfg.batchSize,
 		NextDoc:    uint64(e.nextDoc),
 		NextQuery:  uint64(e.nextQuery),
 		LastAtNs:   e.lastAt.UnixNano(),
@@ -138,6 +154,9 @@ func Restore(r io.Reader) (*Engine, error) {
 	opts := []Option{WithAlgorithm(s.Algorithm), WithSeed(s.Seed)}
 	if s.Algorithm == ShardedIncrementalThreshold {
 		opts = append(opts, WithShards(s.Shards))
+	}
+	if s.BatchSize > 1 {
+		opts = append(opts, WithBatchSize(s.BatchSize))
 	}
 	if s.CountN > 0 {
 		opts = append(opts, WithCountWindow(s.CountN))

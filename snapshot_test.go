@@ -2,6 +2,7 @@ package ita
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -135,6 +136,90 @@ func TestSnapshotOkapiAndFlags(t *testing.T) {
 	// either, which sameResults already proved (1 match, not 2).
 	if got := r.Results(q); len(got) != 1 {
 		t.Fatalf("results = %+v", got)
+	}
+}
+
+// TestSnapshotRoundTripAllOptions round-trips every persistable
+// configuration option — algorithm, window, scoring, analysis flags,
+// text retention, seed, shard count and epoch batch size — and checks
+// each survives into the restored engine's configuration and behavior.
+func TestSnapshotRoundTripAllOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"defaults", []Option{WithCountWindow(8)}},
+		{"time_window", []Option{WithTimeWindow(400 * time.Millisecond)}},
+		{"batch", []Option{WithCountWindow(8), WithBatchSize(4)}},
+		{"sharded_batch", []Option{WithCountWindow(8), WithShards(3), WithBatchSize(16)}},
+		{"kitchen_sink", []Option{
+			WithCountWindow(8), WithShards(2), WithBatchSize(5),
+			WithOkapiScoring(30), WithoutStemming(), WithoutStopwords(),
+			WithTextRetention(), WithSeed(99),
+		}},
+		{"naive", []Option{WithCountWindow(8), WithAlgorithm(NaiveKmax), WithBatchSize(3)}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEngine(t, tc.opts...)
+			defer e.Close()
+			q, err := e.Register("crude oil market", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, text := range feedTexts(13) { // 13: leaves a partial epoch buffered
+				if _, err := e.IngestText(text, at(i*10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r := snapshotRoundTrip(t, e)
+			defer r.Close()
+
+			// The full configuration must survive.
+			if r.cfg.algorithm != e.cfg.algorithm ||
+				r.cfg.batchSize != e.cfg.batchSize ||
+				r.cfg.shards != e.cfg.shards ||
+				r.cfg.stemming != e.cfg.stemming ||
+				r.cfg.stopwords != e.cfg.stopwords ||
+				r.cfg.retainText != e.cfg.retainText ||
+				r.cfg.seed != e.cfg.seed ||
+				r.cfg.policy.String() != e.cfg.policy.String() {
+				t.Fatalf("restored config %+v, want %+v", r.cfg, e.cfg)
+			}
+			// Snapshot flushed the partial epoch, so the snapshotting
+			// engine and the restored one agree immediately. (The
+			// restored engine replays only the surviving window, not the
+			// full stream history, so inside an exact-score tie group at
+			// the k-th rank it may retain a different — equally correct —
+			// member; sameTopK is exactly that guarantee.)
+			if err := sameTopK(r.Results(q), e.Results(q)); err != nil {
+				t.Fatalf("restored results: %v", err)
+			}
+			if r.WindowLen() != e.WindowLen() {
+				t.Fatalf("window %d vs %d", r.WindowLen(), e.WindowLen())
+			}
+			// ...and keep agreeing while the restored engine continues
+			// batching with the persisted epoch size.
+			for i := 13; i < 29; i++ {
+				text := fmt.Sprintf("crude market report %d", i)
+				if _, err := e.IngestText(text, at(i*10)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.IngestText(text, at(i*10)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := sameTopK(r.Results(q), e.Results(q)); err != nil {
+				t.Fatalf("post-restore evolution: %v", err)
+			}
+		})
 	}
 }
 

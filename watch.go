@@ -2,14 +2,28 @@ package ita
 
 import (
 	"fmt"
+	"sort"
 
 	"ita/internal/model"
 )
 
-// Delta describes how one query's result changed as a consequence of a
-// single stream event (IngestText or Advance). Entered lists documents
-// newly present in the top-k, in result order; Exited lists documents
-// that left it (by expiring or by being displaced).
+// Delta describes how one query's result changed across one epoch — an
+// unbatched IngestText or Advance call, an IngestBatch call, or a
+// WithBatchSize flush. Entered lists documents newly present in the
+// top-k, in result order; Exited lists documents that left it (by
+// expiring or by being displaced).
+//
+// Delivery guarantee: watchers receive at most one delta per query per
+// epoch, the net difference between the query's result at consecutive
+// epoch boundaries. Intermediate states inside an epoch are never
+// delivered — a document that enters and leaves the top-k within one
+// epoch produces no notification at all, and a burst of arrivals that
+// repeatedly reshuffles a result produces a single coalesced delta
+// instead of one per event. Deltas of one epoch are delivered in
+// ascending query id, after the triggering call released the engine
+// lock; consecutive epochs deliver in epoch order even when different
+// goroutines flush them (a background Flush ticker racing an ingest
+// cannot reorder a watcher's view).
 type Delta struct {
 	Query   QueryID
 	Entered []Match
@@ -17,8 +31,8 @@ type Delta struct {
 }
 
 // WatchFunc receives result deltas. It is invoked synchronously after
-// the triggering call returns the engine lock, in registration order;
-// it may call back into the Engine.
+// the triggering call releases the engine lock; it may call back into
+// the Engine.
 type WatchFunc func(Delta)
 
 type watchState struct {
@@ -59,7 +73,8 @@ func (e *Engine) Unwatch(id QueryID) bool {
 
 // collectDeltas compares every watched query's current result against
 // the last delivered one and returns the non-empty deltas along with
-// their callbacks. Must be called with e.mu held.
+// their callbacks, in ascending query id so an epoch's notifications
+// are delivered deterministically. Must be called with e.mu held.
 func (e *Engine) collectDeltas() []pendingDelta {
 	if len(e.watches) == 0 {
 		return nil
@@ -79,6 +94,7 @@ func (e *Engine) collectDeltas() []pendingDelta {
 		ws.last = cur
 		out = append(out, pendingDelta{fn: ws.fn, delta: delta})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].delta.Query < out[j].delta.Query })
 	return out
 }
 
@@ -87,8 +103,53 @@ type pendingDelta struct {
 	delta Delta
 }
 
-func deliver(deltas []pendingDelta) {
-	for _, p := range deltas {
+// queueDeltasLocked appends one epoch's deltas to the delivery queue.
+// Must be called with e.mu held: e.mu serializes epochs, so enqueueing
+// under it keeps the queue in epoch order even when several goroutines
+// (say, a background flush ticker racing an ingest) flush concurrently.
+func (e *Engine) queueDeltasLocked(deltas []pendingDelta) {
+	if len(deltas) == 0 {
+		return
+	}
+	e.dmu.Lock()
+	e.deliveryQ = append(e.deliveryQ, deltas...)
+	e.dmu.Unlock()
+}
+
+// deliverQueued drains the delivery queue, invoking watch callbacks in
+// queue (epoch) order. Only one goroutine drains at a time; a second
+// caller finding a drain in progress leaves its deltas for the active
+// drainer, which loops until the queue is empty — this is what makes
+// the cross-epoch delivery order a real guarantee under concurrent
+// flushes, not just within one goroutine. Must be called without e.mu
+// held; callbacks run with no engine locks held and may re-enter the
+// engine (a re-entrant flush simply enqueues for the active drainer).
+func (e *Engine) deliverQueued() {
+	for {
+		e.dmu.Lock()
+		if e.delivering || len(e.deliveryQ) == 0 {
+			e.dmu.Unlock()
+			return
+		}
+		e.delivering = true
+		batch := e.deliveryQ
+		e.deliveryQ = nil
+		e.dmu.Unlock()
+		e.deliverBatch(batch)
+	}
+}
+
+// deliverBatch invokes one drained batch's callbacks. The drainer flag
+// is released via defer so a panicking callback (possibly recovered
+// upstream, e.g. by net/http) cannot wedge delivery for the rest of the
+// engine's life; the panic itself still propagates.
+func (e *Engine) deliverBatch(batch []pendingDelta) {
+	defer func() {
+		e.dmu.Lock()
+		e.delivering = false
+		e.dmu.Unlock()
+	}()
+	for _, p := range batch {
 		p.fn(p.delta)
 	}
 }

@@ -180,6 +180,78 @@ func TestWatchDroppedWithUnregister(t *testing.T) {
 	}
 }
 
+// TestWatchDeliveryOrder checks the documented guarantee that one
+// epoch's deltas are delivered in ascending query id, regardless of
+// registration or watch order.
+func TestWatchDeliveryOrder(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8), WithBatchSize(4))
+	var qids []QueryID
+	for _, text := range []string{"solar turbine", "turbine blades", "solar panels", "turbine output", "solar farming"} {
+		q, err := e.Register(text, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids = append(qids, q)
+	}
+	var order []QueryID
+	// Watch in reverse registration order: delivery must still be by id.
+	for i := len(qids) - 1; i >= 0; i-- {
+		if err := e.Watch(qids[i], func(d Delta) { order = append(order, d.Query) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One epoch that matches every query.
+	for i := 0; i < 4; i++ {
+		if _, err := e.IngestText("solar turbine blades panels output farming", at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != len(qids) {
+		t.Fatalf("delivered %d deltas, want %d", len(order), len(qids))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("delivery order %v not ascending by query id", order)
+		}
+	}
+}
+
+// TestWatchPanicDoesNotWedgeDelivery checks that a panicking callback
+// (recovered by the caller, as net/http handlers do) does not leave the
+// delivery drainer marked busy forever — later deltas must still fire.
+func TestWatchPanicDoesNotWedgeDelivery(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q, err := e.Register("solar turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicked := false
+	var delivered int
+	if err := e.Watch(q, func(Delta) {
+		delivered++
+		if !panicked {
+			panicked = true
+			panic("watcher bug")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() { _ = recover() }()
+		_, _ = e.IngestText("solar turbine output", at(0))
+	}()
+	if !panicked {
+		t.Fatal("first delta never fired")
+	}
+	// A pure-match document displaces the top-1, forcing a second delta.
+	if _, err := e.IngestText("solar turbine", at(10)); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d deltas, want 2 (delivery wedged after panic)", delivered)
+	}
+}
+
 func TestWatchDisplacementProducesEnterAndExit(t *testing.T) {
 	e := newEngine(t, WithCountWindow(10))
 	q, err := e.Register("turbine", 1) // top-1: displacement swaps the slot
