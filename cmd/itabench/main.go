@@ -9,6 +9,7 @@
 //	itabench -exp ablations -csv out/ # ablations, also written as CSV
 //	itabench -exp throughput -queries 10000 -shards 1,2,4,8 -json BENCH_SHARDED.json
 //	itabench -exp batch -queries 10000 -epochs 1,8,64,256 -shards 4 -json BENCH_BATCH.json
+//	itabench -exp reads -queries 2000 -readers 1,4,16 -json BENCH_READS.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -41,7 +42,12 @@ func main() {
 		batch    = flag.Int("batch", 64, "throughput: ProcessBatch size")
 		epochSet = flag.String("epochs", "1,8,64,256", "batch: comma-separated epoch sizes B")
 		events   = flag.Int("events", 2000, "throughput/batch: measured events per configuration")
-		jsonOut  = flag.String("json", "", "throughput/batch: write the report as JSON to this path")
+		jsonOut  = flag.String("json", "", "throughput/batch/reads: write the report as JSON to this path")
+		// -exp reads knobs: the mixed read/write experiment sweeps the
+		// wait-free published read path against the locked baseline at
+		// every reader count in -readers.
+		readerSet = flag.String("readers", "1,4,16", "reads: comma-separated concurrent reader counts")
+		readMs    = flag.Int("readms", 400, "reads: measured wall milliseconds per cell")
 	)
 	flag.Parse()
 
@@ -100,6 +106,15 @@ func main() {
 	case "batch":
 		rep, err := harness.BatchSweep(p, *queries, 10, 1000,
 			parseInts(*epochSet, "-epochs", 1), parseInts(*shardSet, "-shards", 0), *events, progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "reads":
+		rep, err := harness.ReadWrite(p, *queries, 10, 1000, *batch,
+			parseInts(*readerSet, "-readers", 1), time.Duration(*readMs)*time.Millisecond, progress)
 		if err != nil {
 			fail(err)
 		}

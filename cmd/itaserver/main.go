@@ -9,7 +9,13 @@
 //	POST /queries          {"text": "...", "k": 10}   → {"query": id}
 //	DELETE /queries/{id}                              → 204
 //	GET  /queries/{id}                                → current top-k
+//	GET  /queries                                     → every query's top-k
 //	GET  /stats                                       → engine counters
+//
+// Reads (GET /queries, GET /queries/{id}, GET /stats) are served off the
+// engine's published epoch views: they never take the ingest lock, so
+// read throughput is unaffected by stream volume and every response is a
+// consistent epoch-boundary result.
 //
 // With -batch n, ingested documents coalesce into epochs of n that are
 // processed in one amortized pass (a background -flush interval bounds
@@ -118,6 +124,28 @@ func (s *server) queryByID(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+type queryResponse struct {
+	Query   uint64          `json:"query"`
+	Text    string          `json:"text"`
+	Matches []matchResponse `json:"matches"`
+}
+
+// listQueries serves every registered query's current top-k in one
+// wait-free pass over the published views.
+func (s *server) listQueries(w http.ResponseWriter, _ *http.Request) {
+	all := s.eng.ResultsAll()
+	out := make([]queryResponse, 0, len(all))
+	for _, qr := range all {
+		text, _ := s.eng.QueryText(qr.Query)
+		entry := queryResponse{Query: uint64(qr.Query), Text: text, Matches: make([]matchResponse, 0, len(qr.Matches))}
+		for _, m := range qr.Matches {
+			entry.Matches = append(entry.Matches, matchResponse{Doc: uint64(m.Doc), Score: m.Score, Text: m.Text})
+		}
+		out = append(out, entry)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"algorithm":  s.eng.Algorithm().String(),
@@ -207,11 +235,14 @@ func main() {
 		s.postDocument(w, r)
 	})
 	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
+		switch r.Method {
+		case http.MethodPost:
+			s.postQuery(w, r)
+		case http.MethodGet:
+			s.listQueries(w, r)
+		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
 		}
-		s.postQuery(w, r)
 	})
 	mux.HandleFunc("/queries/", s.queryByID)
 	mux.HandleFunc("/stats", s.stats)

@@ -29,11 +29,14 @@ func newTestServer(t *testing.T, extra ...ita.Option) (*server, *httptest.Server
 		s.postDocument(w, r)
 	})
 	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
+		switch r.Method {
+		case http.MethodPost:
+			s.postQuery(w, r)
+		case http.MethodGet:
+			s.listQueries(w, r)
+		default:
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
 		}
-		s.postQuery(w, r)
 	})
 	mux.HandleFunc("/queries/", s.queryByID)
 	mux.HandleFunc("/stats", s.stats)
@@ -182,8 +185,63 @@ func TestServerValidation(t *testing.T) {
 	if resp, _ := get(t, ts.URL+"/documents"); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /documents: %d", resp.StatusCode)
 	}
-	if resp, _ := get(t, ts.URL+"/queries"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /queries: %d", resp.StatusCode)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/queries", strings.NewReader("{}"))
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("PUT /queries: %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestServerListQueries covers GET /queries: every registered query's
+// top-k served off the published views in ascending query id.
+func TestServerListQueries(t *testing.T) {
+	s, ts := newTestServer(t)
+	for _, q := range []string{"crude oil production", "solar turbine grid"} {
+		if resp, _ := post(t, ts.URL+"/queries", `{"text":`+strconvQuote(q)+`,"k":3}`); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("POST /queries = %d", resp.StatusCode)
+		}
+	}
+	clock := time.Now()
+	for _, text := range []string{
+		"Crude oil production rose in the north sea fields.",
+		"A giant solar turbine connects to the grid today.",
+	} {
+		clock = clock.Add(time.Millisecond)
+		if _, err := s.eng.IngestText(text, clock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /queries = %d", resp.StatusCode)
+	}
+	var out []struct {
+		Query   uint64 `json:"query"`
+		Text    string `json:"text"`
+		Matches []struct {
+			Doc  uint64 `json:"doc"`
+			Text string `json:"text"`
+		} `json:"matches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Query != 1 || out[1].Query != 2 {
+		t.Fatalf("GET /queries = %+v, want both queries in id order", out)
+	}
+	if out[0].Text != "crude oil production" || len(out[0].Matches) != 1 {
+		t.Fatalf("query 1 entry = %+v", out[0])
+	}
+	if !strings.Contains(strings.ToLower(out[1].Matches[0].Text), "solar") {
+		t.Fatalf("query 2 match = %+v", out[1].Matches)
 	}
 }
 

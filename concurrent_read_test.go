@@ -1,0 +1,174 @@
+package ita
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resultsLocked replicates the pre-published-view read path: copy the
+// inner engine's result under the engine lock. The equivalence suites
+// compare it byte-for-byte against the wait-free Results to prove the
+// published views never diverge from what the locked path would serve.
+func (e *Engine) resultsLocked(id QueryID) []Match {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	docs, ok := e.inner.Result(id)
+	if !ok {
+		return nil
+	}
+	return e.matchesLocked(docs)
+}
+
+// TestReadsAcquireNoEngineLock is the direct proof that the read path
+// never touches e.mu: the test holds the engine lock and the reads must
+// still complete. Before the published views, every one of these calls
+// deadlocked here.
+func TestReadsAcquireNoEngineLock(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8), WithTextRetention())
+	q, err := e.Register("solar turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("solar turbine output", at(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	e.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := e.Results(q); len(got) != 1 || got[0].Text == "" {
+			t.Errorf("Results under held lock = %v", got)
+		}
+		if all := e.ResultsAll(); len(all) != 1 || all[0].Query != q {
+			t.Errorf("ResultsAll under held lock = %v", all)
+		}
+		if e.WindowLen() != 1 || e.Queries() != 1 || e.DictionarySize() == 0 {
+			t.Errorf("scalar reads under held lock: window=%d queries=%d dict=%d",
+				e.WindowLen(), e.Queries(), e.DictionarySize())
+		}
+		if s := e.Stats(); s.Arrivals != 1 {
+			t.Errorf("Stats under held lock = %+v", s)
+		}
+		if text, ok := e.QueryText(q); !ok || text != "solar turbine" {
+			t.Errorf("QueryText under held lock = %q, %v", text, ok)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads blocked on the engine lock")
+	}
+	e.mu.Unlock()
+}
+
+// TestConcurrentReadersSeeEpochBoundaries hammers Results (and a
+// toggling Watch) from reader goroutines while a writer drives epochs,
+// under -race in CI. Every view a reader observes must correspond to
+// some epoch boundary the writer actually published — no torn reads —
+// and the publication sequence each reader observes must be monotonic.
+func TestConcurrentReadersSeeEpochBoundaries(t *testing.T) {
+	const (
+		B       = 8
+		epochs  = 120
+		readers = 4
+	)
+	e := newEngine(t, WithCountWindow(6), WithShards(2), WithBatchSize(B))
+	defer e.Close()
+	queries := []string{"crude oil", "tanker export market", "refinery barrel price"}
+	var qids []QueryID
+	for _, q := range queries {
+		id, err := e.Register(q, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids = append(qids, id)
+	}
+
+	// boundaries records, per query, every result signature published at
+	// an epoch boundary. The writer is the only goroutine driving
+	// epochs, so its own post-flush reads are exactly the boundary
+	// states.
+	sig := func(ms []Match) string {
+		s := ""
+		for _, m := range ms {
+			s += fmt.Sprintf("%d:%g;", m.Doc, m.Score)
+		}
+		return s
+	}
+	boundaries := make([]sync.Map, len(qids)) // signature → true
+	record := func() {
+		for i, id := range qids {
+			boundaries[i].Store(sig(e.Results(id)), true)
+		}
+	}
+	record() // initial boundary (registration)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	type observation struct {
+		query int
+		sig   string
+	}
+	observed := make([][]observation, readers)
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for i := 0; !stop.Load(); i++ {
+				ps := e.pub.Load()
+				if ps.seq < lastSeq {
+					t.Errorf("reader %d: publication sequence went backwards: %d after %d", r, ps.seq, lastSeq)
+					return
+				}
+				lastSeq = ps.seq
+				qi := (i + r) % len(qids)
+				observed[r] = append(observed[r], observation{qi, sig(e.Results(qids[qi]))})
+			}
+		}()
+	}
+	// One goroutine toggles a watcher while epochs flow, exercising the
+	// Watch/Unwatch path against concurrent publication.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := e.Watch(qids[0], func(Delta) {}); err != nil {
+				t.Errorf("watch: %v", err)
+				return
+			}
+			e.Unwatch(qids[0])
+		}
+	}()
+
+	texts := feedTexts(B * epochs)
+	for i := 0; i < epochs; i++ {
+		items := make([]TimedText, B)
+		for j := 0; j < B; j++ {
+			items[j] = TimedText{Text: texts[i*B+j], At: at((i*B + j) * 10)}
+		}
+		if _, err := e.IngestBatch(items); err != nil {
+			t.Fatal(err)
+		}
+		record()
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	for r, obs := range observed {
+		if len(obs) == 0 {
+			t.Fatalf("reader %d made no observations", r)
+		}
+		for _, o := range obs {
+			if _, ok := boundaries[o.query].Load(o.sig); !ok {
+				t.Fatalf("reader %d observed a state of query %d that was never an epoch boundary: %q",
+					r, o.query, o.sig)
+			}
+		}
+	}
+}

@@ -34,8 +34,10 @@
 //		}
 //	}
 //
-// Engines are safe for concurrent use; all methods serialize on an
-// internal mutex, matching the paper's single-CPU cost model.
+// Engines are safe for concurrent use. Mutating operations serialize on
+// an internal mutex, matching the paper's single-CPU cost model; reads
+// are served wait-free from published epoch views (see "Published views
+// and read consistency" below) and never contend with ingestion.
 //
 // # Sharded parallel maintenance
 //
@@ -81,6 +83,39 @@
 // amortize the per-event fan-out barrier — one two-phase barrier per
 // epoch instead of per event. BENCH_BATCH.json records the measured
 // epoch-size sweep (itabench -exp batch).
+//
+// # Published views and read consistency
+//
+// For the ITA engines (single-threaded and sharded), Results,
+// ResultsAll, Stats, WindowLen, Queries, DictionarySize and QueryText
+// never acquire the engine lock. At every publication boundary — an
+// epoch flush (every ingest when unbatched), Register, Unregister,
+// Advance, and restore — the engine publishes an immutable view of each
+// changed query's top-k (a frozen copy-on-publish snapshot), a
+// copy-on-write snapshot of the retained texts, and frozen operation
+// counters; the facade swaps one atomic pointer. A read loads that
+// pointer and copies off-lock, so serving throughput is independent of
+// ingest volume and a stalled reader can never stall the stream.
+//
+// The consistency model is read-your-epoch:
+//
+//   - A read observes the last completed publication boundary (or a
+//     newer one). With WithBatchSize(B) that is the last flushed epoch,
+//     at most B−1 documents behind the stream; unbatched, every ingest
+//     is a boundary.
+//   - States internal to an epoch are never visible — the same
+//     guarantee watch deltas already carry, so polling Results and
+//     subscribing via Watch tell one story.
+//   - Every published per-query view is byte-identical to what a read
+//     under the engine lock would have returned at that same boundary;
+//     the race-enabled metamorphic equivalence suite and the
+//     concurrent-reader boundary test enforce exactly this.
+//   - ResultsAll enumerates queries weakly consistently: when racing a
+//     flush, two entries may come from adjacent boundaries, but each
+//     entry individually is a real boundary state.
+//
+// The Naïve baseline engines have no published views and read under the
+// engine lock.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.

@@ -3,12 +3,15 @@ package ita
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ita/internal/core"
 	"ita/internal/model"
 	"ita/internal/textproc"
+	"ita/internal/topk"
 	"ita/internal/window"
 )
 
@@ -53,9 +56,17 @@ type Engine struct {
 	nextDoc   model.DocID
 	nextQuery model.QueryID
 	lastAt    time.Time
-	queryText map[QueryID]string
+	queryText sync.Map // QueryID → string; read off-lock by QueryText
 	texts     *textRing
 	watches   map[QueryID]*watchState
+
+	// pub is the wait-free read path: an immutable publishedState swapped
+	// at every publication boundary (epoch flush, Register, Unregister,
+	// Advance, Restore). Results, ResultsAll, Stats, WindowLen, Queries
+	// and DictionarySize read it without ever acquiring mu. It stays nil
+	// for engines whose inner algorithm has no published views (the Naïve
+	// baselines), which fall back to the locked path.
+	pub atomic.Pointer[publishedState]
 
 	// Epoch buffer (WithBatchSize > 1): analyzed documents awaiting the
 	// next flush, with their original texts when retention is on. Ids
@@ -110,12 +121,59 @@ func New(opts ...Option) (*Engine, error) {
 		pipeline:  textproc.NewPipeline(textproc.NewDictionary(), cfg.stemming, cfg.stopwords),
 		nextDoc:   1,
 		nextQuery: 1,
-		queryText: make(map[QueryID]string),
 	}
 	if cfg.retainText {
 		e.texts = newTextRing(cfg.policy)
 	}
+	e.publishLocked() // no readers yet, so mu is not needed here
 	return e, nil
+}
+
+// publishedState is one publication boundary's complete read surface:
+// the inner engine's wait-free view reader, the retained-text snapshot
+// the views' documents resolve against, and frozen scalar state. It is
+// immutable once stored; readers load the pointer once and work off a
+// consistent boundary.
+type publishedState struct {
+	seq     uint64          // publication sequence, strictly increasing
+	reader  core.ViewReader // per-query published views (see internal/core/view.go)
+	texts   *textView       // nil without WithTextRetention
+	stats   Stats
+	window  int
+	queries int
+	dict    int
+}
+
+// publishLocked makes the current flushed state visible to wait-free
+// readers: the inner engine swaps every changed query's frozen view,
+// then the facade swaps its single published-state pointer. Must be
+// called with e.mu held (except during construction/restore, before the
+// engine escapes), after mutations and only at a boundary — never with
+// a partial epoch applied. A no-op for inner engines without published
+// views.
+func (e *Engine) publishLocked() {
+	pub, ok := e.inner.(core.ViewPublisher)
+	if !ok {
+		return
+	}
+	reader := pub.PublishViews()
+	var tv *textView
+	if e.texts != nil {
+		tv = e.texts.snapshot()
+	}
+	var seq uint64
+	if prev := e.pub.Load(); prev != nil {
+		seq = prev.seq
+	}
+	e.pub.Store(&publishedState{
+		seq:     seq + 1,
+		reader:  reader,
+		texts:   tv,
+		stats:   *e.inner.Stats(),
+		window:  e.inner.WindowLen(),
+		queries: e.inner.Queries(),
+		dict:    e.pipeline.Dictionary().Size(),
+	})
 }
 
 // IngestText analyzes text and processes it as a document arrival at
@@ -249,13 +307,16 @@ func (e *Engine) ingestBatchLocked(items []TimedText) ([]DocID, []pendingDelta, 
 	e.nextDoc += model.DocID(len(items))
 	e.lastAt = last
 	// Without WithBatchSize the whole call is one epoch; with it, the
-	// buffer keeps accumulating until a full epoch is reached.
+	// buffer keeps accumulating until a full epoch is reached. Deltas
+	// (and a publication) exist only when an epoch actually flushed —
+	// a buffered-only call leaves the readable boundary untouched.
 	if e.cfg.batchSize <= 1 || len(e.pending) >= e.cfg.batchSize {
 		if err := e.flushLocked(); err != nil {
 			return ids, nil, err
 		}
+		return ids, e.collectDeltas(), nil
 	}
-	return ids, e.collectDeltas(), nil
+	return ids, nil, nil
 }
 
 // flushLocked processes the buffered epoch through the inner engine.
@@ -377,7 +438,11 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	}
 	id := e.nextQuery
 	e.nextQuery++
-	e.queryText[id] = queryText
+	e.queryText.Store(id, queryText)
+	// Second publication of the op: the flush above published the
+	// pre-registration boundary (for the deltas); this one makes the new
+	// query's initial result visible to wait-free readers.
+	e.publishLocked()
 	return id, deltas, nil
 }
 
@@ -392,9 +457,12 @@ func (e *Engine) Unregister(id QueryID) bool {
 	// discarded rather than widening the API.
 	_ = e.flushLocked()
 	e.queueDeltasLocked(e.collectDeltas())
-	delete(e.queryText, id)
+	e.queryText.Delete(id)
 	delete(e.watches, id)
 	ok := e.inner.Unregister(id)
+	// Make the removal visible to wait-free readers: until this publish,
+	// readers still see the query at its last pre-unregister boundary.
+	e.publishLocked()
 	e.mu.Unlock()
 	e.deliverQueued()
 	return ok
@@ -405,13 +473,98 @@ func (e *Engine) Unregister(id QueryID) bool {
 // matching documents returns an empty non-nil slice. With WithBatchSize,
 // results reflect flushed epochs only — at most batchSize-1 documents
 // behind the last IngestText; call Flush first for read-your-writes.
+//
+// For the ITA engines (single-threaded and sharded) the read is
+// wait-free: it loads the published epoch-boundary view and copies it
+// without acquiring the engine lock, so result serving never contends
+// with the ingest pipeline. The returned slice is the caller's to keep.
+// See "Published views" in the package documentation for the
+// consistency model. The Naïve baselines read under the engine lock.
 func (e *Engine) Results(id QueryID) []Match {
+	if ps := e.pub.Load(); ps != nil {
+		f, ok := ps.reader.Result(id)
+		if !ok {
+			return nil
+		}
+		return e.matchesPublished(ps, f)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	docs, ok := e.inner.Result(id)
 	if !ok {
 		return nil
 	}
+	return e.matchesLocked(docs)
+}
+
+// QueryResult pairs a query with its current top-k.
+type QueryResult struct {
+	Query   QueryID
+	Matches []Match
+}
+
+// ResultsAll returns the current top-k of every registered query, in
+// ascending query id. Like Results it is wait-free for the ITA engines;
+// the enumeration is weakly consistent across queries — each query's
+// entry is a real epoch-boundary result at least as fresh as the last
+// boundary completed before the call, but two entries may come from
+// adjacent boundaries when the call races a flush.
+func (e *Engine) ResultsAll() []QueryResult {
+	var out []QueryResult
+	if ps := e.pub.Load(); ps != nil {
+		ps.reader.Each(func(id model.QueryID, f *topk.Frozen) {
+			out = append(out, QueryResult{Query: id, Matches: e.matchesPublished(ps, f)})
+		})
+	} else {
+		e.mu.Lock()
+		e.inner.EachQuery(func(q *model.Query) {
+			if docs, ok := e.inner.Result(q.ID); ok {
+				out = append(out, QueryResult{Query: q.ID, Matches: e.matchesLocked(docs)})
+			}
+		})
+		e.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// matches copies a frozen view into a caller-owned Match slice,
+// resolving retained texts. Runs entirely off-lock.
+//
+// The per-query slots are live handles, so a read racing a publish can
+// obtain a view one boundary newer than ps.texts; a document that
+// arrived in that newer epoch then misses ps's snapshot. The fallback
+// reloads the freshest published texts, which contain it as soon as the
+// racing publish completes its state swap — only a read landing in the
+// few instructions between a slot swap and the state swap can still
+// transiently resolve that document's text to "". Scores and membership
+// are never affected.
+func (e *Engine) matchesPublished(ps *publishedState, f *topk.Frozen) []Match {
+	out := make([]Match, len(f.Docs))
+	var fresh *publishedState
+	for i, d := range f.Docs {
+		out[i] = Match{Doc: d.Doc, Score: d.Score}
+		if ps.texts == nil {
+			continue
+		}
+		text := ps.texts.get(d.Doc)
+		if text == "" {
+			if fresh == nil {
+				fresh = e.pub.Load()
+			}
+			if fresh != ps && fresh.texts != nil {
+				text = fresh.texts.get(d.Doc)
+			}
+		}
+		out[i].Text = text
+	}
+	return out
+}
+
+// matchesLocked is the locked-path equivalent of publishedState.matches
+// for inner engines without published views. Must be called with e.mu
+// held.
+func (e *Engine) matchesLocked(docs []model.ScoredDoc) []Match {
 	out := make([]Match, 0, len(docs))
 	for _, d := range docs {
 		m := Match{Doc: d.Doc, Score: d.Score}
@@ -423,17 +576,22 @@ func (e *Engine) Results(id QueryID) []Match {
 	return out
 }
 
-// QueryText returns the original text a query was registered with.
+// QueryText returns the original text a query was registered with. It
+// never acquires the engine lock.
 func (e *Engine) QueryText(id QueryID) (string, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s, ok := e.queryText[id]
-	return s, ok
+	s, ok := e.queryText.Load(id)
+	if !ok {
+		return "", false
+	}
+	return s.(string), true
 }
 
 // WindowLen returns the number of currently valid documents in flushed
 // epochs (buffered documents are not yet part of the window).
 func (e *Engine) WindowLen() int {
+	if ps := e.pub.Load(); ps != nil {
+		return ps.window
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.inner.WindowLen()
@@ -441,13 +599,20 @@ func (e *Engine) WindowLen() int {
 
 // Queries returns the number of registered queries.
 func (e *Engine) Queries() int {
+	if ps := e.pub.Load(); ps != nil {
+		return ps.queries
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.inner.Queries()
 }
 
-// Stats returns a snapshot of the engine's operation counters.
+// Stats returns a snapshot of the engine's operation counters, as of
+// the last publication boundary.
 func (e *Engine) Stats() Stats {
+	if ps := e.pub.Load(); ps != nil {
+		return ps.stats
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return *e.inner.Stats()
@@ -456,53 +621,86 @@ func (e *Engine) Stats() Stats {
 // Algorithm returns the engine's maintenance algorithm.
 func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
 
-// DictionarySize returns the number of distinct terms interned so far.
+// DictionarySize returns the number of distinct terms interned as of
+// the last publication boundary (terms of buffered, unflushed documents
+// are counted once their epoch flushes).
 func (e *Engine) DictionarySize() int {
+	if ps := e.pub.Load(); ps != nil {
+		return ps.dict
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.pipeline.Dictionary().Size()
 }
 
-// textRing mirrors the window policy for retained document texts. Dead
-// entries accumulate at the front of order as a head index rather than
-// by reslicing: order = order[1:] would pin the whole backing array (and
-// every expired entry in it) for the lifetime of the stream, so the
-// drained prefix is compacted away once it dominates the array, keeping
-// memory at O(window) instead of O(stream).
+// textRing mirrors the window policy for retained document texts, with
+// a copy-on-write twist so published views can read it wait-free: the
+// live region order[head:] is snapshot by reslicing (entries are never
+// mutated in place, and expiry only advances head), and compaction
+// copies into a fresh backing array instead of shifting in place, so a
+// snapshot taken at any earlier boundary stays valid. Dead entries
+// therefore pin their texts until the next compaction — bounded at
+// about one window's worth — which is the price of lock-free readers.
 type textRing struct {
 	policy window.Policy
-	byID   map[model.DocID]string
 	order  []retained
 	head   int
 }
 
 type retained struct {
-	id model.DocID
-	at time.Time
+	id   model.DocID
+	at   time.Time
+	text string
+}
+
+// textView is an immutable snapshot of the retained texts at one
+// publication boundary. Entries are in ascending document id (the
+// facade assigns ids monotonically and retains in arrival order).
+type textView struct {
+	items []retained
+}
+
+// get resolves a document's retained text; documents outside the
+// snapshot (expired, or never retained) resolve to "".
+func (v *textView) get(id model.DocID) string {
+	i := sort.Search(len(v.items), func(i int) bool { return v.items[i].id >= id })
+	if i < len(v.items) && v.items[i].id == id {
+		return v.items[i].text
+	}
+	return ""
 }
 
 func newTextRing(p window.Policy) *textRing {
-	return &textRing{policy: p, byID: make(map[model.DocID]string)}
+	return &textRing{policy: p}
+}
+
+// snapshot publishes the live region. The returned view aliases the
+// ring's backing array, which is safe: appends write beyond every
+// snapshot's length, expiry only moves head, and compaction reallocates.
+func (r *textRing) snapshot() *textView {
+	return &textView{items: r.order[r.head:]}
 }
 
 func (r *textRing) add(id model.DocID, at time.Time, text string) {
-	r.byID[id] = text
-	r.order = append(r.order, retained{id: id, at: at})
+	r.order = append(r.order, retained{id: id, at: at, text: text})
 	r.expire(at)
 }
 
 func (r *textRing) expire(now time.Time) {
 	for r.head < len(r.order) && r.policy.Expired(r.order[r.head].at, now, len(r.order)-r.head) {
-		delete(r.byID, r.order[r.head].id)
-		r.order[r.head] = retained{}
+		// The entry must stay intact (snapshots may still alias it);
+		// only the head index moves.
 		r.head++
 	}
 	if r.head > 64 && r.head*2 > len(r.order) {
-		n := copy(r.order, r.order[r.head:])
-		clear(r.order[n:])
-		r.order = r.order[:n]
-		r.head = 0
+		live := make([]retained, len(r.order)-r.head)
+		copy(live, r.order[r.head:])
+		r.order, r.head = live, 0
 	}
 }
 
-func (r *textRing) get(id model.DocID) string { return r.byID[id] }
+// get is the writer-side lookup, for code already holding the engine
+// lock (snapshots, watch diffs, the Naïve fallback path).
+func (r *textRing) get(id model.DocID) string {
+	return (&textView{items: r.order[r.head:]}).get(id)
+}

@@ -96,6 +96,16 @@ func (e *ITA) Unregister(id model.QueryID) bool { return e.m.Unregister(id) }
 // Result implements Engine.
 func (e *ITA) Result(id model.QueryID) ([]model.ScoredDoc, bool) { return e.m.Result(id) }
 
+// PublishViews implements ViewPublisher: every query whose result
+// changed since the previous call gets its frozen epoch-boundary
+// snapshot swapped into the published slot. Like all of Engine, it must
+// be called from the single writer — and only at a boundary, never
+// between an arrival and the expirations it derives.
+func (e *ITA) PublishViews() ViewReader {
+	e.m.Publish()
+	return e.m.Views()
+}
+
 // Process implements Engine: the arrival is indexed and handled, then
 // the window policy expires documents from the FIFO head.
 func (e *ITA) Process(d *model.Document) error {

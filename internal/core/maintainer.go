@@ -42,6 +42,17 @@ type Maintainer struct {
 	// calls (the inner adds/dels slices keep their capacity).
 	epochQueue []epochWork
 	epochIdx   map[model.QueryID]int
+
+	// Published read path: one publication slot per query (views) and
+	// the queries whose results changed since the last Publish. See
+	// view.go for the consistency model. Dirty tracking is armed by the
+	// first Publish call: the facade arms it at construction (serving
+	// reads is its job), while core-level users that never publish —
+	// the figure benchmarks and throughput harnesses driving ITA and
+	// shard.Engine directly — pay nothing for the publication machinery.
+	views     Views
+	pubDirty  []*queryState
+	publishOn bool
 }
 
 // epochWork is the net effect of one epoch on one query: the arrived
@@ -91,6 +102,11 @@ type queryState struct {
 	q     *model.Query
 	terms []termState
 	r     *topk.ResultSet
+
+	// Publication state: the query's slot in the maintainer's Views and
+	// whether r changed since the last Publish.
+	slot     *viewSlot
+	pubDirty bool
 }
 
 // tau returns the influence threshold τ = Σ w_{Q,t}·θ_{Q,t}.W, the least
@@ -143,12 +159,15 @@ func (m *Maintainer) Register(q *model.Query) error {
 		q:     q,
 		terms: make([]termState, len(q.Terms)),
 		r:     topk.NewResultSet(m.seed ^ uint64(q.ID)),
+		slot:  &viewSlot{},
 	}
 	for i, t := range q.Terms {
 		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: invindex.Top()}
 	}
 	m.queries[q.ID] = qs
+	m.views.slots.Store(q.ID, qs.slot)
 	m.runSearch(qs)
+	m.markDirty(qs)
 	return nil
 }
 
@@ -169,6 +188,10 @@ func (m *Maintainer) Unregister(id model.QueryID) bool {
 		}
 	}
 	delete(m.queries, id)
+	// Readers holding the engine's ViewReader stop seeing the query the
+	// moment the slot leaves the map; the slot itself may still sit in
+	// pubDirty, where publishing into it is harmless (unreachable).
+	m.views.slots.Delete(id)
 	return true
 }
 
@@ -217,6 +240,7 @@ func (m *Maintainer) collectAffected(d *model.Document) []*queryState {
 // the index must stay unmodified for the duration of the call.
 func (m *Maintainer) HandleArrival(d *model.Document) {
 	for _, qs := range m.collectAffected(d) {
+		m.markDirty(qs)
 		m.stats.ScoreComputations++
 		score := model.Score(qs.q, d)
 		skBefore := qs.r.Kth(qs.q.K)
@@ -234,6 +258,7 @@ func (m *Maintainer) HandleArrival(d *model.Document) {
 // and the index must stay unmodified for the duration of the call.
 func (m *Maintainer) HandleExpire(d *model.Document) {
 	for _, qs := range m.collectAffected(d) {
+		m.markDirty(qs)
 		rank, inR := qs.r.Rank(d.ID)
 		if !inR {
 			// Possible only for boundary positions the roll-up already
@@ -331,6 +356,56 @@ func (m *Maintainer) epochFor(qs *queryState) *epochWork {
 	return &m.epochQueue[i]
 }
 
+// markDirty records that a query's result may have changed since the
+// last Publish. Over-marking (an affected query whose result ends up
+// untouched) is deliberate and cheap: Freeze on an unmutated result set
+// is a cached pointer, so publishing it is a no-op store. Before the
+// first Publish the tracking is disarmed entirely.
+func (m *Maintainer) markDirty(qs *queryState) {
+	if !m.publishOn || qs.pubDirty {
+		return
+	}
+	qs.pubDirty = true
+	m.pubDirty = append(m.pubDirty, qs)
+}
+
+// WarmViews precomputes the frozen snapshot of every dirty query so a
+// later Publish finds them cached. It exists so the sharded engine's
+// workers can do the copy-on-publish work in parallel during the
+// fan-out, leaving the coordinator's Publish with pure pointer swaps.
+// Warming mid-operation (between an arrival and its derived expirations)
+// is safe: nothing is published until Publish, and a re-mutated query
+// simply refreezes.
+func (m *Maintainer) WarmViews() {
+	for _, qs := range m.pubDirty {
+		qs.r.Freeze(qs.q.K)
+	}
+}
+
+// Publish swaps every dirty query's publication slot to its current
+// frozen snapshot and resets the dirty list. Must be called by the
+// maintainer's single writer at a publication boundary; readers observe
+// each swap atomically. The first call arms dirty tracking and
+// publishes every owned query, so enabling the read path late still
+// starts from a complete boundary.
+func (m *Maintainer) Publish() {
+	if !m.publishOn {
+		m.publishOn = true
+		for _, qs := range m.queries {
+			m.markDirty(qs)
+		}
+	}
+	for i, qs := range m.pubDirty {
+		qs.slot.top.Store(qs.r.Freeze(qs.q.K))
+		qs.pubDirty = false
+		m.pubDirty[i] = nil // drop the reference: don't pin dead queries
+	}
+	m.pubDirty = m.pubDirty[:0]
+}
+
+// Views returns the maintainer's published read handle.
+func (m *Maintainer) Views() *Views { return &m.views }
+
 // maintainEpoch is the net-effect maintenance of one query for one
 // epoch: all expirations are removed from R and all consumed arrivals
 // scored and added, then at most one refill search (only when the
@@ -338,6 +413,7 @@ func (m *Maintainer) epochFor(qs *queryState) *epochWork {
 // already repaired it) and at most one roll-up (only when some arrival
 // raised Sk) run, instead of one of each per event.
 func (m *Maintainer) maintainEpoch(qs *queryState, adds, dels []*model.Document) {
+	m.markDirty(qs)
 	k := qs.q.K
 	lostTopK := false
 	for _, d := range dels {

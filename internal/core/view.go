@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ita/internal/model"
+	"ita/internal/topk"
+)
+
+// This file implements the RCU-style published read path. A Maintainer
+// owns one publication slot per query; at every publication boundary
+// (an epoch boundary, a Register/Unregister, an explicit expiry) the
+// slot's pointer is swapped to a freshly frozen immutable top-k
+// snapshot. Readers load two atomics — the slot lookup and the slot's
+// snapshot pointer — and never block on, or even observe, the engine's
+// write path: result reads are wait-free for every settled query.
+//
+// Consistency model: each published snapshot is exactly the query's
+// top-k at some publication boundary; states internal to an epoch are
+// never published. A reader therefore always observes, per query, a
+// result the locked read path would have returned at that boundary —
+// byte-identical, because the snapshot is frozen from the same
+// ResultSet the locked path reads. Different queries observed by one
+// reader may come from adjacent boundaries (publication swaps slots
+// one at a time), but every individual query's view is a real boundary
+// state at least as fresh as the last boundary completed before the
+// read began.
+
+// viewSlot is one query's publication slot. The slot itself is created
+// at registration and its identity never changes; only the snapshot
+// pointer inside it is swapped.
+type viewSlot struct {
+	top atomic.Pointer[topk.Frozen]
+}
+
+// Views is the published, read-only side of a Maintainer: the mapping
+// from query id to publication slot. Slot membership changes only on
+// Register/Unregister (via a read-optimized concurrent map — wait-free
+// for settled queries, lock-free amortized for recently registered
+// ones); slot contents change at every publication boundary via a
+// single atomic store.
+type Views struct {
+	slots sync.Map // model.QueryID → *viewSlot
+}
+
+// Result returns the query's last published top-k snapshot. The second
+// result is false for a query that is unknown or has never been
+// published. Safe for concurrent use from any goroutine.
+func (v *Views) Result(id model.QueryID) (*topk.Frozen, bool) {
+	s, ok := v.slots.Load(id)
+	if !ok {
+		return nil, false
+	}
+	f := s.(*viewSlot).top.Load()
+	if f == nil {
+		return nil, false
+	}
+	return f, true
+}
+
+// Each calls fn for every published query in unspecified order. The
+// enumeration is weakly consistent: each query's snapshot is a real
+// publication-boundary state, but queries registered or unregistered
+// concurrently with the iteration may or may not be included.
+func (v *Views) Each(fn func(id model.QueryID, top *topk.Frozen)) {
+	v.slots.Range(func(k, s any) bool {
+		if f := s.(*viewSlot).top.Load(); f != nil {
+			fn(k.(model.QueryID), f)
+		}
+		return true
+	})
+}
+
+// ViewReader is the wait-free read handle an engine hands to its
+// serving layer. The handle is stable for the engine's lifetime: it
+// always reflects the latest published boundary.
+type ViewReader interface {
+	// Result returns the last published top-k of a query; false for a
+	// query that is unknown at the last published boundary.
+	Result(id model.QueryID) (*topk.Frozen, bool)
+	// Each enumerates every published query (weakly consistent).
+	Each(fn func(id model.QueryID, top *topk.Frozen))
+}
+
+// ViewPublisher is implemented by engines (ITA and the sharded ITA)
+// whose per-query results can be read wait-free through published
+// views. PublishViews makes every result change since the previous
+// call visible to readers and returns the engine's read handle; it
+// must be called from the engine's single writer, at a boundary (never
+// mid-epoch). Engines without it (the Naïve baselines) are read
+// through the locked path.
+type ViewPublisher interface {
+	PublishViews() ViewReader
+}

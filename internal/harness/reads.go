@@ -1,0 +1,264 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ita"
+)
+
+// ReadPoint is one (mode, reader-count) cell of the mixed read/write
+// experiment.
+type ReadPoint struct {
+	// Mode is "published" (the wait-free read path: Results loads the
+	// published epoch view, never the engine lock) or "locked" (the
+	// pre-published-view architecture, emulated by serializing every
+	// read and write on one mutex — exactly what serving off the ingest
+	// lock costs).
+	Mode        string  `json:"mode"`
+	Readers     int     `json:"readers"`
+	Reads       int     `json:"reads"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	MeanReadUs  float64 `json:"mean_read_us"`
+	// Read latency distribution. The tail is where the architectures
+	// separate even on one core: a locked reader queues behind whole
+	// epoch ingests (milliseconds), a published reader never blocks.
+	P50ReadUs    float64 `json:"p50_read_us"`
+	P99ReadUs    float64 `json:"p99_read_us"`
+	MaxReadUs    float64 `json:"max_read_us"`
+	WriteEvents  int     `json:"write_events"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	// SpeedupVsLocked is this cell's reads/sec over the locked cell at
+	// the same reader count (on the published rows; 1 on locked rows).
+	SpeedupVsLocked float64 `json:"speedup_vs_locked"`
+}
+
+// ReadsReport is the outcome of the mixed read/write experiment: R
+// concurrent reader goroutines hammer Results while one writer streams
+// epochs, for the wait-free published read path versus the locked
+// baseline. Hardware context is recorded as usual; note that even at
+// GOMAXPROCS=1 the published path wins decisively, because a locked
+// reader queues behind entire epoch ingests (milliseconds) while a
+// published reader never waits at all.
+type ReadsReport struct {
+	Queries    int         `json:"queries"`
+	QueryLen   int         `json:"query_len"`
+	K          int         `json:"k"`
+	Window     int         `json:"window"`
+	BatchSize  int         `json:"batch_size"`
+	DictSize   int         `json:"dict_size"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	CellMs     float64     `json:"cell_ms"` // measured wall time per cell
+	Points     []ReadPoint `json:"points"`
+}
+
+// readsText builds deterministic synthetic texts: uniform draws over a
+// compact vocabulary, wide enough that top-k sets are contested but
+// every query matches something.
+func readsText(rnd *rand.Rand, dict, words int) string {
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "term%d", rnd.Intn(dict))
+	}
+	return sb.String()
+}
+
+// ReadWrite measures sustained read throughput under concurrent epoch
+// ingestion: for every mode × readerCount cell, R reader goroutines
+// call Results on random queries as fast as they can while one writer
+// drives IngestBatch epochs of `batch` documents, for `dur` of wall
+// time. Reads on the published path are wait-free; the locked baseline
+// serializes reads and writes on a single mutex, reproducing the
+// pre-published-view facade.
+func ReadWrite(p Profile, queries, queryLen, win, batch int, readerCounts []int, dur time.Duration, progress func(string)) (ReadsReport, error) {
+	const dict = 2000
+	rep := ReadsReport{
+		Queries:    queries,
+		QueryLen:   queryLen,
+		K:          p.K,
+		Window:     win,
+		BatchSize:  batch,
+		DictSize:   dict,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CellMs:     float64(dur.Nanoseconds()) / 1e6,
+	}
+
+	runCell := func(mode string, readers int) (ReadPoint, error) {
+		pt := ReadPoint{Mode: mode, Readers: readers}
+		if progress != nil {
+			progress(fmt.Sprintf("reads: %s R=%d (%d queries)", mode, readers, queries))
+		}
+		eng, err := ita.New(ita.WithCountWindow(win), ita.WithBatchSize(batch))
+		if err != nil {
+			return pt, err
+		}
+		defer eng.Close()
+
+		// A single mutex emulating the pre-published-view read path: in
+		// published mode it is simply never used.
+		var lock sync.Mutex
+		locked := mode == "locked"
+
+		rnd := rand.New(rand.NewSource(42))
+		clock := time.Unix(0, 0)
+		warm := make([]ita.TimedText, win)
+		for i := range warm {
+			clock = clock.Add(time.Millisecond)
+			warm[i] = ita.TimedText{Text: readsText(rnd, dict, 12), At: clock}
+		}
+		if _, err := eng.IngestBatch(warm); err != nil {
+			return pt, err
+		}
+		qids := make([]ita.QueryID, queries)
+		qrnd := rand.New(rand.NewSource(7777))
+		for i := range qids {
+			id, err := eng.Register(readsText(qrnd, dict, queryLen), p.K)
+			if err != nil {
+				return pt, err
+			}
+			qids[i] = id
+		}
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		var writeEvents atomic.Int64
+		reads := make([]int64, readers)
+		lats := make([][]int64, readers) // per-read ns, bounded per reader
+
+		wg.Add(1)
+		go func() { // writer: stream epochs as fast as the engine takes them
+			defer wg.Done()
+			wrnd := rand.New(rand.NewSource(43))
+			items := make([]ita.TimedText, batch)
+			for !stop.Load() {
+				for i := range items {
+					clock = clock.Add(time.Millisecond)
+					items[i] = ita.TimedText{Text: readsText(wrnd, dict, 12), At: clock}
+				}
+				if locked {
+					lock.Lock()
+				}
+				_, err := eng.IngestBatch(items)
+				if locked {
+					lock.Unlock()
+				}
+				if err != nil {
+					panic(err) // non-decreasing clock by construction
+				}
+				writeEvents.Add(int64(batch))
+			}
+		}()
+		for r := 0; r < readers; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				const maxSamples = 1 << 20
+				rrnd := rand.New(rand.NewSource(int64(100 + r)))
+				samples := make([]int64, 0, 1<<16)
+				var n int64
+				for !stop.Load() {
+					id := qids[rrnd.Intn(len(qids))]
+					t0 := time.Now()
+					if locked {
+						lock.Lock()
+					}
+					res := eng.Results(id)
+					if locked {
+						lock.Unlock()
+					}
+					if len(samples) < maxSamples {
+						samples = append(samples, time.Since(t0).Nanoseconds())
+					}
+					if res == nil {
+						panic("registered query returned nil")
+					}
+					n++
+				}
+				reads[r] = n
+				lats[r] = samples
+			}()
+		}
+
+		start := time.Now()
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		wall := time.Since(start)
+
+		for _, n := range reads {
+			pt.Reads += int(n)
+		}
+		pt.WriteEvents = int(writeEvents.Load())
+		pt.ReadsPerSec = float64(pt.Reads) / wall.Seconds()
+		pt.WritesPerSec = float64(pt.WriteEvents) / wall.Seconds()
+		if pt.Reads > 0 {
+			// Mean wall time per read across all reader goroutines.
+			pt.MeanReadUs = wall.Seconds() * float64(readers) / float64(pt.Reads) * 1e6
+		}
+		var all []int64
+		for _, s := range lats {
+			all = append(all, s...)
+		}
+		if len(all) > 0 {
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			pt.P50ReadUs = float64(all[len(all)/2]) / 1e3
+			pt.P99ReadUs = float64(all[len(all)*99/100]) / 1e3
+			pt.MaxReadUs = float64(all[len(all)-1]) / 1e3
+		}
+		return pt, nil
+	}
+
+	for _, readers := range readerCounts {
+		lockedPt, err := runCell("locked", readers)
+		if err != nil {
+			return rep, err
+		}
+		lockedPt.SpeedupVsLocked = 1
+		pubPt, err := runCell("published", readers)
+		if err != nil {
+			return rep, err
+		}
+		if lockedPt.ReadsPerSec > 0 {
+			pubPt.SpeedupVsLocked = pubPt.ReadsPerSec / lockedPt.ReadsPerSec
+		}
+		rep.Points = append(rep.Points, lockedPt, pubPt)
+	}
+	return rep, nil
+}
+
+// Format renders the report as an aligned text table.
+func (r ReadsReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mixed read/write — %d queries (n=%d, k=%d), window N=%d, B=%d, GOMAXPROCS=%d\n",
+		r.Queries, r.QueryLen, r.K, r.Window, r.BatchSize, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-11s%9s%14s%12s%12s%12s%14s%12s\n",
+		"mode", "readers", "reads/sec", "p50 µs", "p99 µs", "max µs", "writes/sec", "vs locked")
+	for _, pt := range r.Points {
+		speedup := "-"
+		if pt.SpeedupVsLocked > 0 {
+			speedup = fmt.Sprintf("%.2fx", pt.SpeedupVsLocked)
+		}
+		fmt.Fprintf(&b, "%-11s%9d%14.0f%12.2f%12.1f%12.0f%14.0f%12s\n",
+			pt.Mode, pt.Readers, pt.ReadsPerSec, pt.P50ReadUs, pt.P99ReadUs, pt.MaxReadUs, pt.WritesPerSec, speedup)
+	}
+	if r.GOMAXPROCS == 1 {
+		fmt.Fprintf(&b, "note: GOMAXPROCS=1 — aggregate reads/sec is CPU-bound, so compare the latency tail: a locked reader queues behind whole epoch ingests (p99/max in the milliseconds), a published reader never blocks. The reads/sec gap additionally widens with real cores.\n")
+	}
+	return b.String()
+}
+
+// JSON renders the report for BENCH_*.json files.
+func (r ReadsReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

@@ -41,6 +41,7 @@ import (
 	"ita/internal/core"
 	"ita/internal/invindex"
 	"ita/internal/model"
+	"ita/internal/topk"
 	"ita/internal/window"
 )
 
@@ -58,6 +59,10 @@ type Engine struct {
 	// per-shard counters into.
 	coord  core.Stats
 	merged core.Stats
+
+	// views is the engine's stable wait-free read handle (per-shard
+	// published views, merged lazily at read time).
+	views *mergedViews
 
 	pending  sync.WaitGroup // per-event completion barrier
 	workers  sync.WaitGroup // worker lifetime
@@ -142,6 +147,7 @@ func New(policy window.Policy, shards int, opts ...Option) *Engine {
 		s.m = core.NewMaintainer(e.index, &s.stats, cfg)
 		e.shards[i] = s
 	}
+	e.views = &mergedViews{shards: e.shards}
 	if shards > 1 {
 		for _, s := range e.shards {
 			s.ch = make(chan event, 1)
@@ -156,6 +162,17 @@ func (e *Engine) worker(s *shardState) {
 	defer e.workers.Done()
 	for ev := range s.ch {
 		s.handle(ev)
+		// After an epoch event, freeze this shard's changed results while
+		// still on the worker: the copy-on-publish work parallelizes with
+		// the other shards, and the coordinator's later PublishViews
+		// degenerates to pure pointer swaps. Nothing becomes visible to
+		// readers yet. Per-event fan-outs skip the warm — several events
+		// (an arrival plus its expirations) may share one publication
+		// boundary, and only the last freeze would survive; the
+		// coordinator freezes each dirty query exactly once instead.
+		if ev.doc == nil {
+			s.m.WarmViews()
+		}
 		e.pending.Done()
 	}
 }
@@ -208,11 +225,47 @@ func (e *Engine) Stats() *core.Stats {
 	return &e.merged
 }
 
-// shardFor spreads query ids across shards with a multiplicative hash,
-// so clustered id patterns (all-even ids, striding registrants) still
-// balance.
-func (e *Engine) shardFor(id model.QueryID) int {
-	return int((uint64(id) * 0x9e3779b97f4a7c15 >> 32) % uint64(len(e.shards)))
+// shardIndex spreads query ids across n shards with a multiplicative
+// hash, so clustered id patterns (all-even ids, striding registrants)
+// still balance. It is a pure function of (id, n): the merged view
+// reader resolves a query to its owning shard with it, without touching
+// the coordinator's assignment map.
+func shardIndex(id model.QueryID, n int) int {
+	return int((uint64(id) * 0x9e3779b97f4a7c15 >> 32) % uint64(n))
+}
+
+func (e *Engine) shardFor(id model.QueryID) int { return shardIndex(id, len(e.shards)) }
+
+// mergedViews is the sharded engine's wait-free read handle: the
+// per-shard view sets, merged lazily at read time. No cross-shard
+// barrier or copy happens at publication — each shard publishes its own
+// queries, and a read resolves the owning shard by hash and loads that
+// shard's slot.
+type mergedViews struct {
+	shards []*shardState
+}
+
+// Result implements core.ViewReader.
+func (v *mergedViews) Result(id model.QueryID) (*topk.Frozen, bool) {
+	return v.shards[shardIndex(id, len(v.shards))].m.Views().Result(id)
+}
+
+// Each implements core.ViewReader.
+func (v *mergedViews) Each(fn func(id model.QueryID, top *topk.Frozen)) {
+	for _, s := range v.shards {
+		s.m.Views().Each(fn)
+	}
+}
+
+// PublishViews implements core.ViewPublisher. The workers already froze
+// their shards' changed results during the last fan-out (WarmViews), so
+// this is S short pointer-swap passes on the coordinator. Must be
+// called while the engine is quiescent (no fan-out in flight).
+func (e *Engine) PublishViews() core.ViewReader {
+	for _, s := range e.shards {
+		s.m.Publish()
+	}
+	return e.views
 }
 
 // Register implements core.Engine: the query is assigned to a shard and

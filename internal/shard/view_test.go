@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ita/internal/model"
+	"ita/internal/topk"
+	"ita/internal/window"
+)
+
+func viewDoc(id model.DocID, postings []model.Posting, ms int) *model.Document {
+	d, err := model.NewDocument(id, time.Unix(0, int64(ms)*1e6), postings)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestMergedViewsMatchLockedPath drives the sharded engine through
+// per-event and epoch processing and checks, at every boundary, that the
+// lazily merged per-shard views serve byte-identical results to the
+// coordinator's locked Result path for every query.
+func TestMergedViewsMatchLockedPath(t *testing.T) {
+	e := New(window.Count{N: 6}, 4)
+	defer e.Close()
+	const nq = 12
+	for i := 1; i <= nq; i++ {
+		q, err := model.NewQuery(model.QueryID(i), 2, []model.QueryTerm{
+			{Term: model.TermID(i % 3), Weight: 1},
+			{Term: model.TermID(3 + i%2), Weight: 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reader := e.PublishViews()
+
+	check := func(step int) {
+		t.Helper()
+		for qi := 1; qi <= nq; qi++ {
+			id := model.QueryID(qi)
+			f, ok := reader.Result(id)
+			if !ok {
+				t.Fatalf("step %d: query %d missing from merged views", step, id)
+			}
+			locked, _ := e.Result(id)
+			if !reflect.DeepEqual(f.Docs, locked) {
+				t.Fatalf("step %d: query %d: views %v, locked %v", step, id, f.Docs, locked)
+			}
+		}
+	}
+
+	next := model.DocID(1)
+	mkDoc := func(ms int) *model.Document {
+		d := viewDoc(next, []model.Posting{
+			{Term: model.TermID(int(next) % 3), Weight: 0.3 + float64(int(next)%5)/10},
+			{Term: model.TermID(3 + int(next)%2), Weight: 0.2 + float64(int(next)%7)/20},
+		}, ms)
+		next++
+		return d
+	}
+
+	// Per-event path.
+	for i := 0; i < 10; i++ {
+		if err := e.Process(mkDoc(i * 10)); err != nil {
+			t.Fatal(err)
+		}
+		e.PublishViews()
+		check(i)
+	}
+	// Epoch path.
+	for i := 0; i < 5; i++ {
+		docs := make([]*model.Document, 7)
+		for j := range docs {
+			docs[j] = mkDoc(100 + i*100 + j*10)
+		}
+		if err := e.ProcessEpoch(docs); err != nil {
+			t.Fatal(err)
+		}
+		e.PublishViews()
+		check(100 + i)
+	}
+	// Unregistration drops queries from the merged enumeration.
+	if !e.Unregister(3) {
+		t.Fatal("Unregister failed")
+	}
+	e.PublishViews()
+	count := 0
+	reader.Each(func(id model.QueryID, _ *topk.Frozen) { count++ })
+	if count != nq-1 {
+		t.Fatalf("Each enumerated %d queries, want %d", count, nq-1)
+	}
+}
+
+// TestConcurrentViewReadersUnderEpochs hammers the merged views from
+// reader goroutines while the coordinator drives epochs, under the race
+// detector in CI. Every observed snapshot must be internally consistent
+// (descending scores); full epoch-boundary correspondence is asserted at
+// the facade level, where boundaries are defined.
+func TestConcurrentViewReadersUnderEpochs(t *testing.T) {
+	e := New(window.Count{N: 8}, 3)
+	defer e.Close()
+	for i := 1; i <= 9; i++ {
+		q, err := model.NewQuery(model.QueryID(i), 3, []model.QueryTerm{
+			{Term: model.TermID(i % 4), Weight: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Register(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reader := e.PublishViews()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				id := model.QueryID(1 + (i+r)%9)
+				f, ok := reader.Result(id)
+				if !ok {
+					t.Errorf("query %d vanished", id)
+					return
+				}
+				for j := 1; j < len(f.Docs); j++ {
+					if f.Docs[j].Score > f.Docs[j-1].Score {
+						t.Errorf("snapshot of query %d not sorted: %v", id, f.Docs)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	next := model.DocID(1)
+	for i := 0; i < 60; i++ {
+		docs := make([]*model.Document, 5)
+		for j := range docs {
+			docs[j] = viewDoc(next, []model.Posting{
+				{Term: model.TermID(int(next) % 4), Weight: 0.2 + float64(int(next)%9)/10},
+			}, i*50+j*10)
+			next++
+		}
+		if err := e.ProcessEpoch(docs); err != nil {
+			t.Fatal(err)
+		}
+		e.PublishViews()
+	}
+	stop.Store(true)
+	wg.Wait()
+}

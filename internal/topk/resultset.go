@@ -28,6 +28,22 @@ func entryLess(a, b entry) bool {
 type ResultSet struct {
 	order *skiplist.List[entry, struct{}]
 	byDoc map[model.DocID]float64
+
+	// Copy-on-publish cache: the last frozen top-k, invalidated by any
+	// mutation. Freezing an unchanged result set returns the same
+	// pointer, which is what makes per-epoch publication cost
+	// proportional to the queries an epoch actually touched.
+	frozen  *Frozen
+	frozenK int
+}
+
+// Frozen is an immutable snapshot of a result set's top-k, taken at a
+// publication boundary. Holders may read Docs from any goroutine without
+// synchronization; nobody may mutate it.
+type Frozen struct {
+	// Docs is the top-k in descending score order (ties by ascending
+	// document id), never nil.
+	Docs []model.ScoredDoc
 }
 
 // NewResultSet returns an empty result set.
@@ -36,6 +52,19 @@ func NewResultSet(seed uint64) *ResultSet {
 		order: skiplist.New[entry, struct{}](entryLess, seed),
 		byDoc: make(map[model.DocID]float64),
 	}
+}
+
+// Freeze returns an immutable snapshot of the current top-k. The
+// snapshot is cached: freezing again without an intervening Add or
+// Remove returns the identical *Frozen, so publishing an untouched
+// query is a pointer comparison away from free.
+func (r *ResultSet) Freeze(k int) *Frozen {
+	if r.frozen != nil && r.frozenK == k {
+		return r.frozen
+	}
+	r.frozen = &Frozen{Docs: r.Top(k)}
+	r.frozenK = k
+	return r.frozen
 }
 
 // Len returns the number of documents in R.
@@ -48,6 +77,7 @@ func (r *ResultSet) Add(doc model.DocID, score float64) {
 	if _, dup := r.byDoc[doc]; dup {
 		panic("topk: document added twice")
 	}
+	r.frozen = nil
 	r.byDoc[doc] = score
 	r.order.Insert(entry{score: score, doc: doc}, struct{}{})
 }
@@ -58,6 +88,7 @@ func (r *ResultSet) Remove(doc model.DocID) bool {
 	if !ok {
 		return false
 	}
+	r.frozen = nil
 	delete(r.byDoc, doc)
 	r.order.Delete(entry{score: score, doc: doc})
 	return true

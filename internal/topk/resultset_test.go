@@ -194,3 +194,45 @@ func TestZeroScores(t *testing.T) {
 		}
 	}
 }
+
+// TestFreezeCaching checks the copy-on-publish contract: freezing an
+// unmutated set returns the identical snapshot pointer (publication of
+// an untouched query is free), any mutation invalidates the cache, and
+// a frozen snapshot is immune to later mutations.
+func TestFreezeCaching(t *testing.T) {
+	r := NewResultSet(1)
+	r.Add(10, 0.5)
+	r.Add(20, 0.9)
+	f1 := r.Freeze(2)
+	if len(f1.Docs) != 2 || f1.Docs[0].Doc != 20 || f1.Docs[1].Doc != 10 {
+		t.Fatalf("Freeze = %v", f1.Docs)
+	}
+	if f2 := r.Freeze(2); f2 != f1 {
+		t.Fatal("Freeze of an unmutated set returned a new snapshot")
+	}
+	// A different k must not serve the cached snapshot.
+	if f2 := r.Freeze(1); f2 == f1 || len(f2.Docs) != 1 {
+		t.Fatalf("Freeze(1) = %v", f2.Docs)
+	}
+	r.Add(30, 0.7)
+	f3 := r.Freeze(2)
+	if f3 == f1 {
+		t.Fatal("Add did not invalidate the frozen snapshot")
+	}
+	if len(f3.Docs) != 2 || f3.Docs[1].Doc != 30 {
+		t.Fatalf("Freeze after Add = %v", f3.Docs)
+	}
+	// The old snapshot is immutable: it still shows its boundary.
+	if len(f1.Docs) != 2 || f1.Docs[1].Doc != 10 {
+		t.Fatalf("old snapshot mutated: %v", f1.Docs)
+	}
+	r.Remove(20)
+	if f4 := r.Freeze(2); f4 == f3 || f4.Docs[0].Doc != 30 {
+		t.Fatalf("Freeze after Remove = %v", f4.Docs)
+	}
+	// Freezing deeper than Len returns what exists, non-nil.
+	empty := NewResultSet(2)
+	if f := empty.Freeze(3); f == nil || f.Docs == nil || len(f.Docs) != 0 {
+		t.Fatalf("empty Freeze = %#v", f)
+	}
+}

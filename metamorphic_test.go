@@ -1,0 +1,333 @@
+package ita
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is the randomized metamorphic equivalence suite of the
+// published-view read path: a deterministic byte-driven generator
+// interleaves every facade operation (Register, Unregister, IngestText,
+// IngestBatch, Advance, Flush, Results) and replays the identical
+// sequence against
+//
+//   - the serial ITA facade (the reference),
+//   - the Naïve brute-force facade (an independent oracle
+//     implementation), and
+//   - the sharded/batched grid S ∈ {1, 2, 8} × B ∈ {1, 64},
+//
+// comparing every live query at every common boundary under the
+// epoch-pipeline guarantee (sameTopK), and additionally asserting that
+// each engine's wait-free published read is byte-identical to its own
+// locked read path. CI runs the suite under -race; a failing seed is
+// printed and can be replayed with ITA_EQ_SEED=<seed> go test -run
+// TestMetamorphicEquivalence.
+
+// opKind enumerates the generated facade operations.
+const (
+	opIngest = iota
+	opIngestBatch
+	opRegister
+	opUnregister
+	opAdvance
+	opFlush
+	opResults // flush-to-boundary + full cross-engine comparison
+	opKinds
+)
+
+type facadeOp struct {
+	kind  int
+	text  string   // opIngest, opRegister
+	batch []string // opIngestBatch
+	k     int      // opRegister
+	qsel  int      // opUnregister: selector into the live query ids
+	dtMs  int      // opIngest/opIngestBatch/opAdvance: clock step
+}
+
+// opVocab is the generator's vocabulary: content words (no stopwords,
+// so every generated query has indexable terms) with enough overlap to
+// make top-k sets contested.
+var opVocab = []string{
+	"oil", "crude", "market", "price", "export", "tanker", "refinery",
+	"barrel", "futures", "pipeline", "solar", "turbine", "grid", "storage",
+	"demand", "supply",
+}
+
+// decodeOps maps a byte string to an op sequence, deterministically and
+// totally: every input decodes to something, which is what lets the
+// fuzzer drive the generator directly. The first byte selects the
+// window policy (see runOpSequence).
+func decodeOps(data []byte) []facadeOp {
+	const maxOps = 192
+	var ops []facadeOp
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	words := func(n byte) string {
+		k := 1 + int(n)%3
+		var sb strings.Builder
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(opVocab[int(next())%len(opVocab)])
+		}
+		return sb.String()
+	}
+	for i < len(data) && len(ops) < maxOps {
+		b := next()
+		op := facadeOp{kind: int(b) % opKinds}
+		switch op.kind {
+		case opIngest:
+			op.text = words(next())
+			op.dtMs = 1 + int(next())%5
+		case opIngestBatch:
+			n := 1 + int(next())%5
+			for j := 0; j < n; j++ {
+				op.batch = append(op.batch, words(next()))
+			}
+			op.dtMs = 1 + int(next())%5
+		case opRegister:
+			op.text = words(next())
+			op.k = 1 + int(next())%3
+		case opUnregister:
+			op.qsel = int(next())
+		case opAdvance:
+			op.dtMs = 1 + int(next())%200
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// eqEngine is one engine variant under test.
+type eqEngine struct {
+	name string
+	e    *Engine
+}
+
+// runOpSequence replays one decoded op sequence across the engine grid
+// and fails the test on any divergence. It is shared by the seeded
+// metamorphic suite and the fuzz target.
+func runOpSequence(t *testing.T, data []byte) {
+	t.Helper()
+	ops := decodeOps(data)
+	if len(ops) == 0 {
+		return
+	}
+
+	// First byte: window policy. Count windows exercise arrival-driven
+	// expiration; time windows exercise Advance-driven expiration.
+	var pol Option
+	polName := "count"
+	if len(data) > 0 && data[0]%2 == 1 {
+		pol = WithTimeWindow(120 * time.Millisecond)
+		polName = "time"
+	} else {
+		pol = WithCountWindow(10)
+	}
+
+	mk := func(opts ...Option) *Engine {
+		e, err := New(append([]Option{pol}, opts...)...)
+		if err != nil {
+			t.Fatalf("policy %s: %v", polName, err)
+		}
+		return e
+	}
+	serial := eqEngine{"serial", mk()}
+	grid := []eqEngine{
+		serial,
+		{"naive-oracle", mk(WithAlgorithm(NaivePlain))},
+	}
+	for _, s := range []int{1, 2, 8} {
+		for _, b := range []int{1, 64} {
+			opts := []Option{WithShards(s)}
+			if b > 1 {
+				opts = append(opts, WithBatchSize(b))
+			}
+			grid = append(grid, eqEngine{fmt.Sprintf("s%d_b%d", s, b), mk(opts...)})
+		}
+	}
+	defer func() {
+		for _, g := range grid {
+			g.e.Close()
+		}
+	}()
+
+	var live []QueryID
+	clock := 0
+
+	compare := func(step int) {
+		for _, g := range grid {
+			if err := g.e.Flush(); err != nil {
+				t.Fatalf("op %d: %s: flush: %v", step, g.name, err)
+			}
+		}
+		for _, g := range grid[1:] {
+			if gw, ww := g.e.WindowLen(), serial.e.WindowLen(); gw != ww {
+				t.Fatalf("op %d: %s: WindowLen %d, serial %d", step, g.name, gw, ww)
+			}
+			if gq, wq := g.e.Queries(), serial.e.Queries(); gq != wq {
+				t.Fatalf("op %d: %s: Queries %d, serial %d", step, g.name, gq, wq)
+			}
+		}
+		for _, id := range live {
+			want := serial.e.Results(id)
+			for _, g := range grid[1:] {
+				if err := sameTopK(g.e.Results(id), want); err != nil {
+					t.Fatalf("op %d: %s vs serial, query %d: %v", step, g.name, id, err)
+				}
+			}
+			// The wait-free published read must be byte-identical to the
+			// same engine's locked read at the boundary.
+			for _, g := range grid {
+				pub, locked := g.e.Results(id), g.e.resultsLocked(id)
+				if !reflect.DeepEqual(pub, locked) {
+					t.Fatalf("op %d: %s, query %d: published read %v, locked read %v",
+						step, g.name, id, pub, locked)
+				}
+			}
+		}
+	}
+
+	for step, op := range ops {
+		switch op.kind {
+		case opIngest:
+			clock += op.dtMs
+			var want DocID
+			for gi, g := range grid {
+				id, err := g.e.IngestText(op.text, at(clock))
+				if err != nil {
+					t.Fatalf("op %d: %s: ingest: %v", step, g.name, err)
+				}
+				if gi == 0 {
+					want = id
+				} else if id != want {
+					t.Fatalf("op %d: %s: doc id %d, serial %d", step, g.name, id, want)
+				}
+			}
+		case opIngestBatch:
+			items := make([]TimedText, len(op.batch))
+			for j, text := range op.batch {
+				clock += op.dtMs
+				items[j] = TimedText{Text: text, At: at(clock)}
+			}
+			var want []DocID
+			for gi, g := range grid {
+				ids, err := g.e.IngestBatch(items)
+				if err != nil {
+					t.Fatalf("op %d: %s: batch: %v", step, g.name, err)
+				}
+				if gi == 0 {
+					want = ids
+				} else if !reflect.DeepEqual(ids, want) {
+					t.Fatalf("op %d: %s: batch ids %v, serial %v", step, g.name, ids, want)
+				}
+			}
+		case opRegister:
+			var want QueryID
+			for gi, g := range grid {
+				id, err := g.e.Register(op.text, op.k)
+				if err != nil {
+					t.Fatalf("op %d: %s: register %q: %v", step, g.name, op.text, err)
+				}
+				if gi == 0 {
+					want = id
+				} else if id != want {
+					t.Fatalf("op %d: %s: query id %d, serial %d", step, g.name, id, want)
+				}
+			}
+			live = append(live, want)
+		case opUnregister:
+			if len(live) == 0 {
+				continue
+			}
+			idx := op.qsel % len(live)
+			id := live[idx]
+			live = append(live[:idx], live[idx+1:]...)
+			for _, g := range grid {
+				if !g.e.Unregister(id) {
+					t.Fatalf("op %d: %s: unregister %d reported unknown", step, g.name, id)
+				}
+			}
+			for _, g := range grid {
+				if got := g.e.Results(id); got != nil {
+					t.Fatalf("op %d: %s: unregistered query %d still served %v", step, g.name, id, got)
+				}
+			}
+		case opAdvance:
+			clock += op.dtMs
+			for _, g := range grid {
+				if err := g.e.Advance(at(clock)); err != nil {
+					t.Fatalf("op %d: %s: advance: %v", step, g.name, err)
+				}
+			}
+		case opFlush:
+			for _, g := range grid {
+				if err := g.e.Flush(); err != nil {
+					t.Fatalf("op %d: %s: flush: %v", step, g.name, err)
+				}
+			}
+		case opResults:
+			compare(step)
+		}
+	}
+	compare(len(ops))
+}
+
+// TestMetamorphicEquivalence runs the generator over a fixed seed set
+// (fewer under -short). Replay a single failing sequence with
+// ITA_EQ_SEED=<seed>.
+func TestMetamorphicEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	if env := os.Getenv("ITA_EQ_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("ITA_EQ_SEED=%q: %v", env, err)
+		}
+		seeds = []int64{n}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Logf("replay with: ITA_EQ_SEED=%d go test -run TestMetamorphicEquivalence", seed)
+			data := make([]byte, 512)
+			rand.New(rand.NewSource(seed)).Read(data)
+			runOpSequence(t, data)
+		})
+	}
+}
+
+// FuzzOpSequence feeds the byte-seed of the op generator straight to
+// the fuzzer: any input decodes to a valid facade op sequence, so
+// coverage-guided mutation explores operation interleavings rather than
+// parser corner cases. CI runs a 30s smoke (`-fuzz FuzzOpSequence
+// -fuzztime 30s`); crashers land in testdata/fuzz as regression inputs.
+func FuzzOpSequence(f *testing.F) {
+	f.Add([]byte{0, 2, 1, 3, 0, 4, 5, 6})
+	f.Add([]byte{1, 2, 9, 2, 0, 7, 1, 3, 6, 6})
+	data := make([]byte, 256)
+	rand.New(rand.NewSource(99)).Read(data)
+	f.Add(data)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		runOpSequence(t, data)
+	})
+}

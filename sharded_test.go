@@ -242,22 +242,27 @@ func TestShardedSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-// TestTextRingCompaction exercises the head-compaction path of the
-// retained-text ring: under a small count window and a long stream the
-// dead prefix must be reclaimed instead of pinning the backing array.
+// TestTextRingCompaction exercises the copy-on-write compaction path of
+// the retained-text ring: under a small count window and a long stream
+// the dead prefix must be reclaimed into a fresh backing array (never in
+// place — published snapshots may alias the old one) instead of pinning
+// the whole stream.
 func TestTextRingCompaction(t *testing.T) {
 	e := newEngine(t, WithCountWindow(5), WithTextRetention())
-	for i := 0; i < 500; i++ {
+	// Hold a snapshot from an early boundary: compaction must not
+	// disturb what it sees.
+	if _, err := e.IngestText("doc number 0 unique text", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	early := e.texts.snapshot()
+	for i := 1; i < 500; i++ {
 		if _, err := e.IngestText(fmt.Sprintf("doc number %d unique text", i), at(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	r := e.texts
-	if len(r.byID) != 5 {
-		t.Fatalf("retained %d texts, want 5", len(r.byID))
-	}
-	if len(r.order)-r.head != 5 {
-		t.Fatalf("live order region %d, want 5", len(r.order)-r.head)
+	if live := len(r.order) - r.head; live != 5 {
+		t.Fatalf("live order region %d, want 5", live)
 	}
 	if len(r.order) > 200 {
 		t.Fatalf("order backing grew to %d entries under a 5-document window; dead prefix not compacted", len(r.order))
@@ -268,6 +273,14 @@ func TestTextRingCompaction(t *testing.T) {
 		if got := r.get(DocID(i + 1)); got != want {
 			t.Fatalf("text of doc %d = %q, want %q", i+1, got, want)
 		}
+	}
+	// Expired documents resolve to "" through the live view...
+	if got := r.get(DocID(1)); got != "" {
+		t.Fatalf("expired doc resolves to %q through the live view", got)
+	}
+	// ...while the old snapshot still serves its boundary's text.
+	if got := early.get(DocID(1)); got != "doc number 0 unique text" {
+		t.Fatalf("early snapshot returned %q", got)
 	}
 }
 

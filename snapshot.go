@@ -118,10 +118,11 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 	}
 
 	e.inner.EachQuery(func(q *model.Query) {
+		text, _ := e.QueryText(q.ID)
 		s.Queries = append(s.Queries, snapshotQuery{
 			ID:    uint64(q.ID),
 			K:     q.K,
-			Text:  e.queryText[q.ID],
+			Text:  text,
 			Terms: q.Terms,
 		})
 	})
@@ -198,7 +199,7 @@ func Restore(r io.Reader) (*Engine, error) {
 		if err := e.inner.Register(q); err != nil {
 			return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
 		}
-		e.queryText[model.QueryID(sq.ID)] = sq.Text
+		e.queryText.Store(model.QueryID(sq.ID), sq.Text)
 	}
 	for i, sd := range s.Docs {
 		at := time.Unix(0, sd.ArrivalNs)
@@ -216,5 +217,9 @@ func Restore(r io.Reader) (*Engine, error) {
 	e.nextDoc = model.DocID(s.NextDoc)
 	e.nextQuery = model.QueryID(s.NextQuery)
 	e.lastAt = time.Unix(0, s.LastAtNs)
+	// The replay above bypassed the facade's boundary hooks; publish
+	// once so wait-free readers of the restored engine see the replayed
+	// window immediately.
+	e.publishLocked()
 	return e, nil
 }

@@ -71,17 +71,22 @@ func (e *Engine) Unwatch(id QueryID) bool {
 	return true
 }
 
-// collectDeltas compares every watched query's current result against
+// collectDeltas publishes the boundary just reached to wait-free
+// readers, then compares every watched query's current result against
 // the last delivered one and returns the non-empty deltas along with
 // their callbacks, in ascending query id so an epoch's notifications
-// are delivered deterministically. Must be called with e.mu held.
+// are delivered deterministically. Every mutating operation funnels
+// through here, which is what keeps the published views and the watch
+// stream in lockstep: both observe exactly the epoch boundaries,
+// never in-epoch transients. Must be called with e.mu held.
 func (e *Engine) collectDeltas() []pendingDelta {
+	e.publishLocked()
 	if len(e.watches) == 0 {
 		return nil
 	}
 	var out []pendingDelta
 	for id, ws := range e.watches {
-		cur, ok := e.inner.Result(id)
+		cur, ok := e.boundaryResultLocked(id)
 		if !ok {
 			// Query unregistered out from under the watch; drop it.
 			delete(e.watches, id)
@@ -101,6 +106,22 @@ func (e *Engine) collectDeltas() []pendingDelta {
 type pendingDelta struct {
 	fn    WatchFunc
 	delta Delta
+}
+
+// boundaryResultLocked reads a query's result at the just-published
+// boundary. For publishing engines it borrows the frozen view directly
+// — no copy, since both the published slice and ws.last are immutable —
+// and for the Naïve fallback it copies from the inner engine. Must be
+// called with e.mu held, after publishLocked.
+func (e *Engine) boundaryResultLocked(id QueryID) ([]model.ScoredDoc, bool) {
+	if ps := e.pub.Load(); ps != nil {
+		f, ok := ps.reader.Result(id)
+		if !ok {
+			return nil, false
+		}
+		return f.Docs, true
+	}
+	return e.inner.Result(id)
 }
 
 // queueDeltasLocked appends one epoch's deltas to the delivery queue.
