@@ -10,6 +10,7 @@
 //	itabench -exp throughput -queries 10000 -shards 1,2,4,8 -json BENCH_SHARDED.json
 //	itabench -exp batch -queries 10000 -epochs 1,8,64,256 -shards 4 -json BENCH_BATCH.json
 //	itabench -exp reads -queries 2000 -readers 1,4,16 -json BENCH_READS.json
+//	itabench -exp recovery -queries 2000 -ckpts 0,64,512 -json BENCH_RECOVERY.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -48,6 +49,10 @@ func main() {
 		// every reader count in -readers.
 		readerSet = flag.String("readers", "1,4,16", "reads: comma-separated concurrent reader counts")
 		readMs    = flag.Int("readms", 400, "reads: measured wall milliseconds per cell")
+		// -exp recovery knobs: the durability experiment measures WAL
+		// overhead per fsync policy and crash-recovery time at every
+		// checkpoint interval in -ckpts (0 = never checkpoint).
+		ckptSet = flag.String("ckpts", "0,64,512", "recovery: comma-separated checkpoint intervals (epoch boundaries; 0 = never)")
 	)
 	flag.Parse()
 
@@ -115,6 +120,15 @@ func main() {
 	case "reads":
 		rep, err := harness.ReadWrite(p, *queries, 10, 1000, *batch,
 			parseInts(*readerSet, "-readers", 1), time.Duration(*readMs)*time.Millisecond, progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "recovery":
+		rep, err := harness.Recovery(p, *queries, 10, 1000, *batch,
+			parseInts(*ckptSet, "-ckpts", 0), *events, progress)
 		if err != nil {
 			fail(err)
 		}

@@ -26,15 +26,31 @@
 //	itaserver -demo -rate 20 &
 //	curl -s -X POST localhost:8095/queries -d '{"text":"crude oil production","k":3}'
 //	curl -s localhost:8095/queries/1
+//
+// With -wal dir, the server is durable: every registration and ingest
+// is write-ahead logged before it is applied, checkpoints bound the log
+// (-checkpoint boundaries per checkpoint, -durability selects the fsync
+// policy), and restarting with the same -wal recovers the full query
+// set and in-window stream — kill -9 included. A graceful shutdown
+// (SIGINT/SIGTERM) drains HTTP, writes a final checkpoint and closes
+// the log, so the next start replays nothing:
+//
+//	itaserver -wal /var/lib/ita -demo &
+//	kill -9 %1            # crash: recovery replays the log tail
+//	itaserver -wal /var/lib/ita   # same queries, same results
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ita"
@@ -174,24 +190,19 @@ func main() {
 		shards  = flag.Int("shards", 1, "query-maintenance shards: 1 = single-threaded ITA, 0 = one per CPU, n = fixed count")
 		batch   = flag.Int("batch", 1, "epoch batch size: ingested documents coalesce into epochs of this size (1 = process every document immediately)")
 		flushIv = flag.Duration("flush", 50*time.Millisecond, "with -batch > 1: maximum time a partial epoch stays buffered before a background flush")
+		walDir  = flag.String("wal", "", "durability directory: write-ahead log + checkpoints; reopening with the same directory recovers the query set and window after a crash")
+		durab   = flag.String("durability", "epoch", "with -wal: fsync policy, off|epoch|always")
+		ckptN   = flag.Int("checkpoint", 256, "with -wal: checkpoint (and rotate the log) every N epoch boundaries; 0 disables automatic checkpoints")
 	)
 	flag.Parse()
 
-	opts := []ita.Option{ita.WithTextRetention()}
-	if *span > 0 {
-		opts = append(opts, ita.WithTimeWindow(*span))
-	} else {
-		opts = append(opts, ita.WithCountWindow(*windowN))
-	}
-	if *shards != 1 {
-		opts = append(opts, ita.WithShards(*shards))
-	}
-	if *batch > 1 {
-		opts = append(opts, ita.WithBatchSize(*batch))
-	}
-	eng, err := ita.New(opts...)
+	eng, err := buildEngine(*walDir, *durab, *ckptN, *windowN, *span, *shards, *batch)
 	if err != nil {
 		log.Fatalf("itaserver: %v", err)
+	}
+	if *walDir != "" {
+		log.Printf("durable: wal=%s durability=%s checkpoint every %d boundaries (recovered %d queries, %d window documents)",
+			*walDir, *durab, *ckptN, eng.Queries(), eng.WindowLen())
 	}
 	s := &server{eng: eng}
 
@@ -249,5 +260,57 @@ func main() {
 
 	log.Printf("continuous text search server (%s) listening on %s", eng.Algorithm(), *addr)
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: drain HTTP, then write a final checkpoint so the
+	// next start restores instantly instead of replaying the log tail. A
+	// SIGKILL skips all of this — which is exactly what the WAL is for.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("itaserver: drain: %v", err)
+		}
+		if *walDir != "" {
+			if err := eng.Checkpoint(); err != nil {
+				log.Printf("itaserver: shutdown checkpoint: %v", err)
+			}
+		}
+		if err := eng.Close(); err != nil {
+			log.Printf("itaserver: close: %v", err)
+		}
+	}
+}
+
+// buildEngine assembles the engine from the command-line configuration;
+// with a WAL directory it creates or recovers the durable engine.
+func buildEngine(walDir, durab string, ckptN, windowN int, span time.Duration, shards, batch int) (*ita.Engine, error) {
+	opts := []ita.Option{ita.WithTextRetention()}
+	if span > 0 {
+		opts = append(opts, ita.WithTimeWindow(span))
+	} else {
+		opts = append(opts, ita.WithCountWindow(windowN))
+	}
+	if shards != 1 {
+		opts = append(opts, ita.WithShards(shards))
+	}
+	if batch > 1 {
+		opts = append(opts, ita.WithBatchSize(batch))
+	}
+	if walDir == "" {
+		return ita.New(opts...)
+	}
+	mode, err := ita.ParseDurability(durab)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, ita.WithDurability(mode), ita.WithCheckpointEvery(ckptN))
+	return ita.Open(walDir, opts...)
 }

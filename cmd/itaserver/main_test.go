@@ -300,3 +300,69 @@ func strconvQuote(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
 }
+
+// TestServerWALRecovery runs the -wal configuration end to end: serve,
+// crash (no close, no checkpoint), rebuild with the same directory, and
+// assert the recovered server answers exactly like the crashed one.
+func TestServerWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := buildEngine(dir, "epoch", 64, 100, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{eng: eng}
+	clock := time.Now()
+	resp := httptest.NewRecorder()
+	s.postQuery(resp, httptest.NewRequest(http.MethodPost, "/queries", strings.NewReader(`{"text":"crude oil production","k":3}`)))
+	if resp.Code != http.StatusCreated {
+		t.Fatalf("POST /queries = %d", resp.Code)
+	}
+	for _, text := range []string{
+		"Crude oil production rose in the north sea fields.",
+		"The council debated a new housing policy.",
+		"Oil producers curbed crude output amid falling demand.",
+	} {
+		clock = clock.Add(time.Millisecond)
+		if _, err := eng.IngestText(text, clock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := eng.Results(1)
+	if len(want) != 2 {
+		t.Fatalf("pre-crash results: %+v", want)
+	}
+	// Crash: drop the engine without Close or Checkpoint. (The engine
+	// has no shard workers at -shards 1, so abandoning it leaks nothing.)
+	s = nil
+
+	recovered, err := buildEngine(dir, "epoch", 64, 100, 0, 1, 1)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer recovered.Close()
+	s = &server{eng: recovered}
+	get := httptest.NewRecorder()
+	s.queryByID(get, httptest.NewRequest(http.MethodGet, "/queries/1", nil))
+	if get.Code != http.StatusOK {
+		t.Fatalf("GET /queries/1 after recovery = %d", get.Code)
+	}
+	var out struct {
+		Query   string `json:"query"`
+		Matches []struct {
+			Doc   uint64  `json:"doc"`
+			Score float64 `json:"score"`
+			Text  string  `json:"text"`
+		} `json:"matches"`
+	}
+	if err := json.NewDecoder(get.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Query != "crude oil production" || len(out.Matches) != len(want) {
+		t.Fatalf("recovered response %+v, want %d matches", out, len(want))
+	}
+	for i, m := range out.Matches {
+		if m.Doc != uint64(want[i].Doc) || m.Score != want[i].Score || m.Text != want[i].Text {
+			t.Fatalf("recovered match %d = %+v, want %+v", i, m, want[i])
+		}
+	}
+}

@@ -117,6 +117,50 @@
 // The Naïve baseline engines have no published views and read under the
 // engine lock.
 //
+// # Durability
+//
+// Open(dir, opts...) (equivalently New with WithWAL(dir)) makes the
+// engine durable: every mutating operation — Register, Unregister,
+// IngestText, IngestBatch, Advance, explicit Flush — is appended to a
+// CRC-framed write-ahead log in dir before it is applied, and every
+// completed epoch boundary appends a marker record. Automatic
+// checkpoints (WithCheckpointEvery, default every 256 boundaries) write
+// the engine's full snapshot next to the log, rotate to a fresh segment
+// and delete the old one, bounding both disk usage and recovery time;
+// Checkpoint forces one before a planned shutdown.
+//
+// Reopening the same directory recovers the engine: the newest
+// checkpoint is restored and the log tail replayed through the same
+// code paths live calls use. Because version-2 snapshots carry the
+// exact incremental state (per-query thresholds and result lists, not
+// just the window), recovery is byte-identical, not merely
+// result-equivalent: ResultsAll, Stats, the id sequences, a partially
+// buffered epoch, and every future maintenance decision match an
+// engine that never crashed. The crash-point suites enforce this by
+// truncating a recorded log after every byte, photographing every
+// checkpoint phase, and crashing engines mid-run inside the metamorphic
+// generator.
+//
+// What a crash can cost is set by WithDurability:
+//
+//   - DurabilityEpochSync (default): the log is fsynced at every epoch
+//     boundary, so once a mutating call returns, its epoch survives OS
+//     and power failures. One fsync per boundary.
+//   - DurabilityAlways: fsync after every record — the strongest and
+//     slowest policy.
+//   - DurabilityOff: never fsync. A process crash still loses nothing
+//     (the OS page cache survives the process); an OS crash recovers
+//     some earlier epoch boundary.
+//
+// Torn-tail semantics: a crash can leave a partially written final
+// record. Recovery treats the first invalid frame (short, bad CRC,
+// undecodable) as the end of the log, truncates it, and resumes
+// appending at the clean boundary — the recovered state is always an
+// exact operation prefix of the crashed engine's history, never a
+// guess. An interrupted checkpoint is equally harmless: the snapshot
+// commits atomically via rename, and recovery prefers the newest
+// complete checkpoint while garbage-collecting leftovers.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.
 package ita

@@ -12,6 +12,7 @@ import (
 	"ita/internal/model"
 	"ita/internal/textproc"
 	"ita/internal/topk"
+	"ita/internal/wal"
 	"ita/internal/window"
 )
 
@@ -60,6 +61,12 @@ type Engine struct {
 	texts     *textRing
 	watches   map[QueryID]*watchState
 
+	// wal is the durability attachment (nil for in-memory engines):
+	// mutating operations append records before applying, epoch
+	// boundaries append markers and fsync per the policy, and
+	// checkpoints rotate the log. See durable.go.
+	wal *walState
+
 	// pub is the wait-free read path: an immutable publishedState swapped
 	// at every publication boundary (epoch flush, Register, Unregister,
 	// Advance, Restore). Results, ResultsAll, Stats, WindowLen, Queries
@@ -99,6 +106,10 @@ func New(opts ...Option) (*Engine, error) {
 		if err := o(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.walDir != "" && !cfg.walAttach {
+		// A durable engine: creation and recovery share one entry point.
+		return openDurable(cfg.walDir, opts)
 	}
 	if cfg.policy == nil {
 		return nil, errors.New("ita: a window option is required (WithCountWindow or WithTimeWindow)")
@@ -192,6 +203,9 @@ func (e *Engine) IngestText(text string, at time.Time) (DocID, error) {
 	e.mu.Lock()
 	id, deltas, err := e.ingestLocked(text, at)
 	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
 	e.mu.Unlock()
 	// Watch callbacks run outside the lock so they may call back into
 	// the engine.
@@ -207,6 +221,13 @@ func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta,
 	doc, err := model.NewDocument(e.nextDoc, at, e.cfg.weighter.DocPostings(freqs))
 	if err != nil {
 		return 0, nil, fmt.Errorf("ita: analyze document: %w", err)
+	}
+	// Log before apply: once the record is durable the arrival will be
+	// replayed on recovery, whether or not this call completes.
+	if err := e.walAppendLocked(&wal.Record{
+		Kind: wal.KindDoc, Doc: uint64(doc.ID), At: at.UnixNano(), Text: text,
+	}); err != nil {
+		return 0, nil, err
 	}
 	if e.cfg.batchSize > 1 {
 		// Epoch-batched ingestion: buffer the analyzed document and
@@ -232,6 +253,10 @@ func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta,
 	e.nextDoc++
 	if e.texts != nil {
 		e.texts.add(doc.ID, at, text)
+	}
+	// An unbatched arrival is an epoch of its own.
+	if err := e.walBoundaryLocked(); err != nil {
+		return doc.ID, e.collectDeltas(), err
 	}
 	return doc.ID, e.collectDeltas(), nil
 }
@@ -271,6 +296,9 @@ func (e *Engine) IngestBatch(items []TimedText) ([]DocID, error) {
 	e.mu.Lock()
 	ids, deltas, err := e.ingestBatchLocked(items)
 	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
 	e.mu.Unlock()
 	e.deliverQueued()
 	return ids, err
@@ -297,6 +325,15 @@ func (e *Engine) ingestBatchLocked(items []TimedText) ([]DocID, []pendingDelta, 
 		}
 		docs[i] = doc
 		ids[i] = doc.ID
+	}
+	if e.wal != nil && !e.wal.recovering {
+		rec := wal.Record{Kind: wal.KindBatch, Doc: uint64(e.nextDoc), Items: make([]wal.DocEntry, len(items))}
+		for i, it := range items {
+			rec.Items[i] = wal.DocEntry{At: it.At.UnixNano(), Text: it.Text}
+		}
+		if err := e.walAppendLocked(&rec); err != nil {
+			return nil, nil, err
+		}
 	}
 	e.pending = append(e.pending, docs...)
 	if e.texts != nil {
@@ -344,7 +381,22 @@ func (e *Engine) flushLocked() error {
 			e.texts.add(doc.ID, doc.Arrival, texts[i])
 		}
 	}
-	return nil
+	// Every applied epoch is a durable boundary.
+	return e.walBoundaryLocked()
+}
+
+// flushExplicitLocked flushes the buffered epoch at a point the record
+// stream does not dictate — an explicit Flush, a Snapshot, a Checkpoint
+// or a Close. The boundary is logged as a KindFlush record first, since
+// replaying the document records alone would not reproduce it.
+func (e *Engine) flushExplicitLocked() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	if err := e.walAppendLocked(&walFlushRecord); err != nil {
+		return err
+	}
+	return e.flushLocked()
 }
 
 // Flush processes any documents buffered by WithBatchSize as one epoch,
@@ -353,8 +405,11 @@ func (e *Engine) flushLocked() error {
 // bound result staleness on a stream that has gone quiet.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
-	err := e.flushLocked()
+	err := e.flushExplicitLocked()
 	e.queueDeltasLocked(e.collectDeltas())
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
 	e.mu.Unlock()
 	e.deliverQueued()
 	return err
@@ -368,13 +423,24 @@ func (e *Engine) Flush() error {
 // and a no-op for the single-threaded engines.
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	err := e.flushLocked()
+	err := e.flushExplicitLocked()
 	e.queueDeltasLocked(e.collectDeltas())
 	e.mu.Unlock()
 	e.deliverQueued()
 	e.mu.Lock()
 	if c, ok := e.inner.(interface{ Close() error }); ok {
 		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if e.wal != nil && e.wal.log != nil {
+		// The final epoch is already on disk (flushLocked logged its
+		// boundary); sync once more so even DurabilityOff engines leave a
+		// fully flushed log behind on a clean shutdown.
+		if serr := e.wal.log.Sync(); err == nil && serr != nil {
+			err = serr
+		}
+		if cerr := e.wal.log.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -387,23 +453,33 @@ func (e *Engine) Close() error {
 // Any buffered epoch is flushed first: its documents arrived before now.
 func (e *Engine) Advance(now time.Time) error {
 	e.mu.Lock()
-	if now.Before(e.lastAt) {
-		e.mu.Unlock()
-		return fmt.Errorf("%w: %s < %s", ErrTimeRegression, now, e.lastAt)
-	}
-	if err := e.flushLocked(); err != nil {
-		e.mu.Unlock()
-		return err
-	}
-	e.lastAt = now
-	e.inner.ExpireUntil(now)
-	e.queueDeltasLocked(e.collectDeltas())
-	if e.texts != nil {
-		e.texts.expire(now)
+	deltas, err := e.advanceLocked(now)
+	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
 	}
 	e.mu.Unlock()
 	e.deliverQueued()
-	return nil
+	return err
+}
+
+func (e *Engine) advanceLocked(now time.Time) ([]pendingDelta, error) {
+	if now.Before(e.lastAt) {
+		return nil, fmt.Errorf("%w: %s < %s", ErrTimeRegression, now, e.lastAt)
+	}
+	if err := e.walAppendLocked(&wal.Record{Kind: wal.KindAdvance, At: now.UnixNano()}); err != nil {
+		return nil, err
+	}
+	if err := e.flushLocked(); err != nil {
+		return nil, err
+	}
+	e.lastAt = now
+	e.inner.ExpireUntil(now)
+	deltas := e.collectDeltas()
+	if e.texts != nil {
+		e.texts.expire(now)
+	}
+	return deltas, e.walBoundaryLocked()
 }
 
 // Register installs a continuous query: the k most similar documents to
@@ -415,6 +491,9 @@ func (e *Engine) Register(queryText string, k int) (QueryID, error) {
 	e.mu.Lock()
 	id, deltas, err := e.registerLocked(queryText, k)
 	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
 	e.mu.Unlock()
 	e.deliverQueued()
 	return id, err
@@ -428,6 +507,13 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	q, err := model.NewQuery(e.nextQuery, k, e.cfg.weighter.QueryTerms(freqs))
 	if err != nil {
 		return 0, nil, fmt.Errorf("ita: analyze query: %w", err)
+	}
+	// Log before apply; the record carries the id the apply will assign
+	// so recovery can verify replay determinism.
+	if err := e.walAppendLocked(&wal.Record{
+		Kind: wal.KindRegister, Query: uint64(e.nextQuery), K: k, Text: queryText,
+	}); err != nil {
+		return 0, nil, err
 	}
 	if err := e.flushLocked(); err != nil {
 		return 0, nil, err
@@ -443,7 +529,7 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	// pre-registration boundary (for the deltas); this one makes the new
 	// query's initial result visible to wait-free readers.
 	e.publishLocked()
-	return id, deltas, nil
+	return id, deltas, e.walBoundaryLocked()
 }
 
 // Unregister removes a query and any watcher on it, reporting whether
@@ -451,10 +537,38 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 // so the buffered documents were maintained while the query was live.
 func (e *Engine) Unregister(id QueryID) bool {
 	e.mu.Lock()
-	// The bool signature cannot carry a flush error; one is impossible
-	// by construction here (facade-assigned ids are unique and arrival
-	// times were validated at buffer time), so it is deliberately
-	// discarded rather than widening the API.
+	ok := e.unregisterLocked(id)
+	e.maybeCheckpointLocked()
+	e.mu.Unlock()
+	e.deliverQueued()
+	return ok
+}
+
+func (e *Engine) unregisterLocked(id QueryID) bool {
+	// The bool signature cannot carry an error; a flush error is
+	// impossible by construction here (facade-assigned ids are unique
+	// and arrival times were validated at buffer time), so it is
+	// deliberately discarded rather than widening the API.
+	//
+	// An unknown id is decided before anything is logged, so replay makes
+	// the same decision from the same state and no-op unregisters never
+	// reach the log.
+	if _, known := e.queryText.Load(id); !known {
+		_ = e.flushLocked()
+		e.queueDeltasLocked(e.collectDeltas())
+		return false
+	}
+	// A WAL append error on a live query is the one case the API cannot
+	// express: applying anyway would let recovery lose the unregister
+	// while later acknowledged operations survive (acked-state
+	// divergence), so the unregister is refused — and since false would
+	// otherwise be indistinguishable from "no such query" while the
+	// query keeps serving, the log is poisoned so every subsequent
+	// mutating operation surfaces the underlying fault loudly.
+	if err := e.walAppendLocked(&wal.Record{Kind: wal.KindUnregister, Query: uint64(id)}); err != nil {
+		e.wal.log.Poison(err)
+		return false
+	}
 	_ = e.flushLocked()
 	e.queueDeltasLocked(e.collectDeltas())
 	e.queryText.Delete(id)
@@ -463,8 +577,7 @@ func (e *Engine) Unregister(id QueryID) bool {
 	// Make the removal visible to wait-free readers: until this publish,
 	// readers still see the query at its last pre-unregister boundary.
 	e.publishLocked()
-	e.mu.Unlock()
-	e.deliverQueued()
+	_ = e.walBoundaryLocked()
 	return ok
 }
 

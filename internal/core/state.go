@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ita/internal/invindex"
+	"ita/internal/model"
+	"ita/internal/topk"
+)
+
+// QueryState is the exact serializable incremental state of one query:
+// the local threshold θ_{Q,t} of every query term (parallel to
+// Query.Terms) and the full result list R with exact scores. Together
+// with the window contents it reconstructs a maintainer byte-for-byte
+// in every observable respect — results, thresholds, and therefore
+// every future maintenance decision and operation counter. (Skip-list
+// level draws are re-randomized on restore; they affect neither results
+// nor counters.)
+type QueryState struct {
+	Thetas []invindex.EntryKey
+	R      []model.ScoredDoc
+}
+
+// StateSnapshotter is implemented by engines whose complete incremental
+// state can be exported and restored exactly — ITA and the sharded ITA.
+// The restore contract is: build an empty engine with the identical
+// configuration, call RestoreWindow once with the valid documents in
+// arrival order, RestoreQueryState for every query, then SetStats with
+// the counters captured at export. The engine must be quiescent
+// throughout. Engines without it (the Naïve baselines) are restored by
+// replaying the window, which reproduces results but not thresholds or
+// counters.
+type StateSnapshotter interface {
+	ExportQueryState(id model.QueryID) (QueryState, bool)
+	RestoreWindow(docs []*model.Document) error
+	RestoreQueryState(q *model.Query, st QueryState) error
+	SetStats(s Stats)
+}
+
+// ExportState returns the exact incremental state of query id.
+func (m *Maintainer) ExportState(id model.QueryID) (QueryState, bool) {
+	qs, ok := m.queries[id]
+	if !ok {
+		return QueryState{}, false
+	}
+	st := QueryState{
+		Thetas: make([]invindex.EntryKey, len(qs.terms)),
+		R:      make([]model.ScoredDoc, 0, qs.r.Len()),
+	}
+	for i := range qs.terms {
+		st.Thetas[i] = qs.terms[i].theta
+	}
+	qs.r.Each(func(doc model.DocID, score float64) {
+		st.R = append(st.R, model.ScoredDoc{Doc: doc, Score: score})
+	})
+	return st, true
+}
+
+// RestoreQuery installs a query with previously exported state instead
+// of running the initial top-k search: thresholds go straight into the
+// threshold trees and R is rebuilt from its exact entries. Validation
+// is defensive — a corrupted checkpoint must surface as an error, never
+// a panic or a silently broken invariant.
+func (m *Maintainer) RestoreQuery(q *model.Query, st QueryState) error {
+	if _, dup := m.queries[q.ID]; dup {
+		return fmt.Errorf("core: duplicate query id %d", q.ID)
+	}
+	if len(st.Thetas) != len(q.Terms) {
+		return fmt.Errorf("core: restore query %d: %d thresholds for %d terms", q.ID, len(st.Thetas), len(q.Terms))
+	}
+	qs := &queryState{
+		q:     q,
+		terms: make([]termState, len(q.Terms)),
+		r:     topk.NewResultSet(m.seed ^ uint64(q.ID)),
+		slot:  &viewSlot{},
+	}
+	for i, t := range q.Terms {
+		theta := st.Thetas[i]
+		if theta == invindex.Top() || math.IsNaN(theta.W) || math.IsInf(theta.W, 0) {
+			return fmt.Errorf("core: restore query %d: invalid threshold %+v for term %d", q.ID, theta, t.Term)
+		}
+		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: theta}
+	}
+	for _, sd := range st.R {
+		if qs.r.Contains(sd.Doc) {
+			return fmt.Errorf("core: restore query %d: duplicate result document %d", q.ID, sd.Doc)
+		}
+		qs.r.Add(sd.Doc, sd.Score)
+	}
+	// All-or-nothing: mutate shared structures only after validation, so
+	// a rejected state leaves the maintainer untouched.
+	for i := range qs.terms {
+		m.tree(qs.terms[i].term).Set(q.ID, qs.terms[i].theta)
+	}
+	m.queries[q.ID] = qs
+	m.views.slots.Store(q.ID, qs.slot)
+	m.markDirty(qs)
+	return nil
+}
+
+// ExportQueryState implements StateSnapshotter.
+func (e *ITA) ExportQueryState(id model.QueryID) (QueryState, bool) {
+	return e.m.ExportState(id)
+}
+
+// RestoreWindow implements StateSnapshotter: the documents enter the
+// inverted index and FIFO store with no per-query maintenance and no
+// counter movement — the restored counters arrive via SetStats.
+func (e *ITA) RestoreWindow(docs []*model.Document) error {
+	for _, d := range docs {
+		if err := e.index.Insert(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreQueryState implements StateSnapshotter.
+func (e *ITA) RestoreQueryState(q *model.Query, st QueryState) error {
+	return e.m.RestoreQuery(q, st)
+}
+
+// SetStats implements StateSnapshotter. Counter noise from the restore
+// calls themselves is overwritten wholesale, which is why restore runs
+// it last.
+func (e *ITA) SetStats(s Stats) { e.stats = s }

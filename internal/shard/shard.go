@@ -413,6 +413,56 @@ func (e *Engine) fanOut(ev event) {
 	e.pending.Wait()
 }
 
+// ExportQueryState implements core.StateSnapshotter.
+func (e *Engine) ExportQueryState(id model.QueryID) (core.QueryState, bool) {
+	si, ok := e.assign[id]
+	if !ok {
+		return core.QueryState{}, false
+	}
+	return e.shards[si].m.ExportState(id)
+}
+
+// RestoreWindow implements core.StateSnapshotter: documents enter the
+// shared index with no fan-out and no counter movement.
+func (e *Engine) RestoreWindow(docs []*model.Document) error {
+	for _, d := range docs {
+		if err := e.index.Insert(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreQueryState implements core.StateSnapshotter: the query lands
+// on the shard the assignment hash dictates (so a restored engine
+// shards identically to one that registered the query live) with its
+// exported thresholds and result list installed verbatim.
+func (e *Engine) RestoreQueryState(q *model.Query, st core.QueryState) error {
+	if _, dup := e.assign[q.ID]; dup {
+		return fmt.Errorf("core: duplicate query id %d", q.ID)
+	}
+	si := e.shardFor(q.ID)
+	if err := e.shards[si].m.RestoreQuery(q, st); err != nil {
+		return err
+	}
+	e.assign[q.ID] = si
+	e.total++
+	return nil
+}
+
+// SetStats implements core.StateSnapshotter. The sharded engine only
+// ever exposes the merged block, so the restored total lands on the
+// coordinator and the per-shard blocks restart from zero; later
+// maintenance increments distribute across shards exactly as they would
+// have on an engine that never restarted, keeping the merged view
+// byte-identical.
+func (e *Engine) SetStats(s core.Stats) {
+	e.coord = s
+	for _, sh := range e.shards {
+		sh.stats = core.Stats{}
+	}
+}
+
 // CheckInvariants verifies every shard's maintenance invariants plus the
 // coordinator's query-to-shard assignment. Test/debug only.
 func (e *Engine) CheckInvariants() error {

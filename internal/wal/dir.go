@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File layout of a durable engine directory. Every checkpoint and
+// segment is named by the epoch sequence number it starts from:
+//
+//	checkpoint-<seq>.ckpt   engine snapshot at epoch boundary <seq>
+//	checkpoint-<seq>.tmp    checkpoint being written (ignored, GC'd)
+//	wal-<seq>.log           records after boundary <seq>
+//
+// Steady state is one checkpoint plus one segment. A crash between
+// checkpoint phases can leave a superset (older checkpoint, older
+// segment, a tmp file); recovery always loads the highest-numbered
+// complete checkpoint, replays the segment with the same number, and
+// garbage-collects everything else.
+
+// CheckpointPath returns the checkpoint filename for boundary seq.
+func CheckpointPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%d.ckpt", seq))
+}
+
+// CheckpointTmpPath returns the in-progress checkpoint filename.
+func CheckpointTmpPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%d.tmp", seq))
+}
+
+// SegmentPath returns the segment filename for records after boundary
+// seq.
+func SegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", seq))
+}
+
+// DirState is what a scan of a durable engine directory found.
+type DirState struct {
+	// Checkpoints holds the boundary numbers of complete checkpoint
+	// files, ascending.
+	Checkpoints []uint64
+	// Segments holds the boundary numbers of segment files, ascending.
+	Segments []uint64
+	// Tmp holds paths of interrupted checkpoint temporaries
+	// (checkpoint-*.tmp); GC deletes them.
+	Tmp []string
+	// Foreign holds paths this package does not recognize at all. They
+	// are never touched: a user pointing the engine at a non-dedicated
+	// directory must not have unrelated files deleted.
+	Foreign []string
+}
+
+// Latest returns the highest complete checkpoint boundary, or false
+// when the directory has none (a fresh or foreign directory).
+func (s DirState) Latest() (uint64, bool) {
+	if len(s.Checkpoints) == 0 {
+		return 0, false
+	}
+	return s.Checkpoints[len(s.Checkpoints)-1], true
+}
+
+// ScanDir inventories a durable engine directory. Unrecognized entries
+// are reported as stray rather than errors, so a crash's leftovers (and
+// nothing else) can be cleaned up.
+func ScanDir(dir string) (DirState, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return DirState{}, err
+	}
+	var st DirState
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".ckpt"):
+			if seq, ok := parseSeq(name, "checkpoint-", ".ckpt"); ok {
+				st.Checkpoints = append(st.Checkpoints, seq)
+				continue
+			}
+			st.Foreign = append(st.Foreign, filepath.Join(dir, name))
+		case strings.HasPrefix(name, "checkpoint-") && strings.HasSuffix(name, ".tmp"):
+			if _, ok := parseSeq(name, "checkpoint-", ".tmp"); ok {
+				st.Tmp = append(st.Tmp, filepath.Join(dir, name))
+				continue
+			}
+			st.Foreign = append(st.Foreign, filepath.Join(dir, name))
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+				st.Segments = append(st.Segments, seq)
+				continue
+			}
+			st.Foreign = append(st.Foreign, filepath.Join(dir, name))
+		default:
+			st.Foreign = append(st.Foreign, filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(st.Checkpoints, func(i, j int) bool { return st.Checkpoints[i] < st.Checkpoints[j] })
+	sort.Slice(st.Segments, func(i, j int) bool { return st.Segments[i] < st.Segments[j] })
+	return st, nil
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+	return n, err == nil
+}
+
+// GC removes what a recovery at boundary keep no longer needs: older
+// checkpoints, older segments and interrupted checkpoint temporaries.
+// Foreign files are left strictly alone. Removal errors are ignored — a
+// leftover file is re-collected on the next open, and recovery
+// correctness never depends on deletion.
+func GC(dir string, st DirState, keep uint64) {
+	for _, seq := range st.Checkpoints {
+		if seq != keep {
+			os.Remove(CheckpointPath(dir, seq))
+		}
+	}
+	for _, seq := range st.Segments {
+		if seq != keep {
+			os.Remove(SegmentPath(dir, seq))
+		}
+	}
+	for _, p := range st.Tmp {
+		os.Remove(p)
+	}
+}
+
+// SyncDir fsyncs the directory so renames and creations inside it
+// survive a crash. Filesystems that reject directory fsync (some
+// network mounts) degrade gracefully: the error is ignored, matching
+// the usual portability trade-off.
+func SyncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,252 @@
+// Package wal implements the engine's write-ahead log: an append-only
+// sequence of length-prefixed, CRC-framed records describing every
+// mutating facade operation, plus epoch-boundary markers that double as
+// the durability acknowledgment points.
+//
+// # Frame format
+//
+// Every record is one frame:
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes little-endian CRC-32C of the payload]
+//	[payload]
+//
+// The payload encodes the record fields with varints (see record.go).
+// A frame is valid only when it is complete and its CRC matches; the
+// decoder treats the first invalid frame as the end of the log (the
+// torn tail a crash can leave behind) and reports the clean byte
+// offset, so recovery can truncate and resume appending there. Under
+// the crash fault model — writes stop at an arbitrary byte — this
+// yields prefix consistency: the recovered log is always an exact
+// prefix of the written record sequence.
+//
+// # Durability
+//
+// The Log itself never buffers (every Append is one write syscall), so
+// the only volatile state is the OS page cache. The Durability policy
+// says when that is flushed: Always fsyncs inside every Append,
+// EpochSync leaves syncing to the caller (the engine syncs at epoch
+// markers), Off never syncs and rides on the OS writeback.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Durability selects the fsync policy of a Log.
+type Durability int
+
+const (
+	// DurabilityOff never fsyncs: a process crash loses nothing (the
+	// page cache survives), an OS crash can lose the unflushed tail.
+	DurabilityOff Durability = iota
+	// DurabilityEpochSync fsyncs at every epoch boundary marker: an
+	// acknowledged epoch survives any crash, documents of a partial
+	// epoch may be replayed from an earlier prefix.
+	DurabilityEpochSync
+	// DurabilityAlways fsyncs after every record: every acknowledged
+	// operation survives any crash, at one fsync per operation.
+	DurabilityAlways
+)
+
+// String implements fmt.Stringer.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityOff:
+		return "off"
+	case DurabilityEpochSync:
+		return "epoch"
+	case DurabilityAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("durability(%d)", int(d))
+	}
+}
+
+// File is the subset of *os.File the log needs. Tests substitute
+// failure-injecting implementations to exercise every crash point.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// current CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeader = 8 // length + CRC
+	// maxPayload bounds a single record so a corrupt length prefix
+	// cannot force a giant allocation. A batch of documents is the
+	// largest record; 64 MiB is far beyond any real epoch.
+	maxPayload = 64 << 20
+)
+
+// Log is an append-only record writer over one segment file. It is not
+// safe for concurrent use; the engine serializes appends under its
+// mutex.
+type Log struct {
+	f       File
+	off     int64 // bytes successfully written
+	mode    Durability
+	scratch []byte
+	broken  error // sticky: set when the file can no longer be trusted
+}
+
+// NewLog returns a log appending to f, which must be positioned at
+// offset off (the clean end of the existing records).
+func NewLog(f File, off int64, mode Durability) *Log {
+	return &Log{f: f, off: off, mode: mode}
+}
+
+// Offset returns the byte offset of the clean end of the log: every
+// record appended so far ends exactly there.
+func (l *Log) Offset() int64 { return l.off }
+
+// Mode returns the log's durability policy.
+func (l *Log) Mode() Durability { return l.mode }
+
+// Append frames and writes one record, fsyncing when the policy is
+// DurabilityAlways. On a write error it attempts to truncate the file
+// back to the last clean record boundary; if even that fails the log is
+// poisoned and every later call returns the original error — the engine
+// must not keep mutating state it can no longer make durable.
+func (l *Log) Append(rec *Record) error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	l.scratch = appendFrame(l.scratch[:0], rec)
+	if payload := len(l.scratch) - frameHeader; payload > maxPayload {
+		// Scan refuses frames past maxPayload, so writing one would be
+		// acknowledged as durable yet unrecoverable. Reject it before a
+		// byte reaches the file.
+		return fmt.Errorf("wal: record payload %d bytes exceeds the %d byte limit", payload, maxPayload)
+	}
+	n, err := l.f.Write(l.scratch)
+	if err != nil {
+		if n > 0 {
+			// A partial frame reached the file; cut it back so the
+			// on-disk tail stays a clean record boundary.
+			if terr := l.f.Truncate(l.off); terr != nil {
+				l.broken = fmt.Errorf("wal: append failed (%v) and truncate failed (%v): log unusable", err, terr)
+				return l.broken
+			}
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.off += int64(n)
+	if l.mode == DurabilityAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Poison permanently disables the log: every later Append and Sync
+// returns err. The engine uses it when the file layout can no longer
+// honor durability (a failed segment rotation would otherwise leave
+// appends landing in a segment recovery ignores).
+func (l *Log) Poison(err error) {
+	if l.broken == nil {
+		l.broken = err
+	}
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if l.f == nil {
+		return nil // closed: nothing volatile remains
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file without syncing (the engine syncs
+// first when the policy requires it).
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// appendFrame appends the framed encoding of rec to dst.
+func appendFrame(dst []byte, rec *Record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = appendPayload(dst, rec)
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// ScanResult is the outcome of decoding a segment: the records of the
+// longest valid prefix and the byte offset where that prefix ends.
+type ScanResult struct {
+	// Records is every fully decoded record, in append order.
+	Records []Record
+	// Ends[i] is the byte offset one past the frame of Records[i]; the
+	// crash-point tests use it to map byte prefixes to record prefixes.
+	Ends []int64
+	// Clean is the offset of the first byte past the last valid frame.
+	// Anything after it is a torn or corrupt tail that recovery
+	// truncates.
+	Clean int64
+	// Torn reports whether trailing bytes after Clean were discarded.
+	Torn bool
+}
+
+// Scan decodes data as a record stream. It never fails: an invalid
+// frame (short header, oversized or truncated length, CRC mismatch,
+// undecodable payload) ends the scan at the last clean boundary, which
+// is exactly the recovery semantics for a crash-torn tail.
+func Scan(data []byte) ScanResult {
+	var res ScanResult
+	off := int64(0)
+	for int(off)+frameHeader <= len(data) {
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxPayload || int(off)+frameHeader+int(n) > len(data) {
+			break
+		}
+		payload := data[off+frameHeader : off+frameHeader+int64(n)]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break
+		}
+		rec, ok := decodePayload(payload)
+		if !ok {
+			break
+		}
+		off += frameHeader + int64(n)
+		res.Records = append(res.Records, rec)
+		res.Ends = append(res.Ends, off)
+	}
+	res.Clean = off
+	res.Torn = int(off) != len(data)
+	return res
+}
+
+// ScanFile reads and scans a whole segment file.
+func ScanFile(path string) (ScanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ScanResult{}, err
+	}
+	return Scan(data), nil
+}

@@ -20,12 +20,18 @@ import (
 //   - the serial ITA facade (the reference),
 //   - the Naïve brute-force facade (an independent oracle
 //     implementation), and
-//   - the sharded/batched grid S ∈ {1, 2, 8} × B ∈ {1, 64},
+//   - the sharded/batched grid S ∈ {1, 2, 8} × B ∈ {1, 64}, each
+//     running durably over a write-ahead log,
 //
 // comparing every live query at every common boundary under the
 // epoch-pipeline guarantee (sameTopK), and additionally asserting that
 // each engine's wait-free published read is byte-identical to its own
-// locked read path. CI runs the suite under -race; a failing seed is
+// locked read path. The generator also emits crash/reopen and
+// checkpoint ops: a grid engine is dropped mid-stream (worker
+// goroutines stopped, nothing flushed) and recovered from its log, and
+// the recovered engine must be byte-identical to the crashed one —
+// results, stats, id sequences, buffered epoch — before the run
+// continues on it. CI runs the suite under -race; a failing seed is
 // printed and can be replayed with ITA_EQ_SEED=<seed> go test -run
 // TestMetamorphicEquivalence.
 
@@ -37,7 +43,9 @@ const (
 	opUnregister
 	opAdvance
 	opFlush
-	opResults // flush-to-boundary + full cross-engine comparison
+	opResults    // flush-to-boundary + full cross-engine comparison
+	opCrash      // durable engines: crash, reopen, assert byte-identical recovery
+	opCheckpoint // durable engines: force a checkpoint + log rotation
 	opKinds
 )
 
@@ -112,10 +120,14 @@ func decodeOps(data []byte) []facadeOp {
 	return ops
 }
 
-// eqEngine is one engine variant under test.
+// eqEngine is one engine variant under test. The S×B grid engines run
+// durably (a write-ahead log in walDir) so the crash/reopen and
+// checkpoint ops exercise recovery against the never-crashed serial
+// reference and Naïve oracle, which have no WAL and never crash.
 type eqEngine struct {
-	name string
-	e    *Engine
+	name   string
+	e      *Engine
+	walDir string
 }
 
 // runOpSequence replays one decoded op sequence across the engine grid
@@ -146,18 +158,29 @@ func runOpSequence(t *testing.T, data []byte) {
 		}
 		return e
 	}
-	serial := eqEngine{"serial", mk()}
+	serial := eqEngine{name: "serial", e: mk()}
 	grid := []eqEngine{
 		serial,
-		{"naive-oracle", mk(WithAlgorithm(NaivePlain))},
+		{name: "naive-oracle", e: mk(WithAlgorithm(NaivePlain))},
 	}
 	for _, s := range []int{1, 2, 8} {
 		for _, b := range []int{1, 64} {
-			opts := []Option{WithShards(s)}
+			// Durable: DurabilityOff skips fsyncs (an in-process crash
+			// loses no written bytes; fsync-loss is modelled by the
+			// byte-truncation sweeps in crash_test.go) and a small
+			// checkpoint interval makes generated runs cross several log
+			// rotations.
+			dir := t.TempDir()
+			opts := []Option{WithShards(s),
+				WithDurability(DurabilityOff), WithCheckpointEvery(24)}
 			if b > 1 {
 				opts = append(opts, WithBatchSize(b))
 			}
-			grid = append(grid, eqEngine{fmt.Sprintf("s%d_b%d", s, b), mk(opts...)})
+			e, err := Open(dir, append([]Option{pol}, opts...)...)
+			if err != nil {
+				t.Fatalf("policy %s: %v", polName, err)
+			}
+			grid = append(grid, eqEngine{name: fmt.Sprintf("s%d_b%d", s, b), e: e, walDir: dir})
 		}
 	}
 	defer func() {
@@ -282,9 +305,51 @@ func runOpSequence(t *testing.T, data []byte) {
 			}
 		case opResults:
 			compare(step)
+		case opCrash:
+			for gi := range grid {
+				crashAndReopen(t, &grid[gi], fmt.Sprintf("op %d", step))
+			}
+		case opCheckpoint:
+			for _, g := range grid {
+				if g.walDir == "" {
+					continue
+				}
+				if err := g.e.Checkpoint(); err != nil {
+					t.Fatalf("op %d: %s: checkpoint: %v", step, g.name, err)
+				}
+			}
 		}
 	}
 	compare(len(ops))
+	// End-of-run recovery: every durable engine must reopen
+	// byte-identically one last time, whatever state the sequence left
+	// it in.
+	for gi := range grid {
+		crashAndReopen(t, &grid[gi], "end of run")
+	}
+}
+
+// crashAndReopen crashes one durable grid engine, recovers it from its
+// log, asserts the recovered engine is byte-identical to the crashed
+// one, and swaps it into the grid. In-memory engines (empty walDir) are
+// left alone.
+func crashAndReopen(t *testing.T, g *eqEngine, context string) {
+	t.Helper()
+	if g.walDir == "" {
+		return
+	}
+	pre := captureState(g.e)
+	g.e.crashForTest()
+	// Durability and checkpoint cadence are runtime policies, not
+	// persisted: re-supply them so the reopened engine keeps the
+	// generator's rotation coverage.
+	ne, err := Open(g.walDir, WithDurability(DurabilityOff), WithCheckpointEvery(24))
+	if err != nil {
+		t.Fatalf("%s: %s: reopen after crash: %v", context, g.name, err)
+	}
+	g.e = ne
+	requireSameState(t, captureState(ne), pre,
+		fmt.Sprintf("%s: %s: crash/reopen", context, g.name))
 }
 
 // TestMetamorphicEquivalence runs the generator over a fixed seed set

@@ -7,6 +7,7 @@ import (
 	"ita/internal/core"
 	"ita/internal/shard"
 	"ita/internal/vsm"
+	"ita/internal/wal"
 	"ita/internal/window"
 )
 
@@ -60,6 +61,15 @@ type config struct {
 	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
 	shardsSet     bool
 	batchSize     int // epoch size for auto-coalesced ingestion; <= 1 disables
+
+	// Durability (see durable.go). walAttach marks a config built by the
+	// Open recovery path itself, where New must not recurse into Open.
+	walDir        string
+	walDurability Durability
+	walEvery      int
+	walEverySet   bool
+	walAttach     bool
+	walHooks      *walTestHooks
 }
 
 // Option configures New.
@@ -148,6 +158,111 @@ func WithBatchSize(n int) Option {
 		c.batchSize = n
 		return nil
 	}
+}
+
+// Durability selects the write-ahead log's fsync policy; see WithWAL.
+type Durability int
+
+const (
+	// DurabilityEpochSync (the default) fsyncs the log at every epoch
+	// boundary: once an ingest, flush, register, unregister or advance
+	// returns, its epoch survives any crash. Documents of a partial
+	// epoch buffered by WithBatchSize may be lost with the OS page
+	// cache if the machine (not just the process) fails.
+	DurabilityEpochSync Durability = iota
+	// DurabilityOff never fsyncs. A process crash still loses nothing
+	// that reached the log (the page cache survives the process); an OS
+	// or power failure can lose the unflushed tail, recovering an
+	// earlier epoch boundary instead.
+	DurabilityOff
+	// DurabilityAlways fsyncs after every record — one fsync per
+	// operation, the strongest and slowest policy.
+	DurabilityAlways
+)
+
+// String implements fmt.Stringer.
+func (d Durability) String() string { return d.wal().String() }
+
+// ParseDurability parses the command-line spelling of a policy:
+// "off", "epoch" or "always" (the String values).
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "off":
+		return DurabilityOff, nil
+	case "epoch":
+		return DurabilityEpochSync, nil
+	case "always":
+		return DurabilityAlways, nil
+	default:
+		return 0, fmt.Errorf("ita: unknown durability %q (want off|epoch|always)", s)
+	}
+}
+
+func (d Durability) wal() wal.Durability {
+	switch d {
+	case DurabilityOff:
+		return wal.DurabilityOff
+	case DurabilityAlways:
+		return wal.DurabilityAlways
+	default:
+		return wal.DurabilityEpochSync
+	}
+}
+
+// WithWAL makes the engine durable: every mutating operation is
+// appended to a write-ahead log in dir before it is applied, and
+// automatic checkpoints (see WithCheckpointEvery) bound the log's
+// length. Passing WithWAL to New is equivalent to calling Open(dir,
+// ...): if dir already holds durable state the engine is recovered from
+// it, otherwise a fresh durable engine is created. See the "Durability"
+// section of the package documentation for the recovery-consistency
+// model.
+func WithWAL(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("ita: WithWAL requires a directory")
+		}
+		c.walDir = dir
+		return nil
+	}
+}
+
+// WithDurability selects the WAL fsync policy (default
+// DurabilityEpochSync). It only makes sense together with WithWAL/Open.
+func WithDurability(d Durability) Option {
+	return func(c *config) error {
+		switch d {
+		case DurabilityOff, DurabilityEpochSync, DurabilityAlways:
+			c.walDurability = d
+			return nil
+		default:
+			return fmt.Errorf("ita: unknown durability %d", int(d))
+		}
+	}
+}
+
+// WithCheckpointEvery sets the automatic checkpoint cadence of a
+// durable engine: after every n completed epoch boundaries the engine
+// snapshots itself next to the log, starts a fresh segment and deletes
+// the old one, bounding both recovery time and disk usage. n = 0
+// disables automatic checkpoints (the log then grows until Checkpoint
+// is called). The default is 256.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("ita: checkpoint interval must be >= 0, got %d", n)
+		}
+		c.walEvery = n
+		c.walEverySet = true
+		return nil
+	}
+}
+
+// walAttached marks a config constructed by the Open recovery machinery
+// itself; New then builds the in-memory engine without re-entering
+// Open.
+func walAttached() Option {
+	return func(c *config) error { c.walAttach = true; return nil }
 }
 
 // WithOkapiScoring replaces cosine similarity with the Okapi BM25

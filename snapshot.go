@@ -7,18 +7,36 @@ import (
 	"sort"
 	"time"
 
+	"ita/internal/core"
+	"ita/internal/invindex"
 	"ita/internal/model"
 	"ita/internal/vsm"
 	"ita/internal/window"
 )
 
 // snapshotVersion guards the wire format; bump on incompatible change.
-const snapshotVersion = 1
+// Version history:
+//
+//	1 — configuration, dictionary, queries, window documents. Restoring
+//	    replays the window through a fresh engine, which reproduces
+//	    results but recomputes thresholds and counters from scratch.
+//	2 — adds the exact incremental state (per-query local thresholds
+//	    and full result lists), the operation counters, and the epoch
+//	    sequence number used by WAL checkpoints. Restoring reconstructs
+//	    the engine byte-identically: results, Stats, and every future
+//	    maintenance decision match an engine that never restarted.
+//
+// Version-1 snapshots still restore (through the replay path); see
+// TestSnapshotV1FixtureRestores.
+const snapshotVersion = 2
 
-// snapshot is the serialized engine state. The incremental structures
-// (inverted lists, thresholds, result sets) are deliberately excluded:
-// they are derivable, and replaying the window through a fresh engine
-// rebuilds them in a guaranteed-consistent state.
+// snapshot is the serialized engine state. Up to version 1 the
+// incremental structures (inverted lists, thresholds, result sets) were
+// deliberately excluded as derivable; version 2 carries the per-query
+// threshold and result state so that a restore is exact, not merely
+// result-equivalent — the property the WAL's crash-recovery equivalence
+// guarantee is built on. The inverted index itself remains derivable
+// (it is a pure function of the window documents) and is still rebuilt.
 type snapshot struct {
 	Version   int
 	Algorithm Algorithm
@@ -51,6 +69,17 @@ type snapshot struct {
 	NextDoc   uint64
 	NextQuery uint64
 	LastAtNs  int64
+
+	// Version 2: exact-state restoration. ExactState reports whether the
+	// per-query ThetaW/ThetaDoc/RDoc/RScore arrays and Counters were
+	// captured (true for the ITA engines, false for the Naïve baselines,
+	// and always false in version-1 snapshots, where gob decodes the
+	// absent fields as zero values).
+	ExactState bool
+	Counters   Stats
+	// EpochSeq is the durable epoch boundary count at capture; WAL
+	// checkpoints use it to name segments and resume marker numbering.
+	EpochSeq uint64
 }
 
 type snapshotQuery struct {
@@ -58,6 +87,14 @@ type snapshotQuery struct {
 	K     int
 	Text  string
 	Terms []model.QueryTerm
+
+	// Version 2 exact state, parallel arrays: ThetaW/ThetaDoc hold the
+	// local threshold of each query term (parallel to Terms), RDoc and
+	// RScore the full result list R in result order.
+	ThetaW   []float64
+	ThetaDoc []uint64
+	RDoc     []uint64
+	RScore   []float64
 }
 
 type snapshotDoc struct {
@@ -68,10 +105,11 @@ type snapshotDoc struct {
 
 // Snapshot serializes the engine: configuration (including the epoch
 // batch size, so a restored engine keeps its ingestion configuration),
-// dictionary, registered queries and the current window. Any buffered
-// epoch is flushed first so the snapshot captures every ingested
-// document. Watchers are not serialized (they are process-local
-// callbacks). The engine stays usable afterwards.
+// dictionary, registered queries with their exact incremental state,
+// operation counters and the current window. Any buffered epoch is
+// flushed first so the snapshot captures every ingested document.
+// Watchers are not serialized (they are process-local callbacks). The
+// engine stays usable afterwards.
 func (e *Engine) Snapshot(w io.Writer) error {
 	e.mu.Lock()
 	err := e.snapshotLocked(w)
@@ -82,8 +120,19 @@ func (e *Engine) Snapshot(w io.Writer) error {
 }
 
 func (e *Engine) snapshotLocked(w io.Writer) error {
-	if err := e.flushLocked(); err != nil {
+	if err := e.flushExplicitLocked(); err != nil {
 		return err
+	}
+	return e.encodeSnapshotLocked(w)
+}
+
+// encodeSnapshotLocked writes the snapshot of the current state. Must
+// be called with e.mu held and no buffered epoch pending (checkpoints
+// rely on that invariant: every logged record up to this boundary is
+// reflected in the encoded state).
+func (e *Engine) encodeSnapshotLocked(w io.Writer) error {
+	if len(e.pending) != 0 {
+		return fmt.Errorf("ita: snapshot with %d buffered documents", len(e.pending))
 	}
 	s := snapshot{
 		Version:    snapshotVersion,
@@ -97,6 +146,8 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 		NextDoc:    uint64(e.nextDoc),
 		NextQuery:  uint64(e.nextQuery),
 		LastAtNs:   e.lastAt.UnixNano(),
+		Counters:   *e.inner.Stats(),
+		EpochSeq:   e.walEpochSeq(),
 	}
 	switch pol := e.cfg.policy.(type) {
 	case window.Count:
@@ -117,14 +168,35 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 		s.Terms[i] = dict.Term(model.TermID(i))
 	}
 
+	exporter, exact := e.inner.(core.StateSnapshotter)
+	s.ExactState = exact
 	e.inner.EachQuery(func(q *model.Query) {
 		text, _ := e.QueryText(q.ID)
-		s.Queries = append(s.Queries, snapshotQuery{
+		sq := snapshotQuery{
 			ID:    uint64(q.ID),
 			K:     q.K,
 			Text:  text,
 			Terms: q.Terms,
-		})
+		}
+		if exact {
+			st, ok := exporter.ExportQueryState(q.ID)
+			if !ok {
+				panic("ita: registered query has no exportable state")
+			}
+			sq.ThetaW = make([]float64, len(st.Thetas))
+			sq.ThetaDoc = make([]uint64, len(st.Thetas))
+			for i, th := range st.Thetas {
+				sq.ThetaW[i] = th.W
+				sq.ThetaDoc[i] = uint64(th.Doc)
+			}
+			sq.RDoc = make([]uint64, len(st.R))
+			sq.RScore = make([]float64, len(st.R))
+			for i, sd := range st.R {
+				sq.RDoc[i] = uint64(sd.Doc)
+				sq.RScore[i] = sd.Score
+			}
+		}
+		s.Queries = append(s.Queries, sq)
 	})
 	// EachQuery order is unspecified; sort for a canonical encoding.
 	sort.Slice(s.Queries, func(i, j int) bool { return s.Queries[i].ID < s.Queries[j].ID })
@@ -141,17 +213,8 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&s)
 }
 
-// Restore rebuilds an engine from a snapshot written by Snapshot. The
-// restored engine serves identical results for every query; internal
-// incremental state is recomputed, not copied.
-func Restore(r io.Reader) (*Engine, error) {
-	var s snapshot
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("ita: decode snapshot: %w", err)
-	}
-	if s.Version != snapshotVersion {
-		return nil, fmt.Errorf("ita: snapshot version %d, want %d", s.Version, snapshotVersion)
-	}
+// options reconstructs the engine options a snapshot was taken with.
+func (s *snapshot) options() []Option {
 	opts := []Option{WithAlgorithm(s.Algorithm), WithSeed(s.Seed)}
 	if s.Algorithm == ShardedIncrementalThreshold {
 		opts = append(opts, WithShards(s.Shards))
@@ -176,7 +239,40 @@ func Restore(r io.Reader) (*Engine, error) {
 	if s.RetainText {
 		opts = append(opts, WithTextRetention())
 	}
-	e, err := New(opts...)
+	return opts
+}
+
+// Restore rebuilds an engine from a snapshot written by Snapshot. A
+// version-2 snapshot of an ITA engine restores the exact incremental
+// state — results, thresholds, operation counters and all future
+// maintenance decisions are byte-identical to the snapshotted engine.
+// Version-1 snapshots and Naïve engines restore by replaying the
+// window, which reproduces identical results while recomputing the
+// internal state.
+func Restore(r io.Reader) (*Engine, error) {
+	s, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return restoreSnapshot(s, nil)
+}
+
+func decodeSnapshot(r io.Reader) (*snapshot, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("ita: decode snapshot: %w", err)
+	}
+	if s.Version < 1 || s.Version > snapshotVersion {
+		return nil, fmt.Errorf("ita: snapshot version %d, want 1..%d", s.Version, snapshotVersion)
+	}
+	return &s, nil
+}
+
+// restoreSnapshot builds an engine from a decoded snapshot. extraOpts
+// are applied after the snapshot's own options (the durable Open path
+// passes its WAL configuration through here).
+func restoreSnapshot(s *snapshot, extraOpts []Option) (*Engine, error) {
+	e, err := New(append(s.options(), extraOpts...)...)
 	if err != nil {
 		return nil, fmt.Errorf("ita: restore: %w", err)
 	}
@@ -189,37 +285,91 @@ func Restore(r io.Reader) (*Engine, error) {
 		}
 	}
 
-	// Queries first (their initial searches run on an empty window and
-	// are cheap), then the window replays in arrival order.
-	for _, sq := range s.Queries {
-		q, err := model.NewQuery(model.QueryID(sq.ID), sq.K, sq.Terms)
-		if err != nil {
-			return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
-		}
-		if err := e.inner.Register(q); err != nil {
-			return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
-		}
-		e.queryText.Store(model.QueryID(sq.ID), sq.Text)
-	}
+	restorer, exact := e.inner.(core.StateSnapshotter)
+	exact = exact && s.ExactState
+
+	docs := make([]*model.Document, len(s.Docs))
 	for i, sd := range s.Docs {
-		at := time.Unix(0, sd.ArrivalNs)
-		doc, err := model.NewDocument(model.DocID(sd.ID), at, sd.Postings)
+		doc, err := model.NewDocument(model.DocID(sd.ID), time.Unix(0, sd.ArrivalNs), sd.Postings)
 		if err != nil {
 			return nil, fmt.Errorf("ita: restore doc %d: %w", sd.ID, err)
 		}
-		if err := e.inner.Process(doc); err != nil {
-			return nil, fmt.Errorf("ita: restore doc %d: %w", sd.ID, err)
+		docs[i] = doc
+	}
+
+	if exact {
+		// Exact path: window first (no maintenance — there are no queries
+		// yet and RestoreWindow runs none), then each query's state
+		// verbatim, then the counters.
+		if err := restorer.RestoreWindow(docs); err != nil {
+			return nil, fmt.Errorf("ita: restore window: %w", err)
 		}
-		if e.texts != nil && i < len(s.Texts) {
-			e.texts.add(doc.ID, at, s.Texts[i])
+		for _, sq := range s.Queries {
+			q, st, err := sq.decodeState()
+			if err != nil {
+				return nil, err
+			}
+			if err := restorer.RestoreQueryState(q, st); err != nil {
+				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+			}
+			e.queryText.Store(model.QueryID(sq.ID), sq.Text)
+		}
+		restorer.SetStats(s.Counters)
+	} else {
+		// Replay path: queries first (their initial searches run on an
+		// empty window and are cheap), then the window replays in arrival
+		// order.
+		for _, sq := range s.Queries {
+			q, err := model.NewQuery(model.QueryID(sq.ID), sq.K, sq.Terms)
+			if err != nil {
+				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+			}
+			if err := e.inner.Register(q); err != nil {
+				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+			}
+			e.queryText.Store(model.QueryID(sq.ID), sq.Text)
+		}
+		for _, doc := range docs {
+			if err := e.inner.Process(doc); err != nil {
+				return nil, fmt.Errorf("ita: restore doc %d: %w", doc.ID, err)
+			}
+		}
+	}
+	if e.texts != nil {
+		for i, doc := range docs {
+			if i < len(s.Texts) {
+				e.texts.add(doc.ID, doc.Arrival, s.Texts[i])
+			}
 		}
 	}
 	e.nextDoc = model.DocID(s.NextDoc)
 	e.nextQuery = model.QueryID(s.NextQuery)
 	e.lastAt = time.Unix(0, s.LastAtNs)
-	// The replay above bypassed the facade's boundary hooks; publish
-	// once so wait-free readers of the restored engine see the replayed
-	// window immediately.
+	// The rebuild above bypassed the facade's boundary hooks; publish
+	// once so wait-free readers of the restored engine see the window
+	// immediately.
 	e.publishLocked()
 	return e, nil
+}
+
+// decodeState validates and decodes one query's exact state.
+func (sq *snapshotQuery) decodeState() (*model.Query, core.QueryState, error) {
+	q, err := model.NewQuery(model.QueryID(sq.ID), sq.K, sq.Terms)
+	if err != nil {
+		return nil, core.QueryState{}, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
+	}
+	if len(sq.ThetaW) != len(sq.ThetaDoc) || len(sq.RDoc) != len(sq.RScore) {
+		return nil, core.QueryState{}, fmt.Errorf("ita: restore query %d: mismatched state arrays", sq.ID)
+	}
+	st := core.QueryState{
+		Thetas: make([]invindex.EntryKey, len(sq.ThetaW)),
+		R:      make([]model.ScoredDoc, len(sq.RDoc)),
+	}
+	for i := range sq.ThetaW {
+		st.Thetas[i] = invindex.EntryKey{W: sq.ThetaW[i], Doc: model.DocID(sq.ThetaDoc[i])}
+	}
+	for i := range sq.RDoc {
+		st.R[i] = model.ScoredDoc{Doc: model.DocID(sq.RDoc[i]), Score: sq.RScore[i]}
+	}
+	return q, st, nil
 }
