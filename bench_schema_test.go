@@ -1,0 +1,82 @@
+package ita_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ita/internal/harness"
+)
+
+// TestBenchJSONSchemas sanity-checks every checked-in BENCH_*.json
+// artifact: each must parse, carry its hardware context (gomaxprocs,
+// num_cpu) and a non-empty points array, and BENCH_SCALE.json must
+// additionally match the scale schema — including the embedded
+// pre-refactor baseline and the ≥30% bytes/query reduction the dense
+// layout is required to hold at the largest shared sweep point.
+func TestBenchJSONSchemas(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found %d BENCH_*.json files, want at least 5 (sharded, batch, reads, recovery, scale)", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(f, func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var generic struct {
+				GOMAXPROCS int              `json:"gomaxprocs"`
+				NumCPU     int              `json:"num_cpu"`
+				Points     []map[string]any `json:"points"`
+			}
+			if err := json.Unmarshal(data, &generic); err != nil {
+				t.Fatalf("%s does not parse: %v", f, err)
+			}
+			if generic.GOMAXPROCS <= 0 || generic.NumCPU <= 0 {
+				t.Fatalf("%s missing hardware context: gomaxprocs=%d num_cpu=%d",
+					f, generic.GOMAXPROCS, generic.NumCPU)
+			}
+			if len(generic.Points) == 0 {
+				t.Fatalf("%s has no measurement points", f)
+			}
+
+			if f != "BENCH_SCALE.json" {
+				return
+			}
+			var rep harness.ScaleReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Schema != harness.ScaleSchema {
+				t.Fatalf("schema %q, want %q", rep.Schema, harness.ScaleSchema)
+			}
+			maxQ := 0
+			for _, pt := range rep.Points {
+				if pt.Queries <= 0 || pt.BytesPerQuery <= 0 || pt.IngestEvents <= 0 {
+					t.Fatalf("malformed scale point %+v", pt)
+				}
+				if pt.Queries > maxQ {
+					maxQ = pt.Queries
+				}
+			}
+			if maxQ < 1_000_000 {
+				t.Fatalf("scale sweep tops out at %d queries, want at least 1M", maxQ)
+			}
+			if rep.Baseline == nil || len(rep.Baseline.Points) == 0 {
+				t.Fatal("scale report has no embedded pre-refactor baseline")
+			}
+			if rep.Layout == rep.Baseline.Layout {
+				t.Fatalf("report and baseline both measure layout %q", rep.Layout)
+			}
+			if rep.ReductionPct < 30 {
+				t.Fatalf("bytes/query reduction %.1f%%, want >= 30%%", rep.ReductionPct)
+			}
+		})
+	}
+}

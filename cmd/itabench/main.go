@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|scale|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -53,6 +54,13 @@ func main() {
 		// overhead per fsync policy and crash-recovery time at every
 		// checkpoint interval in -ckpts (0 = never checkpoint).
 		ckptSet = flag.String("ckpts", "0,64,512", "recovery: comma-separated checkpoint intervals (epoch boundaries; 0 = never)")
+		// -exp scale knobs: the query-scale experiment sweeps registered
+		// query counts, measuring engine bytes/query (forced-GC heap
+		// deltas around registration) and ingest throughput.
+		countSet = flag.String("counts", "10000,100000,1000000", "scale: comma-separated registered-query counts")
+		scaleWin = flag.Int("scalewin", 256, "scale: count-window size during the sweep")
+		layout   = flag.String("layout", "dense-arena", "scale: label for the query-state layout under measurement")
+		baseline = flag.String("baseline", "", "scale: path to an earlier layout's scale JSON to embed as the comparison baseline")
 	)
 	flag.Parse()
 
@@ -122,6 +130,25 @@ func main() {
 			parseInts(*readerSet, "-readers", 1), time.Duration(*readMs)*time.Millisecond, progress)
 		if err != nil {
 			fail(err)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "scale":
+		rep, err := harness.Scale(p, parseInts(*countSet, "-counts", 1), 4, *scaleWin, *events, *layout, progress)
+		if err != nil {
+			fail(err)
+		}
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			var base harness.ScaleReport
+			if err := json.Unmarshal(data, &base); err != nil {
+				fail(fmt.Errorf("parse -baseline %s: %w", *baseline, err))
+			}
+			rep.AttachBaseline(base)
 		}
 		fmt.Print(rep.Format())
 		writeJSON(*jsonOut, rep.JSON, *quiet)

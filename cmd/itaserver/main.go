@@ -163,12 +163,17 @@ func (s *server) listQueries(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	mem := s.eng.MemoryUsage()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"algorithm":  s.eng.Algorithm().String(),
 		"window":     s.eng.WindowLen(),
 		"queries":    s.eng.Queries(),
 		"dictionary": s.eng.DictionarySize(),
 		"counters":   s.eng.Stats(),
+		// Per-component engine heap estimate (bytes): inverted index,
+		// threshold trees, dense query state, published views.
+		"memory":       mem,
+		"memory_total": mem.Total(),
 	})
 }
 

@@ -137,6 +137,27 @@ func TestServerEndToEnd(t *testing.T) {
 	if stats["algorithm"] != "ita" || int(stats["window"].(float64)) != 3 {
 		t.Fatalf("stats = %v", stats)
 	}
+	// Per-component memory accounting: a live ITA engine with a window
+	// and a registered query must report non-zero index, tree and query
+	// state footprints, and the total must sum the components.
+	mem, ok := stats["memory"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no memory block: %v", stats)
+	}
+	var sum float64
+	for _, comp := range []string{"index_bytes", "tree_bytes", "query_state_bytes", "view_bytes"} {
+		v, ok := mem[comp].(float64)
+		if !ok {
+			t.Fatalf("memory block missing %s: %v", comp, mem)
+		}
+		sum += v
+		if comp != "view_bytes" && v <= 0 {
+			t.Fatalf("memory[%s] = %v, want > 0", comp, v)
+		}
+	}
+	if total := stats["memory_total"].(float64); total != sum {
+		t.Fatalf("memory_total %v != component sum %v", total, sum)
+	}
 
 	// Delete the query.
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/1", nil)

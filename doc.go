@@ -161,6 +161,41 @@
 // commits atomically via rename, and recovery prefers the newest
 // complete checkpoint while garbage-collecting leftovers.
 //
+// # Scaling to millions of queries
+//
+// Internally the engine never keys per-query state by the public
+// QueryID. Each registration is assigned a dense internal id — an index
+// into stable-addressed slab arenas holding the query's thresholds and
+// result list — recycled through a free list when the query
+// unregisters. External ids appear exactly at the API boundary: one
+// concurrent ext→dense lookup (shared between the write path and the
+// wait-free readers) translates on the way in, and published result
+// snapshots carry their owning external id so a reader racing a slot
+// reuse can never observe another query's view. Everything below that
+// boundary — threshold-tree entries, affected-query deduplication,
+// epoch work queues, publication slots — is dense-id array indexing
+// with no per-event map traffic, and identical query texts share one
+// immutable term vector.
+//
+// The per-term threshold trees are frequency-adaptive: query
+// populations per term are Zipfian, so the vast majority of trees hold
+// a handful of thresholds and are stored as compact sorted slices (24
+// bytes per entry, binary-search probes); a tree crossing ~128 entries
+// promotes itself to a skip list and demotes back on shrink, with
+// hysteresis. The crossover was picked by measurement
+// (BenchmarkTierCrossover in internal/threshtree): the slice tier is
+// 5-9.5x faster below ~64 entries and CPU parity is reached between 64
+// and 128, where the slice tier still uses about a quarter of the
+// memory — so promotion happens exactly where pointer structure starts
+// to pay for itself. Both tiers maintain the identical total order;
+// the metamorphic equivalence suite runs the engine grid against a
+// skiplist-pinned reference and requires byte-identical results and
+// operation counters at every boundary.
+//
+// itabench -exp scale measures the result (BENCH_SCALE.json): engine
+// memory per registered query at 10k/100k/1M standing queries, with
+// the pre-refactor pointer-and-map layout embedded as the baseline.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.
 package ita

@@ -24,6 +24,8 @@ type (
 	QueryID = model.QueryID
 	// Stats exposes the engine's cumulative operation counters.
 	Stats = core.Stats
+	// Memory exposes the engine's per-component memory estimate.
+	Memory = core.Memory
 )
 
 // Match is one result entry of a continuous query.
@@ -60,6 +62,15 @@ type Engine struct {
 	queryText sync.Map // QueryID → string; read off-lock by QueryText
 	texts     *textRing
 	watches   map[QueryID]*watchState
+
+	// interned shares one immutable term vector across every live query
+	// registered with the same text. Real query populations are heavily
+	// duplicated (the same alert text registered by many users), and the
+	// analysis pipeline is deterministic — identical text always yields
+	// the identical sorted, weighted vector — so duplicates can share
+	// one backing array. Entries are refcounted and dropped when the
+	// last query with that text unregisters.
+	interned map[string]*internEntry
 
 	// wal is the durability attachment (nil for in-memory engines):
 	// mutating operations append records before applying, epoch
@@ -504,7 +515,11 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	if len(freqs) == 0 {
 		return 0, nil, ErrNoQueryTerms
 	}
-	q, err := model.NewQuery(e.nextQuery, k, e.cfg.weighter.QueryTerms(freqs))
+	terms := e.internedTermsLocked(queryText)
+	if terms == nil {
+		terms = e.cfg.weighter.QueryTerms(freqs)
+	}
+	q, err := model.NewQuery(e.nextQuery, k, terms)
 	if err != nil {
 		return 0, nil, fmt.Errorf("ita: analyze query: %w", err)
 	}
@@ -525,11 +540,51 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	id := e.nextQuery
 	e.nextQuery++
 	e.queryText.Store(id, queryText)
+	e.internStoreLocked(queryText, q.Terms)
 	// Second publication of the op: the flush above published the
 	// pre-registration boundary (for the deltas); this one makes the new
 	// query's initial result visible to wait-free readers.
 	e.publishLocked()
 	return id, deltas, e.walBoundaryLocked()
+}
+
+type internEntry struct {
+	terms []model.QueryTerm
+	refs  int
+}
+
+// internedTermsLocked returns the canonical shared term vector of a
+// query text, nil when no live query uses it. Must be called with e.mu
+// held.
+func (e *Engine) internedTermsLocked(text string) []model.QueryTerm {
+	if ent, ok := e.interned[text]; ok {
+		return ent.terms
+	}
+	return nil
+}
+
+// internStoreLocked records one more live query using terms as the
+// canonical vector for text. Must be called with e.mu held, after the
+// registration has succeeded.
+func (e *Engine) internStoreLocked(text string, terms []model.QueryTerm) {
+	if e.interned == nil {
+		e.interned = make(map[string]*internEntry)
+	}
+	if ent, ok := e.interned[text]; ok {
+		ent.refs++
+		return
+	}
+	e.interned[text] = &internEntry{terms: terms, refs: 1}
+}
+
+// internReleaseLocked drops one live reference to a query text's
+// interned vector. Must be called with e.mu held.
+func (e *Engine) internReleaseLocked(text string) {
+	if ent, ok := e.interned[text]; ok {
+		if ent.refs--; ent.refs <= 0 {
+			delete(e.interned, text)
+		}
+	}
 }
 
 // Unregister removes a query and any watcher on it, reporting whether
@@ -571,6 +626,9 @@ func (e *Engine) unregisterLocked(id QueryID) bool {
 	}
 	_ = e.flushLocked()
 	e.queueDeltasLocked(e.collectDeltas())
+	if text, ok := e.queryText.Load(id); ok {
+		e.internReleaseLocked(text.(string))
+	}
 	e.queryText.Delete(id)
 	delete(e.watches, id)
 	ok := e.inner.Unregister(id)
@@ -733,6 +791,21 @@ func (e *Engine) Stats() Stats {
 
 // Algorithm returns the engine's maintenance algorithm.
 func (e *Engine) Algorithm() Algorithm { return e.cfg.algorithm }
+
+// MemoryUsage returns a per-component estimate of the inner engine's
+// heap footprint (inverted index, threshold trees, query state,
+// published views). Unlike Stats it is computed on demand by walking
+// structure sizes, so it takes the engine lock; it is a diagnostics
+// gauge (the itaserver /stats endpoint), not a hot-path read. Engines
+// without per-component accounting (the Naïve baselines) report zero.
+func (e *Engine) MemoryUsage() Memory {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if mr, ok := e.inner.(core.MemoryReporter); ok {
+		return mr.MemoryUsage()
+	}
+	return Memory{}
+}
 
 // DictionarySize returns the number of distinct terms interned as of
 // the last publication boundary (terms of buffered, unflushed documents

@@ -19,18 +19,42 @@ func (e *ITA) CheckInvariants() error { return e.m.CheckInvariants() }
 func (m *Maintainer) CheckInvariants() error {
 	// Structural: every (term, theta) pair must be present in its tree,
 	// and tree sizes must add up to the total number of query terms.
+	// The dense arena must agree with the ext→dense lookup in both
+	// directions.
 	total := 0
-	for _, qs := range m.queries {
+	live := 0
+	var structErr error
+	m.eachLive(func(qs *queryState) {
+		live++
 		total += len(qs.terms)
 		for i := range qs.terms {
 			ts := &qs.terms[i]
-			if ts.theta == invindex.Top() {
-				return fmt.Errorf("query %d term %d: threshold still at Top after registration", qs.q.ID, ts.term)
+			if ts.theta == invindex.Top() && structErr == nil {
+				structErr = fmt.Errorf("query %d term %d: threshold still at Top after registration", qs.q.ID, ts.term)
 			}
-			if math.IsInf(ts.theta.W, 0) || math.IsNaN(ts.theta.W) {
-				return fmt.Errorf("query %d term %d: non-finite threshold %v", qs.q.ID, ts.term, ts.theta)
+			if (math.IsInf(ts.theta.W, 0) || math.IsNaN(ts.theta.W)) && structErr == nil {
+				structErr = fmt.Errorf("query %d term %d: non-finite threshold %v", qs.q.ID, ts.term, ts.theta)
 			}
 		}
+		if v, ok := m.views.lookup.Load(qs.q.ID); !ok || v.(uint32) != qs.id {
+			if structErr == nil {
+				structErr = fmt.Errorf("query %d: dense slot %d not resolvable through the lookup", qs.q.ID, qs.id)
+			}
+		}
+	})
+	if structErr != nil {
+		return structErr
+	}
+	if live != m.n {
+		return fmt.Errorf("arena holds %d live slots, maintainer counts %d", live, m.n)
+	}
+	lookupN := 0
+	m.views.lookup.Range(func(any, any) bool { lookupN++; return true })
+	if lookupN != m.n {
+		return fmt.Errorf("lookup holds %d entries, maintainer owns %d queries", lookupN, m.n)
+	}
+	if int(m.next) != m.n+len(m.free) {
+		return fmt.Errorf("arena high-water %d != %d live + %d free", m.next, m.n, len(m.free))
 	}
 	trees := 0
 	for _, tr := range m.trees {
@@ -40,12 +64,13 @@ func (m *Maintainer) CheckInvariants() error {
 		return fmt.Errorf("threshold trees hold %d entries, queries own %d terms", trees, total)
 	}
 
-	for _, qs := range m.queries {
-		if err := m.checkQuery(qs); err != nil {
-			return err
+	var err error
+	m.eachLive(func(qs *queryState) {
+		if err == nil {
+			err = m.checkQuery(qs)
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 func (m *Maintainer) checkQuery(qs *queryState) error {

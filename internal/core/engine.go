@@ -88,6 +88,39 @@ type Stats struct {
 	Rescans uint64 // full window rescans (view refills)
 }
 
+// Memory is a per-component estimate of an engine's heap footprint,
+// produced on demand by walking structure sizes (counts × measured unit
+// costs), not by heap profiling. Unlike Stats it is a gauge, not a
+// counter: it is deliberately kept out of snapshots and the WAL, since
+// capacities legitimately differ between an engine and its recovered
+// twin.
+type Memory struct {
+	IndexBytes      uint64 `json:"index_bytes"`       // inverted lists + FIFO store
+	TreeBytes       uint64 `json:"tree_bytes"`        // threshold trees (both tiers)
+	QueryStateBytes uint64 `json:"query_state_bytes"` // dense arenas, term vectors, result sets
+	ViewBytes       uint64 `json:"view_bytes"`        // published slots + ext→dense lookup
+}
+
+// Total sums the components.
+func (m Memory) Total() uint64 {
+	return m.IndexBytes + m.TreeBytes + m.QueryStateBytes + m.ViewBytes
+}
+
+// Merge accumulates o into m component-wise (per-shard footprints are
+// additive).
+func (m *Memory) Merge(o Memory) {
+	m.IndexBytes += o.IndexBytes
+	m.TreeBytes += o.TreeBytes
+	m.QueryStateBytes += o.QueryStateBytes
+	m.ViewBytes += o.ViewBytes
+}
+
+// MemoryReporter is implemented by engines that can account their heap
+// footprint per component (ITA and the sharded ITA).
+type MemoryReporter interface {
+	MemoryUsage() Memory
+}
+
 // Add accumulates o into s field-wise. The sharded engine keeps one
 // Stats block per shard (so counting stays contention-free during the
 // parallel fan-out) and merges them on read.

@@ -54,6 +54,12 @@ func WithRoundRobinProbe() ITAOption { return func(e *ITA) { e.cfg.RoundRobinPro
 // WithITASeed fixes the skip-list randomness seed.
 func WithITASeed(seed uint64) ITAOption { return func(e *ITA) { e.cfg.Seed = seed } }
 
+// WithSkiplistOnlyTrees pins every threshold tree to the skip-list tier
+// (the pre-tiering representation). It exists so equivalence suites can
+// prove the tiered trees behavior-identical; it is not a production
+// configuration.
+func WithSkiplistOnlyTrees() ITAOption { return func(e *ITA) { e.cfg.SkiplistOnlyTrees = true } }
+
 // NewITA returns an empty ITA engine over the given window policy.
 func NewITA(policy window.Policy, opts ...ITAOption) *ITA {
 	e := &ITA{
@@ -85,6 +91,14 @@ func (e *ITA) EachDoc(fn func(d *model.Document)) { e.index.Docs(fn) }
 
 // Stats implements Engine.
 func (e *ITA) Stats() *Stats { return &e.stats }
+
+// MemoryUsage implements MemoryReporter: the coordinator-owned index
+// plus the maintainer's per-query structures.
+func (e *ITA) MemoryUsage() Memory {
+	mem := e.m.MemoryUsage()
+	mem.IndexBytes = e.index.MemoryBytes()
+	return mem
+}
 
 // Register implements Engine: it runs the initial top-k search of
 // §III-A and installs the resulting local thresholds.

@@ -97,7 +97,7 @@ func TestITANarrative(t *testing.T) {
 
 	// Initial search: scores S(d2)=0.10, S(d3)=0.08, S(d1)=0.05.
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 2, Score: 0.10}, {Doc: 3, Score: 0.08}})
-	qs := e.m.queries[1]
+	qs := e.m.lookup(1)
 	if qs.r.Len() != 3 {
 		t.Fatalf("|R| = %d, want 3 (d1 kept unverified)", qs.r.Len())
 	}

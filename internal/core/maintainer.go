@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"ita/internal/invindex"
 	"ita/internal/model"
@@ -13,38 +14,66 @@ import (
 // queries: their threshold trees, result sets R and local thresholds.
 // It is the unit of parallelism of the sharded engine — every piece of
 // state it touches during event handling is strictly per-query (trees,
-// queryStates, stats, scratch buffers), while the inverted index it
+// query states, stats, scratch buffers), while the inverted index it
 // reads is owned by its coordinator and guaranteed quiescent for the
 // duration of HandleArrival/HandleExpire.
+//
+// Query state lives in dense slab arenas, not a map of heap-allocated
+// structs: every registered query gets a dense internal id (a uint32
+// index into stable-addressed slabs), recycled through a free list on
+// Unregister. External QueryIDs appear exactly twice — in the
+// ext→dense lookup shared with the published Views, and inside the
+// *model.Query itself — so the per-event hot paths (threshold-tree
+// probes, affected-query dedup, epoch work queues) run entirely on
+// dense ids with array indexing instead of map lookups. The threshold
+// trees store dense ids too, which is what lets a probe hit resolve to
+// its query state without touching any map.
 //
 // A Maintainer is not safe for concurrent use with itself; the sharded
 // engine runs many maintainers concurrently, each on its own goroutine,
 // which is safe exactly because they share nothing but the read-only
 // index.
 type Maintainer struct {
-	index   *invindex.Index
-	stats   *Stats
-	trees   map[model.TermID]*threshtree.Tree
-	queries map[model.QueryID]*queryState
-	seed    uint64
+	index *invindex.Index
+	stats *Stats
+	trees map[model.TermID]*threshtree.Tree
+	seed  uint64
+
+	// Dense query-state arena: stable-addressed slabs indexed by dense
+	// id, a free list for Unregister churn, and the live count. The
+	// ext→dense lookup lives in views (it is the same mapping the
+	// wait-free read path resolves through).
+	slabs []*stateSlab
+	free  []uint32
+	next  uint32 // high-water dense id
+	n     int    // live queries
 
 	// Ablation switches (DESIGN.md A1, A2). Both default to the paper's
 	// configuration: greedy probing and roll-up enabled.
 	rollupEnabled bool
 	greedyProbe   bool
+	pureTrees     bool // skiplist-only threshold trees (equivalence reference)
 
-	// Scratch buffers reused across events to keep steady-state
-	// processing allocation-free.
-	touched     []*queryState
-	touchedMark map[model.QueryID]struct{}
+	// Scratch reused across events to keep steady-state processing
+	// allocation-free. Affected-query dedup and the epoch work queue
+	// are epoch-stamped dense marks inside the query states themselves
+	// (queryState.mark/emark against stamp/estamp), so there is no map
+	// to clear between events.
+	stamp   uint64
+	estamp  uint64
+	touched []*queryState
+	iterBuf []invindex.Iterator
 
 	// Epoch scratch: per-query net work lists reused across HandleEpoch
 	// calls (the inner adds/dels slices keep their capacity).
 	epochQueue []epochWork
-	epochIdx   map[model.QueryID]int
+	// epochHigh tracks consecutive HandleEpoch calls that used only a
+	// small fraction of the retained scratch capacity; past a threshold
+	// the scratch shrinks back (see shrinkScratch).
+	epochLow int
 
-	// Published read path: one publication slot per query (views) and
-	// the queries whose results changed since the last Publish. See
+	// Published read path: one publication slot per dense id (views)
+	// and the queries whose results changed since the last Publish. See
 	// view.go for the consistency model. Dirty tracking is armed by the
 	// first Publish call: the facade arms it at construction (serving
 	// reads is its job), while core-level users that never publish —
@@ -54,6 +83,17 @@ type Maintainer struct {
 	pubDirty  []*queryState
 	publishOn bool
 }
+
+// Dense-state slabs: stable addresses (grow-by-slab, never realloc), so
+// scratch lists may hold *queryState across events and the epoch queue
+// across one epoch.
+const (
+	slabBits = 9
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+)
+
+type stateSlab [slabSize]queryState
 
 // epochWork is the net effect of one epoch on one query: the arrived
 // documents that probe ahead of a local threshold and the expired ones.
@@ -69,6 +109,9 @@ type MaintainerConfig struct {
 	Seed            uint64
 	DisableRollup   bool // ablation A2
 	RoundRobinProbe bool // ablation A1
+	// SkiplistOnlyTrees pins every threshold tree to the skip-list tier
+	// (the pre-tiering representation). Test/equivalence use only.
+	SkiplistOnlyTrees bool
 }
 
 // NewMaintainer returns an empty maintainer reading from index and
@@ -80,12 +123,10 @@ func NewMaintainer(index *invindex.Index, stats *Stats, cfg MaintainerConfig) *M
 		index:         index,
 		stats:         stats,
 		trees:         make(map[model.TermID]*threshtree.Tree),
-		queries:       make(map[model.QueryID]*queryState),
 		seed:          cfg.Seed,
 		rollupEnabled: !cfg.DisableRollup,
 		greedyProbe:   !cfg.RoundRobinProbe,
-		touchedMark:   make(map[model.QueryID]struct{}),
-		epochIdx:      make(map[model.QueryID]int),
+		pureTrees:     cfg.SkiplistOnlyTrees,
 	}
 }
 
@@ -98,15 +139,58 @@ type termState struct {
 	theta invindex.EntryKey
 }
 
+// queryState is one dense arena slot. The zero value is a free slot;
+// Unregister resets a slot to (almost) zero, keeping only the terms
+// slice capacity and the stamp fields (stamps grow monotonically, so a
+// recycled slot can never falsely match a current stamp).
 type queryState struct {
 	q     *model.Query
 	terms []termState
 	r     *topk.ResultSet
+	id    uint32 // own dense id (slab index)
+	live  bool
 
-	// Publication state: the query's slot in the maintainer's Views and
-	// whether r changed since the last Publish.
-	slot     *viewSlot
+	// Publication state: whether r changed since the last Publish. The
+	// publication slot itself is views entry id.
 	pubDirty bool
+
+	// Epoch-stamped scratch marks, replacing the former touchedMark and
+	// epochIdx maps: a slot is "marked" exactly when its stamp equals
+	// the maintainer's current one.
+	mark  uint64 // collectAffected dedup stamp
+	emark uint64 // HandleEpoch work-queue stamp
+	eslot int32  // index into epochQueue, valid while emark is current
+}
+
+// state returns the arena slot of dense id i.
+func (m *Maintainer) state(i uint32) *queryState {
+	return &m.slabs[i>>slabBits][i&slabMask]
+}
+
+// alloc reserves a dense id, reusing a freed slot when one exists.
+func (m *Maintainer) alloc() uint32 {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		return id
+	}
+	id := m.next
+	m.next++
+	if int(id>>slabBits) == len(m.slabs) {
+		m.slabs = append(m.slabs, new(stateSlab))
+	}
+	return id
+}
+
+// lookup resolves an external query id to its dense state, nil when
+// unknown. Single-writer side of the same sync.Map the wait-free read
+// path resolves through.
+func (m *Maintainer) lookup(id model.QueryID) *queryState {
+	v, ok := m.views.lookup.Load(id)
+	if !ok {
+		return nil
+	}
+	return m.state(v.(uint32))
 }
 
 // tau returns the influence threshold τ = Σ w_{Q,t}·θ_{Q,t}.W, the least
@@ -121,18 +205,24 @@ func (qs *queryState) tau() float64 {
 }
 
 // Len returns the number of queries this maintainer owns.
-func (m *Maintainer) Len() int { return len(m.queries) }
+func (m *Maintainer) Len() int { return m.n }
 
 // Has reports whether the maintainer owns query id.
 func (m *Maintainer) Has(id model.QueryID) bool {
-	_, ok := m.queries[id]
-	return ok
+	return m.lookup(id) != nil
 }
 
 // EachQuery calls fn for every owned query in unspecified order.
 func (m *Maintainer) EachQuery(fn func(q *model.Query)) {
-	for _, qs := range m.queries {
-		fn(qs.q)
+	m.eachLive(func(qs *queryState) { fn(qs.q) })
+}
+
+// eachLive calls fn for every live arena slot in dense-id order.
+func (m *Maintainer) eachLive(fn func(qs *queryState)) {
+	for i := uint32(0); i < m.next; i++ {
+		if qs := m.state(i); qs.live {
+			fn(qs)
+		}
 	}
 }
 
@@ -143,62 +233,90 @@ func (m *Maintainer) EachQuery(fn func(q *model.Query)) {
 func (m *Maintainer) tree(t model.TermID) *threshtree.Tree {
 	tr := m.trees[t]
 	if tr == nil {
-		tr = threshtree.New(m.seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1))
+		seed := m.seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1)
+		if m.pureTrees {
+			tr = threshtree.NewSkiplistOnly(seed)
+		} else {
+			tr = threshtree.New(seed)
+		}
 		m.trees[t] = tr
 	}
 	return tr
 }
 
+// install claims a dense slot for query q and wires it into the arena
+// and lookup. Shared by Register and RestoreQuery; r is the query's
+// result set (nil builds a fresh empty one — RestoreQuery passes the
+// prevalidated set it already built).
+func (m *Maintainer) install(q *model.Query, r *topk.ResultSet) *queryState {
+	id := m.alloc()
+	qs := m.state(id)
+	qs.q = q
+	qs.id = id
+	qs.live = true
+	qs.pubDirty = false
+	qs.terms = qs.terms[:0]
+	for _, t := range q.Terms {
+		qs.terms = append(qs.terms, termState{term: t.Term, qw: t.Weight, theta: invindex.Top()})
+	}
+	if r == nil {
+		r = topk.NewResultSet(m.seed^uint64(q.ID), q.ID)
+	}
+	qs.r = r
+	m.n++
+	m.views.ensure(id)
+	m.views.lookup.Store(q.ID, id)
+	return qs
+}
+
 // Register runs the initial top-k search of §III-A for q and installs
 // the resulting local thresholds. It fails on a duplicate query id.
 func (m *Maintainer) Register(q *model.Query) error {
-	if _, dup := m.queries[q.ID]; dup {
+	if m.Has(q.ID) {
 		return fmt.Errorf("core: duplicate query id %d", q.ID)
 	}
-	qs := &queryState{
-		q:     q,
-		terms: make([]termState, len(q.Terms)),
-		r:     topk.NewResultSet(m.seed ^ uint64(q.ID)),
-		slot:  &viewSlot{},
-	}
-	for i, t := range q.Terms {
-		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: invindex.Top()}
-	}
-	m.queries[q.ID] = qs
-	m.views.slots.Store(q.ID, qs.slot)
+	qs := m.install(q, nil)
 	m.runSearch(qs)
 	m.markDirty(qs)
 	return nil
 }
 
-// Unregister removes a query, reporting whether it existed.
+// Unregister removes a query, reporting whether it existed. The dense
+// slot is reset and recycled through the free list; readers resolving
+// the external id stop seeing the query the moment it leaves the
+// lookup, and a reader racing a slot reuse is protected by the
+// ownership check on the published snapshot (view.go).
 func (m *Maintainer) Unregister(id model.QueryID) bool {
-	qs, ok := m.queries[id]
-	if !ok {
+	qs := m.lookup(id)
+	if qs == nil {
 		return false
 	}
 	for i := range qs.terms {
 		ts := &qs.terms[i]
 		if tr := m.trees[ts.term]; tr != nil {
-			tr.Remove(id, ts.theta)
+			tr.Remove(qs.id, ts.theta)
 			m.stats.TreeUpdates++
 			if tr.Len() == 0 {
 				delete(m.trees, ts.term)
 			}
 		}
 	}
-	delete(m.queries, id)
-	// Readers holding the engine's ViewReader stop seeing the query the
-	// moment the slot leaves the map; the slot itself may still sit in
-	// pubDirty, where publishing into it is harmless (unreachable).
-	m.views.slots.Delete(id)
+	m.views.lookup.Delete(id)
+	m.views.clear(qs.id)
+	qs.q = nil
+	qs.r = nil
+	qs.live = false
+	qs.pubDirty = false
+	qs.terms = qs.terms[:0] // keep capacity for the next occupant
+	m.free = append(m.free, qs.id)
+	m.n--
 	return true
 }
 
 // Result returns the current top-k of a query in descending score order.
 func (m *Maintainer) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
-	qs, ok := m.queries[id]
-	if !ok {
+	qs := m.lookup(id)
+	if qs == nil {
 		return nil, false
 	}
 	return qs.r.Top(qs.q.K), true
@@ -208,29 +326,30 @@ func (m *Maintainer) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
 // gathers, without duplicates, the queries whose consumed region
 // contains the corresponding impact entry. The paper's note that "d is
 // processed only once for each Qi even if d ranks higher than several of
-// Q's local thresholds" is the deduplication here.
+// Q's local thresholds" is the deduplication here — an epoch-stamped
+// mark in each dense slot, no map and no clearing pass.
 //
 // The result is a maintainer-owned scratch slice, valid until the next
 // call.
 func (m *Maintainer) collectAffected(d *model.Document) []*queryState {
 	m.touched = m.touched[:0]
+	m.stamp++
+	stamp := m.stamp
 	for _, p := range d.Postings {
 		tr := m.trees[p.Term]
 		if tr == nil || tr.Len() == 0 {
 			continue
 		}
 		entry := invindex.EntryKey{W: p.Weight, Doc: d.ID}
-		tr.Probe(entry, func(qid model.QueryID) {
+		tr.Probe(entry, func(ref threshtree.Ref) {
 			m.stats.ProbeHits++
-			if _, dup := m.touchedMark[qid]; dup {
+			qs := m.state(ref)
+			if qs.mark == stamp {
 				return
 			}
-			m.touchedMark[qid] = struct{}{}
-			m.touched = append(m.touched, m.queries[qid])
+			qs.mark = stamp
+			m.touched = append(m.touched, qs)
 		})
-	}
-	for _, qs := range m.touched {
-		delete(m.touchedMark, qs.q.ID)
 	}
 	return m.touched
 }
@@ -298,7 +417,7 @@ func (m *Maintainer) HandleExpire(d *model.Document) {
 // the top-k) and operation counters legitimately differ, which is
 // exactly where the amortization comes from.
 func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
-	if len(m.queries) == 0 {
+	if m.n == 0 {
 		return
 	}
 	// Single-event epochs take the per-event procedures unchanged.
@@ -310,6 +429,7 @@ func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
 		m.HandleExpire(expired[0])
 		return
 	}
+	m.estamp++
 	for _, d := range expired {
 		for _, qs := range m.collectAffected(d) {
 			w := m.epochFor(qs)
@@ -325,7 +445,6 @@ func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
 	for i := range m.epochQueue {
 		w := &m.epochQueue[i]
 		m.maintainEpoch(w.qs, w.adds, w.dels)
-		delete(m.epochIdx, w.qs.q.ID)
 		// Drop the document references (keeping capacity): otherwise the
 		// scratch pins one burst's worth of expired documents until a
 		// future epoch happens to reuse every slot to the same depth.
@@ -334,17 +453,52 @@ func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
 		clear(w.dels)
 		w.adds, w.dels = w.adds[:0], w.dels[:0]
 	}
+	used := len(m.epochQueue)
 	m.epochQueue = m.epochQueue[:0]
+	m.shrinkScratch(used)
+}
+
+// shrinkScratch bounds the retained capacity of the epoch and touched
+// scratch buffers. One unusually large epoch (a burst, a catch-up
+// replay) would otherwise pin its high-water capacity — including every
+// inner adds/dels backing array — for the maintainer's lifetime. After
+// shrinkAfter consecutive epochs that used less than a quarter of the
+// retained capacity, the buffers are reallocated to the recent working
+// size.
+func (m *Maintainer) shrinkScratch(used int) {
+	const (
+		minCap      = 256
+		shrinkAfter = 16
+	)
+	if cap(m.epochQueue) <= minCap || used*4 > cap(m.epochQueue) {
+		m.epochLow = 0
+		return
+	}
+	m.epochLow++
+	if m.epochLow < shrinkAfter {
+		return
+	}
+	m.epochLow = 0
+	newCap := used * 2
+	if newCap < minCap {
+		newCap = minCap
+	}
+	m.epochQueue = make([]epochWork, 0, newCap)
+	if cap(m.touched) > newCap {
+		m.touched = make([]*queryState, 0, newCap)
+	}
 }
 
 // epochFor returns the epoch work entry for qs, creating it on first
 // touch. Entries live in a reusable queue so steady-state epochs do not
-// allocate.
+// allocate; membership is the emark stamp in the dense slot.
 func (m *Maintainer) epochFor(qs *queryState) *epochWork {
-	if i, ok := m.epochIdx[qs.q.ID]; ok {
-		return &m.epochQueue[i]
+	if qs.emark == m.estamp {
+		return &m.epochQueue[qs.eslot]
 	}
+	qs.emark = m.estamp
 	i := len(m.epochQueue)
+	qs.eslot = int32(i)
 	if i < cap(m.epochQueue) {
 		m.epochQueue = m.epochQueue[:i+1]
 		w := &m.epochQueue[i]
@@ -352,7 +506,6 @@ func (m *Maintainer) epochFor(qs *queryState) *epochWork {
 	} else {
 		m.epochQueue = append(m.epochQueue, epochWork{qs: qs})
 	}
-	m.epochIdx[qs.q.ID] = i
 	return &m.epochQueue[i]
 }
 
@@ -378,7 +531,9 @@ func (m *Maintainer) markDirty(qs *queryState) {
 // simply refreezes.
 func (m *Maintainer) WarmViews() {
 	for _, qs := range m.pubDirty {
-		qs.r.Freeze(qs.q.K)
+		if qs.live && qs.pubDirty {
+			qs.r.Freeze(qs.q.K)
+		}
 	}
 }
 
@@ -387,16 +542,19 @@ func (m *Maintainer) WarmViews() {
 // maintainer's single writer at a publication boundary; readers observe
 // each swap atomically. The first call arms dirty tracking and
 // publishes every owned query, so enabling the read path late still
-// starts from a complete boundary.
+// starts from a complete boundary. Slots whose query was unregistered
+// (or unregistered and re-registered) since marking are skipped or
+// republished through the same ownership-stamped snapshot, so a reused
+// dense id can never leak a dead query's view.
 func (m *Maintainer) Publish() {
 	if !m.publishOn {
 		m.publishOn = true
-		for _, qs := range m.queries {
-			m.markDirty(qs)
-		}
+		m.eachLive(func(qs *queryState) { m.markDirty(qs) })
 	}
 	for i, qs := range m.pubDirty {
-		qs.slot.top.Store(qs.r.Freeze(qs.q.K))
+		if qs.live && qs.pubDirty {
+			m.views.publish(qs.id, qs.r.Freeze(qs.q.K))
+		}
 		qs.pubDirty = false
 		m.pubDirty[i] = nil // drop the reference: don't pin dead queries
 	}
@@ -446,4 +604,24 @@ func (m *Maintainer) maintainEpoch(qs *queryState, adds, dels []*model.Document)
 	if raised && m.rollupEnabled {
 		m.rollUp(qs)
 	}
+}
+
+// MemoryUsage reports the maintainer's estimated per-component heap
+// footprint: threshold trees, dense query state (arena slabs, term
+// vectors, result sets) and the published view slots. The inverted
+// index is owned by the coordinator and accounted there.
+func (m *Maintainer) MemoryUsage() Memory {
+	var mem Memory
+	for _, tr := range m.trees {
+		mem.TreeBytes += tr.MemoryBytes()
+	}
+	// The trees map itself.
+	mem.TreeBytes += uint64(len(m.trees)) * 48
+	mem.QueryStateBytes += uint64(len(m.slabs)) * uint64(unsafe.Sizeof(stateSlab{}))
+	m.eachLive(func(qs *queryState) {
+		mem.QueryStateBytes += uint64(cap(qs.terms)) * uint64(unsafe.Sizeof(termState{}))
+		mem.QueryStateBytes += qs.r.MemoryBytes()
+	})
+	mem.ViewBytes = m.views.memoryBytes()
+	return mem
 }

@@ -97,7 +97,7 @@ func (e *Naive) Register(q *model.Query) error {
 	}
 	st := &naiveState{
 		q:    q,
-		view: topk.NewResultSet(e.seed ^ uint64(q.ID)),
+		view: topk.NewResultSet(e.seed^uint64(q.ID), q.ID),
 		kmax: e.kmaxFn(q.K),
 	}
 	if st.kmax < q.K {
@@ -175,7 +175,7 @@ func (e *Naive) expireWhile(now time.Time) {
 // the kmax highest-scoring documents.
 func (e *Naive) rescan(st *naiveState) {
 	e.stats.Rescans++
-	st.view = topk.NewResultSet(e.seed ^ uint64(st.q.ID))
+	st.view = topk.NewResultSet(e.seed^uint64(st.q.ID), st.q.ID)
 	e.store.Docs(func(d *model.Document) {
 		e.stats.ScoreComputations++
 		score := model.Score(st.q, d)

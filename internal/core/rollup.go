@@ -93,8 +93,8 @@ func (m *Maintainer) rollUp(qs *queryState) {
 				phantom := invindex.EntryKey{W: bestKey.W, Doc: bestKey.Doc + 1}
 				if invindex.Before(phantom, ts.theta) {
 					tr := m.tree(ts.term)
-					tr.Remove(qs.q.ID, ts.theta)
-					tr.Set(qs.q.ID, phantom)
+					tr.Remove(qs.id, ts.theta)
+					tr.Set(qs.id, phantom)
 					m.stats.TreeUpdates += 2
 					ts.theta = phantom
 					m.stats.RollupSteps++
@@ -106,8 +106,8 @@ func (m *Maintainer) rollUp(qs *queryState) {
 
 		// Commit the lift.
 		tr := m.tree(ts.term)
-		tr.Remove(qs.q.ID, ts.theta)
-		tr.Set(qs.q.ID, bestKey)
+		tr.Remove(qs.id, ts.theta)
+		tr.Set(qs.id, bestKey)
 		m.stats.TreeUpdates += 2
 		ts.theta = bestKey
 		m.stats.RollupSteps++

@@ -22,10 +22,17 @@ import (
 func (m *Maintainer) runSearch(qs *queryState) {
 	k := qs.q.K
 	n := len(qs.terms)
-	iters := make([]invindex.Iterator, n)
+	// Reuse the maintainer's iterator scratch: refills run once per
+	// affected query per epoch, and runSearch is never reentered.
+	if cap(m.iterBuf) < n {
+		m.iterBuf = make([]invindex.Iterator, n)
+	}
+	iters := m.iterBuf[:n]
 	for i := range qs.terms {
 		if l := m.index.List(qs.terms[i].term); l != nil {
 			iters[i] = l.SeekGE(qs.terms[i].theta)
+		} else {
+			iters[i] = invindex.Iterator{}
 		}
 	}
 	rr := 0 // round-robin cursor for the ablation probe order
@@ -91,10 +98,10 @@ func (m *Maintainer) runSearch(qs *queryState) {
 		}
 		tr := m.tree(ts.term)
 		if ts.theta != invindex.Top() {
-			tr.Remove(qs.q.ID, ts.theta)
+			tr.Remove(qs.id, ts.theta)
 			m.stats.TreeUpdates++
 		}
-		tr.Set(qs.q.ID, newTheta)
+		tr.Set(qs.id, newTheta)
 		m.stats.TreeUpdates++
 		ts.theta = newTheta
 	}

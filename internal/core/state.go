@@ -40,8 +40,8 @@ type StateSnapshotter interface {
 
 // ExportState returns the exact incremental state of query id.
 func (m *Maintainer) ExportState(id model.QueryID) (QueryState, bool) {
-	qs, ok := m.queries[id]
-	if !ok {
+	qs := m.lookup(id)
+	if qs == nil {
 		return QueryState{}, false
 	}
 	st := QueryState{
@@ -63,38 +63,33 @@ func (m *Maintainer) ExportState(id model.QueryID) (QueryState, bool) {
 // is defensive — a corrupted checkpoint must surface as an error, never
 // a panic or a silently broken invariant.
 func (m *Maintainer) RestoreQuery(q *model.Query, st QueryState) error {
-	if _, dup := m.queries[q.ID]; dup {
+	if m.Has(q.ID) {
 		return fmt.Errorf("core: duplicate query id %d", q.ID)
 	}
 	if len(st.Thetas) != len(q.Terms) {
 		return fmt.Errorf("core: restore query %d: %d thresholds for %d terms", q.ID, len(st.Thetas), len(q.Terms))
 	}
-	qs := &queryState{
-		q:     q,
-		terms: make([]termState, len(q.Terms)),
-		r:     topk.NewResultSet(m.seed ^ uint64(q.ID)),
-		slot:  &viewSlot{},
-	}
+	// All-or-nothing: validate into locals first, claim an arena slot
+	// and mutate shared structures only afterwards, so a rejected state
+	// leaves the maintainer untouched.
 	for i, t := range q.Terms {
 		theta := st.Thetas[i]
 		if theta == invindex.Top() || math.IsNaN(theta.W) || math.IsInf(theta.W, 0) {
 			return fmt.Errorf("core: restore query %d: invalid threshold %+v for term %d", q.ID, theta, t.Term)
 		}
-		qs.terms[i] = termState{term: t.Term, qw: t.Weight, theta: theta}
 	}
+	r := topk.NewResultSet(m.seed^uint64(q.ID), q.ID)
 	for _, sd := range st.R {
-		if qs.r.Contains(sd.Doc) {
+		if r.Contains(sd.Doc) {
 			return fmt.Errorf("core: restore query %d: duplicate result document %d", q.ID, sd.Doc)
 		}
-		qs.r.Add(sd.Doc, sd.Score)
+		r.Add(sd.Doc, sd.Score)
 	}
-	// All-or-nothing: mutate shared structures only after validation, so
-	// a rejected state leaves the maintainer untouched.
+	qs := m.install(q, r)
 	for i := range qs.terms {
-		m.tree(qs.terms[i].term).Set(q.ID, qs.terms[i].theta)
+		qs.terms[i].theta = st.Thetas[i]
+		m.tree(qs.terms[i].term).Set(qs.id, qs.terms[i].theta)
 	}
-	m.queries[q.ID] = qs
-	m.views.slots.Store(q.ID, qs.slot)
 	m.markDirty(qs)
 	return nil
 }

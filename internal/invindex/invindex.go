@@ -526,6 +526,21 @@ func (x *Index) ApplyBatch(arrivals []*model.Document, expired func(oldest *mode
 	return res, nil
 }
 
+// MemoryBytes estimates the index's heap footprint: the FIFO store plus
+// every inverted list's chunk storage and directory, plus the term map
+// (estimated at Go's measured per-entry bucket cost).
+func (x *Index) MemoryBytes() uint64 {
+	const mapEntry = 48
+	b := x.Store.MemoryBytes() + uint64(len(x.lists))*mapEntry
+	for _, l := range x.lists {
+		b += 56 + uint64(cap(l.chunks))*24 + uint64(cap(l.spare))*16
+		for _, ch := range l.chunks {
+			b += uint64(cap(ch)) * 16
+		}
+	}
+	return b
+}
+
 // hotTermMutations is the per-term mutation count at which ApplyBatch
 // switches from direct point operations to grouped one-pass
 // application. It matches applyBatch's own small-set cutoff.

@@ -66,6 +66,17 @@ func (s *Store) RemoveOldest() *model.Document {
 	return d
 }
 
+// MemoryBytes estimates the store's heap footprint: the id map, the
+// FIFO backing array, and the documents themselves (struct + postings).
+func (s *Store) MemoryBytes() uint64 {
+	const mapEntry = 48
+	b := uint64(len(s.docs))*mapEntry + uint64(cap(s.fifo))*8
+	for i := s.head; i < len(s.fifo); i++ {
+		b += 48 + uint64(cap(s.fifo[i].Postings))*16
+	}
+	return b
+}
+
 // Docs calls fn for every valid document in arrival order — the
 // full-scan primitive of the Naïve baseline and the test oracle.
 func (s *Store) Docs(fn func(d *model.Document)) {

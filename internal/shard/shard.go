@@ -51,8 +51,7 @@ type Engine struct {
 	policy window.Policy
 	index  *invindex.Index
 	shards []*shardState
-	assign map[model.QueryID]int // query → owning shard
-	total  int                   // registered queries across all shards
+	total  int // registered queries across all shards
 
 	// coord holds the coordinator's counters (arrivals, expirations,
 	// index mutations); merged is the scratch block Stats() merges the
@@ -122,6 +121,12 @@ func WithRoundRobinProbe() Option {
 	return func(c *core.MaintainerConfig) { c.RoundRobinProbe = true }
 }
 
+// WithSkiplistOnlyTrees pins threshold trees to the skip-list tier,
+// matching core.WithSkiplistOnlyTrees (equivalence testing only).
+func WithSkiplistOnlyTrees() Option {
+	return func(c *core.MaintainerConfig) { c.SkiplistOnlyTrees = true }
+}
+
 // New returns an empty sharded engine with the given shard count;
 // shards <= 0 selects runtime.GOMAXPROCS(0). With one shard the engine
 // runs maintenance inline on the caller's goroutine (no workers, no
@@ -140,7 +145,6 @@ func New(policy window.Policy, shards int, opts ...Option) *Engine {
 		policy: policy,
 		index:  invindex.NewIndex(cfg.Seed),
 		shards: make([]*shardState, shards),
-		assign: make(map[model.QueryID]int),
 	}
 	for i := range e.shards {
 		s := &shardState{}
@@ -213,6 +217,17 @@ func (e *Engine) WindowLen() int { return e.index.Len() }
 // EachDoc implements core.Engine.
 func (e *Engine) EachDoc(fn func(d *model.Document)) { e.index.Docs(fn) }
 
+// MemoryUsage implements core.MemoryReporter: the shared index plus
+// every shard's per-query structures.
+func (e *Engine) MemoryUsage() core.Memory {
+	var mem core.Memory
+	mem.IndexBytes = e.index.MemoryBytes()
+	for _, s := range e.shards {
+		mem.Merge(s.m.MemoryUsage())
+	}
+	return mem
+}
+
 // Stats implements core.Engine: the coordinator's counters plus every
 // shard's, merged. The merged totals equal the single-threaded ITA's
 // counters on the same stream, since each query's maintenance performs
@@ -268,41 +283,31 @@ func (e *Engine) PublishViews() core.ViewReader {
 	return e.views
 }
 
-// Register implements core.Engine: the query is assigned to a shard and
-// its initial top-k search runs there (inline — registration is not a
-// stream event and needs no fan-out).
+// Register implements core.Engine: the query is routed to its shard by
+// the assignment hash — a pure function of the id, so there is no
+// coordinator-side assignment map to grow with the query population —
+// and its initial top-k search runs there (inline — registration is
+// not a stream event and needs no fan-out).
 func (e *Engine) Register(q *model.Query) error {
-	if _, dup := e.assign[q.ID]; dup {
-		return fmt.Errorf("core: duplicate query id %d", q.ID)
-	}
-	si := e.shardFor(q.ID)
-	if err := e.shards[si].m.Register(q); err != nil {
+	if err := e.shards[e.shardFor(q.ID)].m.Register(q); err != nil {
 		return err
 	}
-	e.assign[q.ID] = si
 	e.total++
 	return nil
 }
 
 // Unregister implements core.Engine.
 func (e *Engine) Unregister(id model.QueryID) bool {
-	si, ok := e.assign[id]
-	if !ok {
+	if !e.shards[e.shardFor(id)].m.Unregister(id) {
 		return false
 	}
-	e.shards[si].m.Unregister(id)
-	delete(e.assign, id)
 	e.total--
 	return true
 }
 
 // Result implements core.Engine.
 func (e *Engine) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
-	si, ok := e.assign[id]
-	if !ok {
-		return nil, false
-	}
-	return e.shards[si].m.Result(id)
+	return e.shards[e.shardFor(id)].m.Result(id)
 }
 
 // Process implements core.Engine: phase 1 mutates the index on the
@@ -415,11 +420,7 @@ func (e *Engine) fanOut(ev event) {
 
 // ExportQueryState implements core.StateSnapshotter.
 func (e *Engine) ExportQueryState(id model.QueryID) (core.QueryState, bool) {
-	si, ok := e.assign[id]
-	if !ok {
-		return core.QueryState{}, false
-	}
-	return e.shards[si].m.ExportState(id)
+	return e.shards[e.shardFor(id)].m.ExportState(id)
 }
 
 // RestoreWindow implements core.StateSnapshotter: documents enter the
@@ -438,14 +439,9 @@ func (e *Engine) RestoreWindow(docs []*model.Document) error {
 // shards identically to one that registered the query live) with its
 // exported thresholds and result list installed verbatim.
 func (e *Engine) RestoreQueryState(q *model.Query, st core.QueryState) error {
-	if _, dup := e.assign[q.ID]; dup {
-		return fmt.Errorf("core: duplicate query id %d", q.ID)
-	}
-	si := e.shardFor(q.ID)
-	if err := e.shards[si].m.RestoreQuery(q, st); err != nil {
+	if err := e.shards[e.shardFor(q.ID)].m.RestoreQuery(q, st); err != nil {
 		return err
 	}
-	e.assign[q.ID] = si
 	e.total++
 	return nil
 }
@@ -464,22 +460,27 @@ func (e *Engine) SetStats(s core.Stats) {
 }
 
 // CheckInvariants verifies every shard's maintenance invariants plus the
-// coordinator's query-to-shard assignment. Test/debug only.
+// coordinator's live-query count and the hash placement of every owned
+// query. Test/debug only.
 func (e *Engine) CheckInvariants() error {
 	owned := 0
-	for _, s := range e.shards {
+	for si, s := range e.shards {
 		owned += s.m.Len()
 		if err := s.m.CheckInvariants(); err != nil {
 			return err
 		}
-	}
-	if owned != e.total || len(e.assign) != e.total {
-		return fmt.Errorf("shard: %d queries assigned, shards own %d, total %d", len(e.assign), owned, e.total)
-	}
-	for id, si := range e.assign {
-		if si < 0 || si >= len(e.shards) || !e.shards[si].m.Has(id) {
-			return fmt.Errorf("shard: query %d assigned to shard %d but not owned there", id, si)
+		var placeErr error
+		s.m.EachQuery(func(q *model.Query) {
+			if want := e.shardFor(q.ID); want != si && placeErr == nil {
+				placeErr = fmt.Errorf("shard: query %d owned by shard %d, hash places it on %d", q.ID, si, want)
+			}
+		})
+		if placeErr != nil {
+			return placeErr
 		}
+	}
+	if owned != e.total {
+		return fmt.Errorf("shard: shards own %d queries, coordinator counts %d", owned, e.total)
 	}
 	return nil
 }

@@ -2,13 +2,22 @@
 // skip list: an ordered map with O(log n) insert, delete, exact and
 // range lookup, plus O(log n) access by rank.
 //
-// It is the single ordered-collection substrate of the engine: inverted
-// lists (ordered by impact weight), threshold trees (ordered by local
-// threshold) and per-query result sets (ordered by score) are all built
-// on it. Determinism matters for reproducible benchmarks, so tower
-// heights come from a private xorshift generator seeded at construction
-// rather than from the global math/rand state.
+// It is an ordered-collection substrate of the engine: per-query result
+// sets (ordered by score) and the upper tier of the threshold trees
+// (ordered by local threshold) are built on it. Determinism matters for
+// reproducible benchmarks, so tower heights come from a private
+// xorshift generator seeded at construction rather than from the global
+// math/rand state.
+//
+// The layout is tuned for engines that hold one list per query at
+// million-query scale: each node's forward pointers and spans live in a
+// single links array (one allocation per node, not two), and the head
+// tower grows lazily with the list's actual height, so an empty or
+// small list costs tens of bytes rather than the worst-case 24-level
+// tower.
 package skiplist
+
+import "unsafe"
 
 const (
 	maxHeight = 24 // supports ~4^24 elements at promotion probability 1/4
@@ -16,13 +25,17 @@ const (
 	seedMix   = 0x9e3779b97f4a7c15
 )
 
+// link is one level of a node's tower: the successor at that level and
+// the distance to it in level-0 steps (1 means immediate successor).
+type link[K any, V any] struct {
+	to   *node[K, V]
+	span int
+}
+
 type node[K any, V any] struct {
 	key   K
 	value V
-	// next[i] is the successor at level i; span[i] is the distance to
-	// next[i] in level-0 steps (1 means immediate successor).
-	next []*node[K, V]
-	span []int
+	links []link[K, V]
 }
 
 // List is an ordered map from K to V. The zero value is not usable; call
@@ -33,6 +46,7 @@ type List[K any, V any] struct {
 	length int
 	height int
 	rng    uint64
+	towers int // cumulative tower height across all element nodes
 }
 
 // New returns an empty list ordered by less. The seed fixes the tower
@@ -40,11 +54,8 @@ type List[K any, V any] struct {
 // operation sequence are structurally identical.
 func New[K any, V any](less func(a, b K) bool, seed uint64) *List[K, V] {
 	return &List[K, V]{
-		less: less,
-		head: &node[K, V]{
-			next: make([]*node[K, V], maxHeight),
-			span: make([]int, maxHeight),
-		},
+		less:   less,
+		head:   &node[K, V]{links: make([]link[K, V], 1, 4)},
 		height: 1,
 		rng:    seed*seedMix + seedMix,
 	}
@@ -75,14 +86,14 @@ func (l *List[K, V]) findPath(key K, prev *[maxHeight]*node[K, V], pos *[maxHeig
 	x := l.head
 	p := 0
 	for i := l.height - 1; i >= 0; i-- {
-		for x.next[i] != nil && l.less(x.next[i].key, key) {
-			p += x.span[i]
-			x = x.next[i]
+		for x.links[i].to != nil && l.less(x.links[i].to.key, key) {
+			p += x.links[i].span
+			x = x.links[i].to
 		}
 		prev[i] = x
 		pos[i] = p
 	}
-	return x.next[0]
+	return x.links[0].to
 }
 
 // Insert adds key→value. If an equal key is already present, its value
@@ -97,30 +108,35 @@ func (l *List[K, V]) Insert(key K, value V) bool {
 	}
 	h := l.randHeight()
 	if h > l.height {
+		// Grow the head tower to the new height before linking.
+		for len(l.head.links) < h {
+			l.head.links = append(l.head.links, link[K, V]{})
+		}
 		for i := l.height; i < h; i++ {
 			prev[i] = l.head
 			pos[i] = 0
 		}
 		l.height = h
 	}
-	n := &node[K, V]{key: key, value: value, next: make([]*node[K, V], h), span: make([]int, h)}
+	n := &node[K, V]{key: key, value: value, links: make([]link[K, V], h)}
 	np := pos[0] + 1 // position of the new node
 	for i := 0; i < h; i++ {
-		n.next[i] = prev[i].next[i]
-		if n.next[i] != nil {
+		n.links[i].to = prev[i].links[i].to
+		if n.links[i].to != nil {
 			// prev[i]'s old successor sat at pos[i]+span; after the
 			// insert every position right of np shifts by one.
-			n.span[i] = pos[i] + prev[i].span[i] + 1 - np
+			n.links[i].span = pos[i] + prev[i].links[i].span + 1 - np
 		}
-		prev[i].next[i] = n
-		prev[i].span[i] = np - pos[i]
+		prev[i].links[i].to = n
+		prev[i].links[i].span = np - pos[i]
 	}
 	for i := h; i < l.height; i++ {
-		if prev[i].next[i] != nil {
-			prev[i].span[i]++
+		if prev[i].links[i].to != nil {
+			prev[i].links[i].span++
 		}
 	}
 	l.length++
+	l.towers += h
 	return true
 }
 
@@ -133,21 +149,22 @@ func (l *List[K, V]) Delete(key K) bool {
 		return false
 	}
 	for i := 0; i < l.height; i++ {
-		if prev[i].next[i] == cand {
-			prev[i].next[i] = cand.next[i]
-			if i < len(cand.next) && cand.next[i] != nil {
-				prev[i].span[i] += cand.span[i] - 1
+		if prev[i].links[i].to == cand {
+			prev[i].links[i].to = cand.links[i].to
+			if i < len(cand.links) && cand.links[i].to != nil {
+				prev[i].links[i].span += cand.links[i].span - 1
 			} else {
-				prev[i].span[i] = 0
+				prev[i].links[i].span = 0
 			}
-		} else if prev[i].next[i] != nil {
-			prev[i].span[i]--
+		} else if prev[i].links[i].to != nil {
+			prev[i].links[i].span--
 		}
 	}
-	for l.height > 1 && l.head.next[l.height-1] == nil {
+	for l.height > 1 && l.head.links[l.height-1].to == nil {
 		l.height--
 	}
 	l.length--
+	l.towers -= len(cand.links)
 	return true
 }
 
@@ -179,7 +196,7 @@ type Iterator[K any, V any] struct {
 func (it *Iterator[K, V]) Valid() bool { return it.n != nil }
 
 // Next advances to the successor.
-func (it *Iterator[K, V]) Next() { it.n = it.n.next[0] }
+func (it *Iterator[K, V]) Next() { it.n = it.n.links[0].to }
 
 // Key returns the current key; the iterator must be valid.
 func (it *Iterator[K, V]) Key() K { return it.n.key }
@@ -189,7 +206,7 @@ func (it *Iterator[K, V]) Value() V { return it.n.value }
 
 // First returns an iterator at the smallest key.
 func (l *List[K, V]) First() Iterator[K, V] {
-	return Iterator[K, V]{n: l.head.next[0]}
+	return Iterator[K, V]{n: l.head.links[0].to}
 }
 
 // SeekGE returns an iterator at the first element with key ≥ target
@@ -224,7 +241,7 @@ func (l *List[K, V]) PredLT(target K) (K, V, bool) {
 
 // Min returns the smallest key.
 func (l *List[K, V]) Min() (K, V, bool) {
-	n := l.head.next[0]
+	n := l.head.links[0].to
 	if n == nil {
 		var zk K
 		var zv V
@@ -243,9 +260,9 @@ func (l *List[K, V]) At(i int) (K, V) {
 	x := l.head
 	p := 0
 	for lvl := l.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && p+x.span[lvl] <= target {
-			p += x.span[lvl]
-			x = x.next[lvl]
+		for x.links[lvl].to != nil && p+x.links[lvl].span <= target {
+			p += x.links[lvl].span
+			x = x.links[lvl].to
 		}
 		if p == target {
 			return x.key, x.value
@@ -262,4 +279,16 @@ func (l *List[K, V]) Rank(key K) int {
 	var pos [maxHeight]int
 	l.findPath(key, &prev, &pos)
 	return pos[0]
+}
+
+// MemoryBytes estimates the list's heap footprint from its node count
+// and cumulative tower height. It is exact up to allocator size-class
+// rounding.
+func (l *List[K, V]) MemoryBytes() uint64 {
+	nodeSize := uint64(unsafe.Sizeof(node[K, V]{}))
+	linkSize := uint64(unsafe.Sizeof(link[K, V]{}))
+	headLinks := uint64(cap(l.head.links))
+	return uint64(unsafe.Sizeof(*l)) +
+		uint64(l.length+1)*nodeSize +
+		(uint64(l.towers)+headLinks)*linkSize
 }

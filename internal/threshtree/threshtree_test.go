@@ -8,14 +8,14 @@ import (
 	"ita/internal/model"
 )
 
-func probeAll(t *Tree, e invindex.EntryKey) []model.QueryID {
-	var out []model.QueryID
-	t.Probe(e, func(q model.QueryID) { out = append(out, q) })
+func probeAll(t *Tree, e invindex.EntryKey) []Ref {
+	var out []Ref
+	t.Probe(e, func(q Ref) { out = append(out, q) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-func eq(a, b []model.QueryID) bool {
+func eq(a, b []Ref) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -36,15 +36,15 @@ func TestProbeReturnsSuffixBelowEntry(t *testing.T) {
 	tr.Set(3, invindex.Bottom())
 
 	// An arrival with weight 0.9 lands ahead of every threshold.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 99}); !eq(got, []model.QueryID{1, 2, 3}) {
+	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 99}); !eq(got, []Ref{1, 2, 3}) {
 		t.Fatalf("probe(0.9) = %v", got)
 	}
 	// Weight 0.3 lands ahead of queries 2 and 3 only.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.3, Doc: 99}); !eq(got, []model.QueryID{2, 3}) {
+	if got := probeAll(tr, invindex.EntryKey{W: 0.3, Doc: 99}); !eq(got, []Ref{2, 3}) {
 		t.Fatalf("probe(0.3) = %v", got)
 	}
 	// Weight 0.1 only beats the fully-consumed query 3.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.1, Doc: 99}); !eq(got, []model.QueryID{3}) {
+	if got := probeAll(tr, invindex.EntryKey{W: 0.1, Doc: 99}); !eq(got, []Ref{3}) {
 		t.Fatalf("probe(0.1) = %v", got)
 	}
 }
@@ -60,7 +60,7 @@ func TestProbeExcludesThresholdPositionItself(t *testing.T) {
 	}
 	// A different document with the same weight and a smaller id sits
 	// ahead of the threshold in list order, so it does match.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 9}); !eq(got, []model.QueryID{1}) {
+	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 9}); !eq(got, []Ref{1}) {
 		t.Fatalf("probe at earlier tie = %v", got)
 	}
 	// A larger id at the same weight is behind the threshold: no match.
@@ -90,14 +90,14 @@ func TestRemoveAndLen(t *testing.T) {
 	if tr.Len() != 1 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
-	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 9}); !eq(got, []model.QueryID{2}) {
+	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 9}); !eq(got, []Ref{2}) {
 		t.Fatalf("probe after removal = %v", got)
 	}
 }
 
 func TestManyQueriesSameTerm(t *testing.T) {
 	tr := New(1)
-	for q := model.QueryID(1); q <= 100; q++ {
+	for q := Ref(1); q <= 100; q++ {
 		tr.Set(q, invindex.EntryKey{W: float64(q) / 100, Doc: model.DocID(q)})
 	}
 	// Weight 0.505 beats thresholds 0.01 .. 0.50 → queries 1..50.
@@ -111,7 +111,7 @@ func TestBottomThresholdAlwaysProbed(t *testing.T) {
 	tr := New(1)
 	tr.Set(1, invindex.Bottom())
 	got := probeAll(tr, invindex.EntryKey{W: 1e-9, Doc: ^model.DocID(0) - 1})
-	if !eq(got, []model.QueryID{1}) {
+	if !eq(got, []Ref{1}) {
 		t.Fatalf("probe = %v: Bottom thresholds must match every positive-weight entry", got)
 	}
 }

@@ -2,9 +2,22 @@
 // encountered documents (verified or not) with their exact scores,
 // ordered by descending score, with order-statistic access to the k-th
 // score Sk.
+//
+// Like the threshold trees, R is tiered: at engine scale the typical
+// query's R holds tens of documents (k plus the unverified fringe the
+// threshold search consumed), and a pointer-based ordered map costs
+// ~130 bytes per document across two allocations. The small tier stores
+// R as two parallel sorted slices — (score desc, doc asc) result order
+// and doc order — at 32 bytes per document with zero per-entry
+// allocation; a set crossing promoteAt documents promotes to a skip
+// list plus hash map and demotes back on shrink with hysteresis. Every
+// operation is answer-identical in both tiers: the total order is the
+// same, only the representation changes.
 package topk
 
 import (
+	"sort"
+
 	"ita/internal/model"
 	"ita/internal/skiplist"
 )
@@ -23,10 +36,35 @@ func entryLess(a, b entry) bool {
 	return a.doc < b.doc
 }
 
+// docScore is one small-tier entry of the doc-ordered index.
+type docScore struct {
+	doc   model.DocID
+	score float64
+}
+
+// Tier crossover for R. The small tier's 16-byte-entry memmoves stay
+// cheaper than a skip-list insert (one allocation plus a pointer walk)
+// into the hundreds, and the typical R never leaves the small tier;
+// the thresholds only exist for the Zipf-head queries whose consumed
+// region genuinely holds thousands of documents.
+const (
+	promoteAt = 256
+	demoteAt  = 64
+)
+
 // ResultSet is R for a single query. The zero value is not usable; call
 // NewResultSet.
 type ResultSet struct {
-	order *skiplist.List[entry, struct{}]
+	owner model.QueryID
+	seed  uint64
+
+	// Small tier: parallel sorted slices. order is result order
+	// (score desc, doc asc); docs is ascending doc order.
+	order []entry
+	docs  []docScore
+
+	// Large tier, nil while small: score order + doc→score map.
+	sl    *skiplist.List[entry, struct{}]
 	byDoc map[model.DocID]float64
 
 	// Copy-on-publish cache: the last frozen top-k, invalidated by any
@@ -38,20 +76,21 @@ type ResultSet struct {
 }
 
 // Frozen is an immutable snapshot of a result set's top-k, taken at a
-// publication boundary. Holders may read Docs from any goroutine without
+// publication boundary. Holders may read it from any goroutine without
 // synchronization; nobody may mutate it.
 type Frozen struct {
+	// Query is the external id of the query the snapshot belongs to.
+	// Readers resolving a query through a reused dense publication slot
+	// validate ownership against it (see internal/core/view.go).
+	Query model.QueryID
 	// Docs is the top-k in descending score order (ties by ascending
 	// document id), never nil.
 	Docs []model.ScoredDoc
 }
 
-// NewResultSet returns an empty result set.
-func NewResultSet(seed uint64) *ResultSet {
-	return &ResultSet{
-		order: skiplist.New[entry, struct{}](entryLess, seed),
-		byDoc: make(map[model.DocID]float64),
-	}
+// NewResultSet returns an empty result set owned by query owner.
+func NewResultSet(seed uint64, owner model.QueryID) *ResultSet {
+	return &ResultSet{seed: seed, owner: owner}
 }
 
 // Freeze returns an immutable snapshot of the current top-k. The
@@ -62,47 +101,127 @@ func (r *ResultSet) Freeze(k int) *Frozen {
 	if r.frozen != nil && r.frozenK == k {
 		return r.frozen
 	}
-	r.frozen = &Frozen{Docs: r.Top(k)}
+	r.frozen = &Frozen{Query: r.owner, Docs: r.Top(k)}
 	r.frozenK = k
 	return r.frozen
 }
 
 // Len returns the number of documents in R.
-func (r *ResultSet) Len() int { return r.order.Len() }
+func (r *ResultSet) Len() int {
+	if r.sl != nil {
+		return r.sl.Len()
+	}
+	return len(r.order)
+}
+
+// docIdx returns the small-tier doc-index position of doc and whether
+// it is present.
+func (r *ResultSet) docIdx(doc model.DocID) (int, bool) {
+	i := sort.Search(len(r.docs), func(i int) bool { return r.docs[i].doc >= doc })
+	return i, i < len(r.docs) && r.docs[i].doc == doc
+}
+
+// promote rebuilds the small tier into the skip list + map.
+func (r *ResultSet) promote() {
+	r.sl = skiplist.New[entry, struct{}](entryLess, r.seed)
+	r.byDoc = make(map[model.DocID]float64, len(r.order))
+	for _, e := range r.order {
+		r.sl.Insert(e, struct{}{})
+		r.byDoc[e.doc] = e.score
+	}
+	r.order, r.docs = nil, nil
+}
+
+// demote rebuilds the skip list back into the small tier.
+func (r *ResultSet) demote() {
+	n := r.sl.Len()
+	r.order = make([]entry, 0, n)
+	r.docs = make([]docScore, 0, n)
+	for it := r.sl.First(); it.Valid(); it.Next() {
+		r.order = append(r.order, it.Key())
+	}
+	for _, e := range r.order {
+		r.docs = append(r.docs, docScore{doc: e.doc, score: e.score})
+	}
+	sort.Slice(r.docs, func(i, j int) bool { return r.docs[i].doc < r.docs[j].doc })
+	r.sl, r.byDoc = nil, nil
+}
 
 // Add inserts document doc with the given score. Adding a document that
 // is already present panics: scores are immutable while a document is in
 // the window, so a re-add indicates an engine bug.
 func (r *ResultSet) Add(doc model.DocID, score float64) {
-	if _, dup := r.byDoc[doc]; dup {
+	r.frozen = nil
+	if r.sl != nil {
+		if _, dup := r.byDoc[doc]; dup {
+			panic("topk: document added twice")
+		}
+		r.byDoc[doc] = score
+		r.sl.Insert(entry{score: score, doc: doc}, struct{}{})
+		return
+	}
+	di, present := r.docIdx(doc)
+	if present {
 		panic("topk: document added twice")
 	}
-	r.frozen = nil
-	r.byDoc[doc] = score
-	r.order.Insert(entry{score: score, doc: doc}, struct{}{})
+	e := entry{score: score, doc: doc}
+	oi := sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) })
+	r.order = append(r.order, entry{})
+	copy(r.order[oi+1:], r.order[oi:])
+	r.order[oi] = e
+	r.docs = append(r.docs, docScore{})
+	copy(r.docs[di+1:], r.docs[di:])
+	r.docs[di] = docScore{doc: doc, score: score}
+	if len(r.order) > promoteAt {
+		r.promote()
+	}
 }
 
 // Remove deletes doc from R, reporting whether it was present.
 func (r *ResultSet) Remove(doc model.DocID) bool {
-	score, ok := r.byDoc[doc]
-	if !ok {
+	if r.sl != nil {
+		score, ok := r.byDoc[doc]
+		if !ok {
+			return false
+		}
+		r.frozen = nil
+		delete(r.byDoc, doc)
+		r.sl.Delete(entry{score: score, doc: doc})
+		if r.sl.Len() < demoteAt {
+			r.demote()
+		}
+		return true
+	}
+	di, present := r.docIdx(doc)
+	if !present {
 		return false
 	}
 	r.frozen = nil
-	delete(r.byDoc, doc)
-	r.order.Delete(entry{score: score, doc: doc})
+	score := r.docs[di].score
+	copy(r.docs[di:], r.docs[di+1:])
+	r.docs = r.docs[:len(r.docs)-1]
+	e := entry{score: score, doc: doc}
+	oi := sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) })
+	copy(r.order[oi:], r.order[oi+1:])
+	r.order = r.order[:len(r.order)-1]
 	return true
 }
 
 // Score returns doc's stored score.
 func (r *ResultSet) Score(doc model.DocID) (float64, bool) {
-	s, ok := r.byDoc[doc]
-	return s, ok
+	if r.sl != nil {
+		s, ok := r.byDoc[doc]
+		return s, ok
+	}
+	if i, ok := r.docIdx(doc); ok {
+		return r.docs[i].score, true
+	}
+	return 0, false
 }
 
 // Contains reports whether doc is in R.
 func (r *ResultSet) Contains(doc model.DocID) bool {
-	_, ok := r.byDoc[doc]
+	_, ok := r.Score(doc)
 	return ok
 }
 
@@ -110,35 +229,48 @@ func (r *ResultSet) Contains(doc model.DocID) bool {
 // than k documents — the identity under which any positive-scoring
 // document beats an unfilled result slot.
 func (r *ResultSet) Kth(k int) float64 {
-	if k <= 0 || r.order.Len() < k {
+	if k <= 0 || r.Len() < k {
 		return 0
 	}
-	e, _ := r.order.At(k - 1)
-	return e.score
+	if r.sl != nil {
+		e, _ := r.sl.At(k - 1)
+		return e.score
+	}
+	return r.order[k-1].score
 }
 
 // Rank returns the 0-based rank doc currently occupies (0 = best). The
 // second result is false when doc is not in R.
 func (r *ResultSet) Rank(doc model.DocID) (int, bool) {
-	score, ok := r.byDoc[doc]
+	score, ok := r.Score(doc)
 	if !ok {
 		return 0, false
 	}
-	return r.order.Rank(entry{score: score, doc: doc}), true
+	e := entry{score: score, doc: doc}
+	if r.sl != nil {
+		return r.sl.Rank(e), true
+	}
+	return sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) }), true
 }
 
 // Top returns the best min(k, Len) documents in result order.
 func (r *ResultSet) Top(k int) []model.ScoredDoc {
-	n := r.order.Len()
+	n := r.Len()
 	if k < n {
 		n = k
 	}
 	out := make([]model.ScoredDoc, 0, n)
-	it := r.order.First()
+	if r.sl != nil {
+		it := r.sl.First()
+		for i := 0; i < n; i++ {
+			e := it.Key()
+			out = append(out, model.ScoredDoc{Doc: e.doc, Score: e.score})
+			it.Next()
+		}
+		return out
+	}
 	for i := 0; i < n; i++ {
-		e := it.Key()
-		out = append(out, model.ScoredDoc{Doc: e.doc, Score: e.score})
-		it.Next()
+		out = append(out, model.ScoredDoc{Doc: r.order[i].doc, Score: r.order[i].score})
 	}
 	return out
 }
@@ -146,17 +278,38 @@ func (r *ResultSet) Top(k int) []model.ScoredDoc {
 // Worst returns the lowest-ranked document in R. It is used by the
 // bounded view of the Naïve+kmax baseline to evict beyond kmax.
 func (r *ResultSet) Worst() (model.ScoredDoc, bool) {
-	if r.order.Len() == 0 {
+	n := r.Len()
+	if n == 0 {
 		return model.ScoredDoc{}, false
 	}
-	e, _ := r.order.At(r.order.Len() - 1)
+	if r.sl != nil {
+		e, _ := r.sl.At(n - 1)
+		return model.ScoredDoc{Doc: e.doc, Score: e.score}, true
+	}
+	e := r.order[n-1]
 	return model.ScoredDoc{Doc: e.doc, Score: e.score}, true
 }
 
 // Each calls fn for every document in R in result order.
 func (r *ResultSet) Each(fn func(doc model.DocID, score float64)) {
-	for it := r.order.First(); it.Valid(); it.Next() {
-		e := it.Key()
+	if r.sl != nil {
+		for it := r.sl.First(); it.Valid(); it.Next() {
+			e := it.Key()
+			fn(e.doc, e.score)
+		}
+		return
+	}
+	for _, e := range r.order {
 		fn(e.doc, e.score)
 	}
+}
+
+// MemoryBytes estimates the result set's heap footprint per tier.
+func (r *ResultSet) MemoryBytes() uint64 {
+	const fixed = 120
+	if r.sl != nil {
+		const mapEntry = 48
+		return fixed + r.sl.MemoryBytes() + uint64(len(r.byDoc))*mapEntry
+	}
+	return fixed + uint64(cap(r.order))*16 + uint64(cap(r.docs))*16
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestAddRemoveScoreRank(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	r.Add(10, 0.5)
 	r.Add(20, 0.9)
 	r.Add(30, 0.7)
@@ -40,7 +40,7 @@ func TestAddRemoveScoreRank(t *testing.T) {
 }
 
 func TestKth(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	if r.Kth(1) != 0 {
 		t.Fatal("Kth on empty should be 0")
 	}
@@ -62,7 +62,7 @@ func TestKth(t *testing.T) {
 }
 
 func TestTopOrderAndTieBreak(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	r.Add(5, 0.5)
 	r.Add(3, 0.5) // tie: lower doc id ranks first
 	r.Add(9, 0.9)
@@ -84,7 +84,7 @@ func TestTopOrderAndTieBreak(t *testing.T) {
 }
 
 func TestWorst(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	if _, ok := r.Worst(); ok {
 		t.Fatal("Worst on empty succeeded")
 	}
@@ -103,13 +103,13 @@ func TestDoubleAddPanics(t *testing.T) {
 			t.Fatal("double Add did not panic")
 		}
 	}()
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	r.Add(1, 0.5)
 	r.Add(1, 0.6)
 }
 
 func TestEachVisitsInOrder(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 200; i++ {
 		r.Add(model.DocID(i), rng.Float64())
@@ -133,7 +133,7 @@ func TestEachVisitsInOrder(t *testing.T) {
 // under random add/remove workloads with tied scores.
 func TestAgainstSliceModel(t *testing.T) {
 	f := func(ops []uint16) bool {
-		r := NewResultSet(7)
+		r := NewResultSet(7, 1)
 		ref := map[model.DocID]float64{}
 		for _, op := range ops {
 			doc := model.DocID(op & 0x3f)
@@ -182,7 +182,7 @@ func TestAgainstSliceModel(t *testing.T) {
 // Guard against float subtleties: scores of 0 are legal in the set even
 // though engines never store them; ordering must remain total.
 func TestZeroScores(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	r.Add(1, 0)
 	r.Add(2, 0)
 	r.Add(3, 0.5)
@@ -200,7 +200,7 @@ func TestZeroScores(t *testing.T) {
 // an untouched query is free), any mutation invalidates the cache, and
 // a frozen snapshot is immune to later mutations.
 func TestFreezeCaching(t *testing.T) {
-	r := NewResultSet(1)
+	r := NewResultSet(1, 1)
 	r.Add(10, 0.5)
 	r.Add(20, 0.9)
 	f1 := r.Freeze(2)
@@ -231,7 +231,7 @@ func TestFreezeCaching(t *testing.T) {
 		t.Fatalf("Freeze after Remove = %v", f4.Docs)
 	}
 	// Freezing deeper than Len returns what exists, non-nil.
-	empty := NewResultSet(2)
+	empty := NewResultSet(2, 1)
 	if f := empty.Freeze(3); f == nil || f.Docs == nil || len(f.Docs) != 0 {
 		t.Fatalf("empty Freeze = %#v", f)
 	}

@@ -1,0 +1,164 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ita/internal/model"
+)
+
+// refSet is a deliberately naive reference implementation: a plain map
+// re-sorted on every read.
+type refSet struct {
+	m map[model.DocID]float64
+}
+
+func (r *refSet) sorted() []model.ScoredDoc {
+	out := make([]model.ScoredDoc, 0, len(r.m))
+	for d, s := range r.m {
+		out = append(out, model.ScoredDoc{Doc: d, Score: s})
+	}
+	model.SortScored(out)
+	return out
+}
+
+// TestTieredResultSetMatchesReference churns a ResultSet through the
+// promote and demote thresholds with random adds/removes and checks
+// every accessor against the reference model after each operation
+// batch.
+func TestTieredResultSetMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rs := NewResultSet(uint64(seed), 42)
+			ref := &refSet{m: make(map[model.DocID]float64)}
+			next := model.DocID(1)
+
+			check := func(op int) {
+				t.Helper()
+				want := ref.sorted()
+				if rs.Len() != len(want) {
+					t.Fatalf("op %d: Len %d, want %d", op, rs.Len(), len(want))
+				}
+				// Full order via Each.
+				var got []model.ScoredDoc
+				rs.Each(func(d model.DocID, s float64) {
+					got = append(got, model.ScoredDoc{Doc: d, Score: s})
+				})
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("op %d: Each[%d] = %v, want %v", op, i, got[i], want[i])
+					}
+				}
+				for _, k := range []int{1, 3, 10, len(want)} {
+					wantK := 0.0
+					if k >= 1 && k <= len(want) {
+						wantK = want[k-1].Score
+					}
+					if gk := rs.Kth(k); gk != wantK {
+						t.Fatalf("op %d: Kth(%d) = %g, want %g", op, k, gk, wantK)
+					}
+					top := rs.Top(k)
+					n := k
+					if n > len(want) {
+						n = len(want)
+					}
+					for i := 0; i < n; i++ {
+						if top[i] != want[i] {
+							t.Fatalf("op %d: Top(%d)[%d] = %v, want %v", op, k, i, top[i], want[i])
+						}
+					}
+				}
+				if len(want) > 0 {
+					if w, ok := rs.Worst(); !ok || w != want[len(want)-1] {
+						t.Fatalf("op %d: Worst = %v, want %v", op, w, want[len(want)-1])
+					}
+					// Spot-check rank/score/contains on a few members.
+					for i := 0; i < 3; i++ {
+						e := want[rng.Intn(len(want))]
+						if rank, ok := rs.Rank(e.Doc); !ok || want[rank] != e {
+							t.Fatalf("op %d: Rank(%d) = %v", op, e.Doc, rank)
+						}
+						if s, ok := rs.Score(e.Doc); !ok || s != e.Score {
+							t.Fatalf("op %d: Score(%d) = %g, want %g", op, e.Doc, s, e.Score)
+						}
+					}
+				}
+				if rs.Contains(model.DocID(1 << 40)) {
+					t.Fatalf("op %d: Contains on absent doc", op)
+				}
+			}
+
+			for op := 0; op < 3000; op++ {
+				grow := 4
+				if op > 2000 {
+					grow = 1 // shrink phase: drain through demoteAt
+				}
+				if rng.Intn(6) < grow || len(ref.m) == 0 {
+					// Scores from a small set force ties.
+					score := float64(rng.Intn(16)) / 16
+					rs.Add(next, score)
+					ref.m[next] = score
+					next++
+				} else {
+					keys := make([]model.DocID, 0, len(ref.m))
+					for d := range ref.m {
+						keys = append(keys, d)
+					}
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+					d := keys[rng.Intn(len(keys))]
+					if !rs.Remove(d) {
+						t.Fatalf("op %d: Remove(%d) = false", op, d)
+					}
+					delete(ref.m, d)
+					if rs.Remove(d) {
+						t.Fatalf("op %d: double Remove(%d) = true", op, d)
+					}
+				}
+				if op%37 == 0 {
+					check(op)
+				}
+			}
+			check(3000)
+			// Frozen cache across tiers: mutate, freeze, freeze again.
+			f1 := rs.Freeze(5)
+			if f2 := rs.Freeze(5); f1 != f2 {
+				t.Fatal("Freeze not cached while unmutated")
+			}
+			if f1.Query != 42 {
+				t.Fatalf("Frozen.Query = %d, want 42", f1.Query)
+			}
+			rs.Add(next, 0.5)
+			if f3 := rs.Freeze(5); f3 == f1 {
+				t.Fatal("Freeze cache not invalidated by Add")
+			}
+		})
+	}
+}
+
+// TestResultSetTierTransitions pins the promote/demote boundaries.
+func TestResultSetTierTransitions(t *testing.T) {
+	rs := NewResultSet(3, 1)
+	for i := 0; i < promoteAt; i++ {
+		rs.Add(model.DocID(i+1), float64(i%13))
+	}
+	if rs.sl != nil {
+		t.Fatalf("promoted at %d entries, promoteAt is %d", rs.Len(), promoteAt)
+	}
+	rs.Add(model.DocID(promoteAt+1), 0.5)
+	if rs.sl == nil {
+		t.Fatal("not promoted past promoteAt")
+	}
+	for rs.Len() >= demoteAt {
+		w, _ := rs.Worst()
+		rs.Remove(w.Doc)
+	}
+	if rs.sl != nil {
+		t.Fatalf("not demoted below demoteAt (%d entries)", rs.Len())
+	}
+	if rs.Len() != demoteAt-1 {
+		t.Fatalf("Len = %d after drain, want %d", rs.Len(), demoteAt-1)
+	}
+}

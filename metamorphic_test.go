@@ -49,6 +49,37 @@ const (
 	opKinds
 )
 
+// opWeights biases the generator toward Register/Unregister churn: the
+// dense-id free list only gets exercised when queries die and new ones
+// reuse their slots, so the mix leans on registration turnover (~44%
+// of ops) while keeping every other op kind in play. Weights sum to
+// 256 so one generator byte maps through the table with no modulo
+// bias.
+var opWeights = [opKinds]int{
+	opIngest:      41,
+	opIngestBatch: 31,
+	opRegister:    56,
+	opUnregister:  56,
+	opAdvance:     15,
+	opFlush:       15,
+	opResults:     26,
+	opCrash:       8,
+	opCheckpoint:  8,
+}
+
+// pickOp maps one generator byte to an op kind through the weight
+// table, deterministically and totally.
+func pickOp(b byte) int {
+	n := int(b)
+	for kind, w := range opWeights {
+		if n < w {
+			return kind
+		}
+		n -= w
+	}
+	return opIngest // unreachable: weights sum to 256
+}
+
 type facadeOp struct {
 	kind  int
 	text  string   // opIngest, opRegister
@@ -96,7 +127,7 @@ func decodeOps(data []byte) []facadeOp {
 	}
 	for i < len(data) && len(ops) < maxOps {
 		b := next()
-		op := facadeOp{kind: int(b) % opKinds}
+		op := facadeOp{kind: pickOp(b)}
 		switch op.kind {
 		case opIngest:
 			op.text = words(next())
@@ -128,6 +159,7 @@ type eqEngine struct {
 	name   string
 	e      *Engine
 	walDir string
+	pure   bool // threshold trees pinned to the skip-list tier
 }
 
 // runOpSequence replays one decoded op sequence across the engine grid
@@ -159,28 +191,51 @@ func runOpSequence(t *testing.T, data []byte) {
 		return e
 	}
 	serial := eqEngine{name: "serial", e: mk()}
+	// skiplist-trees pins the threshold trees to the pre-tiering
+	// skip-list representation on an otherwise identical serial engine:
+	// the tiered trees must be byte-identical to it in results AND in
+	// every operation counter at every boundary (the tiers change the
+	// representation, never a decision).
+	skTrees := eqEngine{name: "skiplist-trees", e: mk(withSkiplistOnlyTrees())}
 	grid := []eqEngine{
 		serial,
+		skTrees,
 		{name: "naive-oracle", e: mk(WithAlgorithm(NaivePlain))},
 	}
+	// Every S×B cell exists twice: once with the tiered threshold trees
+	// and once pinned to the skip-list tier. twins pairs their grid
+	// indexes; compare() requires the pair byte-identical (results AND
+	// stats), including across crash/reopen — the grid-wide proof that
+	// the tiers change the representation, never a decision.
+	var twins [][2]int
 	for _, s := range []int{1, 2, 8} {
 		for _, b := range []int{1, 64} {
-			// Durable: DurabilityOff skips fsyncs (an in-process crash
-			// loses no written bytes; fsync-loss is modelled by the
-			// byte-truncation sweeps in crash_test.go) and a small
-			// checkpoint interval makes generated runs cross several log
-			// rotations.
-			dir := t.TempDir()
-			opts := []Option{WithShards(s),
-				WithDurability(DurabilityOff), WithCheckpointEvery(24)}
-			if b > 1 {
-				opts = append(opts, WithBatchSize(b))
+			pair := [2]int{}
+			for i, pure := range []bool{false, true} {
+				// Durable: DurabilityOff skips fsyncs (an in-process crash
+				// loses no written bytes; fsync-loss is modelled by the
+				// byte-truncation sweeps in crash_test.go) and a small
+				// checkpoint interval makes generated runs cross several log
+				// rotations.
+				dir := t.TempDir()
+				opts := []Option{WithShards(s),
+					WithDurability(DurabilityOff), WithCheckpointEvery(24)}
+				if b > 1 {
+					opts = append(opts, WithBatchSize(b))
+				}
+				name := fmt.Sprintf("s%d_b%d", s, b)
+				if pure {
+					opts = append(opts, withSkiplistOnlyTrees())
+					name += "_sk"
+				}
+				e, err := Open(dir, append([]Option{pol}, opts...)...)
+				if err != nil {
+					t.Fatalf("policy %s: %v", polName, err)
+				}
+				pair[i] = len(grid)
+				grid = append(grid, eqEngine{name: name, e: e, walDir: dir, pure: pure})
 			}
-			e, err := Open(dir, append([]Option{pol}, opts...)...)
-			if err != nil {
-				t.Fatalf("policy %s: %v", polName, err)
-			}
-			grid = append(grid, eqEngine{name: fmt.Sprintf("s%d_b%d", s, b), e: e, walDir: dir})
+			twins = append(twins, pair)
 		}
 	}
 	defer func() {
@@ -190,6 +245,11 @@ func runOpSequence(t *testing.T, data []byte) {
 	}()
 
 	var live []QueryID
+	var dead []QueryID
+	// forbidden marks externally dead query ids: once an Unregister has
+	// returned on every engine, no watch delta for that id may ever be
+	// delivered again (dense-slot reuse must not resurrect a watcher).
+	forbidden := make(map[QueryID]bool)
 	clock := 0
 
 	compare := func(step int) {
@@ -213,6 +273,11 @@ func runOpSequence(t *testing.T, data []byte) {
 					t.Fatalf("op %d: %s vs serial, query %d: %v", step, g.name, id, err)
 				}
 			}
+			// The tiered threshold trees must be byte-identical to the
+			// skip-list-only reference, not merely top-k-equivalent.
+			if got := skTrees.e.Results(id); !reflect.DeepEqual(got, want) {
+				t.Fatalf("op %d: skiplist-trees vs serial, query %d: %v vs %v", step, id, got, want)
+			}
 			// The wait-free published read must be byte-identical to the
 			// same engine's locked read at the boundary.
 			for _, g := range grid {
@@ -220,6 +285,37 @@ func runOpSequence(t *testing.T, data []byte) {
 				if !reflect.DeepEqual(pub, locked) {
 					t.Fatalf("op %d: %s, query %d: published read %v, locked read %v",
 						step, g.name, id, pub, locked)
+				}
+			}
+		}
+		// ...and counter-identical: the tiers may never change a
+		// maintenance decision, so every Stats field matches the serial
+		// engine at every boundary.
+		if gs, ws := skTrees.e.Stats(), serial.e.Stats(); gs != ws {
+			t.Fatalf("op %d: skiplist-trees stats %+v, serial %+v", step, gs, ws)
+		}
+		// Grid-wide tier proof: every S×B cell must be byte-identical —
+		// full state, results and counters — to its skiplist-pinned twin,
+		// whatever mixture of batching, sharding and crash/reopen the run
+		// has been through.
+		for _, pair := range twins {
+			tiered, pure := &grid[pair[0]], &grid[pair[1]]
+			requireSameState(t, captureState(pure.e), captureState(tiered.e),
+				fmt.Sprintf("op %d: %s vs %s (tier twin)", step, pure.name, tiered.name))
+		}
+		// Unregistered ids must stay dead on every engine: a dense slot
+		// recycled to a newer query must never leak a view, a result or
+		// replayed WAL state under the old external id.
+		for _, id := range dead {
+			for _, g := range grid {
+				if got := g.e.Results(id); got != nil {
+					t.Fatalf("op %d: %s: dead query %d served %v", step, g.name, id, got)
+				}
+				if got := g.e.resultsLocked(id); got != nil {
+					t.Fatalf("op %d: %s: dead query %d served %v via locked read", step, g.name, id, got)
+				}
+				if text, ok := g.e.QueryText(id); ok {
+					t.Fatalf("op %d: %s: dead query %d still has text %q", step, g.name, id, text)
 				}
 			}
 		}
@@ -273,6 +369,17 @@ func runOpSequence(t *testing.T, data []byte) {
 				}
 			}
 			live = append(live, want)
+			for _, g := range grid {
+				g := g
+				if err := g.e.Watch(want, func(d Delta) {
+					if forbidden[d.Query] {
+						t.Errorf("op %d+: %s: watch delta delivered for dead query %d: %+v",
+							step, g.name, d.Query, d)
+					}
+				}); err != nil {
+					t.Fatalf("op %d: %s: watch %d: %v", step, g.name, want, err)
+				}
+			}
 		case opUnregister:
 			if len(live) == 0 {
 				continue
@@ -280,6 +387,7 @@ func runOpSequence(t *testing.T, data []byte) {
 			idx := op.qsel % len(live)
 			id := live[idx]
 			live = append(live[:idx], live[idx+1:]...)
+			dead = append(dead, id)
 			for _, g := range grid {
 				if !g.e.Unregister(id) {
 					t.Fatalf("op %d: %s: unregister %d reported unknown", step, g.name, id)
@@ -290,6 +398,7 @@ func runOpSequence(t *testing.T, data []byte) {
 					t.Fatalf("op %d: %s: unregistered query %d still served %v", step, g.name, id, got)
 				}
 			}
+			forbidden[id] = true
 		case opAdvance:
 			clock += op.dtMs
 			for _, g := range grid {
@@ -342,8 +451,14 @@ func crashAndReopen(t *testing.T, g *eqEngine, context string) {
 	g.e.crashForTest()
 	// Durability and checkpoint cadence are runtime policies, not
 	// persisted: re-supply them so the reopened engine keeps the
-	// generator's rotation coverage.
-	ne, err := Open(g.walDir, WithDurability(DurabilityOff), WithCheckpointEvery(24))
+	// generator's rotation coverage. The skip-list tree pin is equally a
+	// runtime representation choice and must survive reopen for the
+	// tier-twin comparison to stay meaningful.
+	opts := []Option{WithDurability(DurabilityOff), WithCheckpointEvery(24)}
+	if g.pure {
+		opts = append(opts, withSkiplistOnlyTrees())
+	}
+	ne, err := Open(g.walDir, opts...)
 	if err != nil {
 		t.Fatalf("%s: %s: reopen after crash: %v", context, g.name, err)
 	}

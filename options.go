@@ -58,6 +58,7 @@ type config struct {
 	retainText    bool
 	seed          uint64
 	disableRollup bool
+	pureTrees     bool // skiplist-only threshold trees (equivalence testing)
 	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
 	shardsSet     bool
 	batchSize     int // epoch size for auto-coalesced ingestion; <= 1 disables
@@ -306,6 +307,14 @@ func WithoutRollup() Option {
 	return func(c *config) error { c.disableRollup = true; return nil }
 }
 
+// withSkiplistOnlyTrees pins the ITA engines' threshold trees to the
+// skip-list tier, the pre-tiering representation. Unexported: it exists
+// for the metamorphic equivalence suite, which proves the tiered trees
+// behavior- and counter-identical against this reference.
+func withSkiplistOnlyTrees() Option {
+	return func(c *config) error { c.pureTrees = true; return nil }
+}
+
 func (c *config) build() core.Engine {
 	switch c.algorithm {
 	case NaiveKmax:
@@ -318,11 +327,17 @@ func (c *config) build() core.Engine {
 		if c.disableRollup {
 			opts = append(opts, shard.WithoutRollup())
 		}
+		if c.pureTrees {
+			opts = append(opts, shard.WithSkiplistOnlyTrees())
+		}
 		return shard.New(c.policy, c.shards, opts...)
 	default:
 		opts := []core.ITAOption{core.WithITASeed(c.seed)}
 		if c.disableRollup {
 			opts = append(opts, core.WithoutRollup())
+		}
+		if c.pureTrees {
+			opts = append(opts, core.WithSkiplistOnlyTrees())
 		}
 		return core.NewITA(c.policy, opts...)
 	}

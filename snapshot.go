@@ -309,10 +309,16 @@ func restoreSnapshot(s *snapshot, extraOpts []Option) (*Engine, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Duplicate query texts share one canonical term vector, as
+			// they would have had every query been registered live.
+			if terms := e.internedTermsLocked(sq.Text); terms != nil {
+				q.Terms = terms
+			}
 			if err := restorer.RestoreQueryState(q, st); err != nil {
 				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
 			}
 			e.queryText.Store(model.QueryID(sq.ID), sq.Text)
+			e.internStoreLocked(sq.Text, q.Terms)
 		}
 		restorer.SetStats(s.Counters)
 	} else {
@@ -324,10 +330,14 @@ func restoreSnapshot(s *snapshot, extraOpts []Option) (*Engine, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
 			}
+			if terms := e.internedTermsLocked(sq.Text); terms != nil {
+				q.Terms = terms
+			}
 			if err := e.inner.Register(q); err != nil {
 				return nil, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
 			}
 			e.queryText.Store(model.QueryID(sq.ID), sq.Text)
+			e.internStoreLocked(sq.Text, q.Terms)
 		}
 		for _, doc := range docs {
 			if err := e.inner.Process(doc); err != nil {
