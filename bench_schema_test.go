@@ -20,8 +20,8 @@ func TestBenchJSONSchemas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 5 {
-		t.Fatalf("found %d BENCH_*.json files, want at least 5 (sharded, batch, reads, recovery, scale)", len(files))
+	if len(files) < 6 {
+		t.Fatalf("found %d BENCH_*.json files, want at least 6 (sharded, batch, reads, recovery, scale, failover)", len(files))
 	}
 	for _, f := range files {
 		f := f
@@ -44,6 +44,36 @@ func TestBenchJSONSchemas(t *testing.T) {
 			}
 			if len(generic.Points) == 0 {
 				t.Fatalf("%s has no measurement points", f)
+			}
+
+			if f == "BENCH_FAILOVER.json" {
+				var rep harness.FailoverReport
+				if err := json.Unmarshal(data, &rep); err != nil {
+					t.Fatal(err)
+				}
+				phases := map[string]int{}
+				for _, pt := range rep.Points {
+					phases[pt.Phase]++
+					switch pt.Phase {
+					case "steady":
+						if pt.LagSamples <= 0 || pt.DrainMs <= 0 {
+							t.Fatalf("malformed steady point %+v", pt)
+						}
+					case "catchup":
+						if pt.BehindEpochs <= 0 || pt.CatchupMs <= 0 {
+							t.Fatalf("malformed catchup point %+v", pt)
+						}
+					case "promote":
+						if pt.PromoteMs <= 0 || pt.FirstReadMs <= 0 || !pt.PromotedOK {
+							t.Fatalf("malformed promote point %+v", pt)
+						}
+					default:
+						t.Fatalf("unknown failover phase %q", pt.Phase)
+					}
+				}
+				if phases["steady"] == 0 || phases["catchup"] == 0 || phases["promote"] != 1 {
+					t.Fatalf("failover report phase coverage %v, want steady, catchup cells and exactly one promote", phases)
+				}
 			}
 
 			if f != "BENCH_SCALE.json" {

@@ -1,0 +1,156 @@
+package ita
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseConcurrentWithOps races Close against in-flight ingests,
+// reads and watch churn, on both the in-memory and the durable
+// facade. The contract under test: no panic, no deadlock, every
+// mutating call either completes fully before the close or reports
+// ErrClosed, reads keep returning only published boundary states (a
+// slice from a published view or nil — never a torn intermediate),
+// and Close stays idempotent. CI runs this under -race, which is
+// where the interesting failures would surface.
+func TestCloseConcurrentWithOps(t *testing.T) {
+	mk := []struct {
+		name string
+		open func(t *testing.T) *Engine
+	}{
+		{"memory", func(t *testing.T) *Engine {
+			e, err := New(WithCountWindow(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+		{"durable", func(t *testing.T) *Engine {
+			e, err := Open(t.TempDir(), WithCountWindow(8),
+				WithDurability(DurabilityOff), WithShards(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}},
+	}
+	for _, m := range mk {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			for round := 0; round < 6; round++ {
+				e := m.open(t)
+				var ids []QueryID
+				for i := 0; i < 4; i++ {
+					id, err := e.Register("crude oil market", 1+i%3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ids = append(ids, id)
+				}
+				if _, err := e.IngestText("crude oil market price", at(1)); err != nil {
+					t.Fatal(err)
+				}
+
+				start := make(chan struct{})
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+
+				// Writers: ingest until the engine reports closure; any other
+				// error is a real failure.
+				for w := 0; w < 2; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						<-start
+						for {
+							// A fixed arrival time keeps concurrent writers inside
+							// the monotonic-clock contract (equal times are legal;
+							// interleaving increasing ones is not).
+							_, err := e.IngestText("oil price futures", at(100))
+							if err != nil {
+								if !errors.Is(err, ErrClosed) {
+									t.Errorf("writer %d: %v", w, err)
+								}
+								return
+							}
+							select {
+							case <-stop:
+								return
+							default:
+							}
+						}
+					}(w)
+				}
+				// Readers: the wait-free path must serve published boundaries
+				// (possibly nil) right through the close, without error or
+				// torn state.
+				for r := 0; r < 2; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						for {
+							for _, id := range ids {
+								res := e.Results(id)
+								for _, mt := range res {
+									_ = mt.Score // walk the slice: -race flags a torn publish
+								}
+							}
+							e.ResultsAll()
+							select {
+							case <-stop:
+								return
+							default:
+							}
+						}
+					}()
+				}
+				// Watch churn: subscribing races the close; after the close it
+				// must report ErrClosed, never panic or deadlock.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for {
+						for _, id := range ids {
+							err := e.Watch(id, func(Delta) {})
+							if err != nil && !errors.Is(err, ErrClosed) {
+								// The query may have been flushed out, but it is
+								// never unregistered in this test: any non-close
+								// error is unexpected.
+								t.Errorf("watch: %v", err)
+								return
+							}
+							e.Unwatch(id)
+						}
+						select {
+						case <-stop:
+							return
+						default:
+						}
+					}
+				}()
+
+				close(start)
+				time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+				if err := e.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+				if err := e.Close(); err != nil {
+					t.Fatalf("second close: %v", err)
+				}
+				// Post-close contract, checked while readers may still run.
+				if _, err := e.IngestText("after close", at(9999)); !errors.Is(err, ErrClosed) {
+					t.Fatalf("ingest after close: %v", err)
+				}
+				if err := e.Watch(ids[0], func(Delta) {}); !errors.Is(err, ErrClosed) {
+					t.Fatalf("watch after close: %v", err)
+				}
+				close(stop)
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@
 //	itabench -exp batch -queries 10000 -epochs 1,8,64,256 -shards 4 -json BENCH_BATCH.json
 //	itabench -exp reads -queries 2000 -readers 1,4,16 -json BENCH_READS.json
 //	itabench -exp recovery -queries 2000 -ckpts 0,64,512 -json BENCH_RECOVERY.json
+//	itabench -exp failover -queries 2000 -behind 4,16,64 -json BENCH_FAILOVER.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|scale|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|scale|failover|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -54,6 +55,10 @@ func main() {
 		// overhead per fsync policy and crash-recovery time at every
 		// checkpoint interval in -ckpts (0 = never checkpoint).
 		ckptSet = flag.String("ckpts", "0,64,512", "recovery: comma-separated checkpoint intervals (epoch boundaries; 0 = never)")
+		// -exp failover knobs: the warm-standby experiment measures
+		// steady-state replication lag, catch-up time from each epoch
+		// gap in -behind, and promote-to-first-served-read latency.
+		behindSet = flag.String("behind", "4,16,64", "failover: comma-separated epoch gaps for the catch-up cells")
 		// -exp scale knobs: the query-scale experiment sweeps registered
 		// query counts, measuring engine bytes/query (forced-GC heap
 		// deltas around registration) and ingest throughput.
@@ -149,6 +154,15 @@ func main() {
 				fail(fmt.Errorf("parse -baseline %s: %w", *baseline, err))
 			}
 			rep.AttachBaseline(base)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "failover":
+		rep, err := harness.Failover(p, *queries, 10, 1000, *batch,
+			parseInts(*behindSet, "-behind", 1), *events, progress)
+		if err != nil {
+			fail(err)
 		}
 		fmt.Print(rep.Format())
 		writeJSON(*jsonOut, rep.JSON, *quiet)

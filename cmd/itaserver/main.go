@@ -11,6 +11,9 @@
 //	GET  /queries/{id}                                → current top-k
 //	GET  /queries                                     → every query's top-k
 //	GET  /stats                                       → engine counters
+//	GET  /healthz                                     → process liveness
+//	GET  /readyz                                      → serving readiness (503 on a lagging follower)
+//	POST /promote                                     → follower → primary failover
 //
 // Reads (GET /queries, GET /queries/{id}, GET /stats) are served off the
 // engine's published epoch views: they never take the ingest lock, so
@@ -38,11 +41,28 @@
 //	itaserver -wal /var/lib/ita -demo &
 //	kill -9 %1            # crash: recovery replays the log tail
 //	itaserver -wal /var/lib/ita   # same queries, same results
+//
+// A durable server can serve a warm standby. -replicate-addr makes a
+// primary stream its WAL to followers; -follow makes this server a
+// read-only standby of the primary at that address (it serves every GET
+// while mutations answer 503). Killing the primary and POSTing
+// /promote on the standby fails over with the crash-recovery guarantee
+// — the promoted state is a clean prefix of the primary's WAL at an
+// epoch boundary:
+//
+//	itaserver -wal /var/lib/ita-a -replicate-addr :7095 &
+//	itaserver -wal /var/lib/ita-b -follow localhost:7095 -addr :8096 &
+//	kill -9 %1
+//	curl -s -X POST localhost:8096/promote
+//
+// /readyz gates load-balancer traffic: a follower reports 503 until it
+// is connected and within -ready-lag epochs of the primary's head.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -56,8 +76,17 @@ import (
 	"ita"
 )
 
+// maxBody caps every request body; bodies past it answer 413.
+const maxBody = 1 << 20
+
 type server struct {
 	eng *ita.Engine
+	// readyLag is the /readyz threshold: a follower more than this many
+	// epochs behind the primary's head reports not-ready.
+	readyLag uint64
+	// replicateAddr, when set on a standby, is where the server starts
+	// serving replication after a successful /promote.
+	replicateAddr string
 }
 
 type documentRequest struct {
@@ -75,15 +104,52 @@ type matchResponse struct {
 	Text  string  `json:"text,omitempty"`
 }
 
+// httpError maps engine and transport errors onto HTTP statuses: an
+// over-limit body is 413, a read-only follower or closed engine is 503
+// (the request is fine — this replica just cannot take it), anything
+// else falls back to the handler's default.
+func httpError(w http.ResponseWriter, err error, fallback int) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		http.Error(w, "request body exceeds 1 MiB", http.StatusRequestEntityTooLarge)
+	case errors.Is(err, ita.ErrReadOnly):
+		http.Error(w, "this server is a read-only replication follower (POST /promote to fail over)", http.StatusServiceUnavailable)
+	case errors.Is(err, ita.ErrClosed):
+		http.Error(w, "engine is shut down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), fallback)
+	}
+}
+
+// decodeBody decodes a JSON request body, distinguishing a too-large
+// body (413) from malformed JSON (400). Reports whether decoding
+// succeeded; on failure the response is already written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, usage string) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, err, http.StatusBadRequest)
+			return false
+		}
+		http.Error(w, usage, http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 func (s *server) postDocument(w http.ResponseWriter, r *http.Request) {
 	var req documentRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
-		http.Error(w, "body must be {\"text\": \"...\"}", http.StatusBadRequest)
+	if !decodeBody(w, r, &req, `body must be {"text": "..."}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"text": "..."}`, http.StatusBadRequest)
 		return
 	}
 	id, err := s.eng.IngestText(req.Text, time.Now())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		httpError(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]uint64{"doc": uint64(id)})
@@ -91,8 +157,11 @@ func (s *server) postDocument(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) postQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || strings.TrimSpace(req.Text) == "" {
-		http.Error(w, "body must be {\"text\": \"...\", \"k\": 10}", http.StatusBadRequest)
+	if !decodeBody(w, r, &req, `body must be {"text": "...", "k": 10}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"text": "...", "k": 10}`, http.StatusBadRequest)
 		return
 	}
 	if req.K <= 0 {
@@ -100,7 +169,7 @@ func (s *server) postQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.eng.Register(req.Text, req.K)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpError(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]uint64{"query": uint64(id)})
@@ -116,6 +185,12 @@ func (s *server) queryByID(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodDelete:
 		if !s.eng.Unregister(ita.QueryID(id)) {
+			// A follower refuses every unregister; distinguish that from a
+			// genuinely unknown id.
+			if s.eng.ReplicationStats().Role == "follower" {
+				httpError(w, ita.ErrReadOnly, http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, "unknown query", http.StatusNotFound)
 			return
 		}
@@ -174,7 +249,57 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 		// threshold trees, dense query state, published views.
 		"memory":       mem,
 		"memory_total": mem.Total(),
+		// Replication role, per-follower ack positions and lag (primary)
+		// or applied/head positions, lag and reconnect counts (follower).
+		"replication": s.eng.ReplicationStats(),
 	})
+}
+
+// healthz is pure liveness: the process is up and handling HTTP.
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// readyz is load-balancer readiness: a primary (or standalone engine)
+// is always ready; a follower is ready once connected to its primary
+// and within readyLag epochs of its head.
+func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
+	rs := s.eng.ReplicationStats()
+	if rs.Role == "follower" && (!rs.Connected || rs.LagEpochs > s.readyLag) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "replication": rs})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": rs.Role})
+}
+
+// promote fails a standby over to primary. When the server was started
+// with -replicate-addr, the promoted engine immediately begins serving
+// replication there for the next generation of followers.
+func (s *server) promote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.eng.Promote(); err != nil {
+		if errors.Is(err, ita.ErrClosed) {
+			httpError(w, err, http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	log.Printf("promoted to primary")
+	out := map[string]any{"role": "primary"}
+	if s.replicateAddr != "" {
+		if addr, err := s.eng.StartReplication(s.replicateAddr); err != nil {
+			out["replication_error"] = err.Error()
+			log.Printf("itaserver: replication after promote: %v", err)
+		} else {
+			out["replicating_on"] = addr.String()
+			log.Printf("replicating WAL on %s", addr)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -183,6 +308,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("itaserver: encode response: %v", err)
 	}
+}
+
+// newMux wires the route table. Shared with the tests so they exercise
+// exactly the production routing.
+func newMux(s *server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postDocument(w, r)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.postQuery(w, r)
+		case http.MethodGet:
+			s.listQueries(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/queries/", s.queryByID)
+	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	mux.HandleFunc("/promote", s.promote)
+	return mux
+}
+
+// limitBodies caps every request body at maxBody before the handlers
+// read it; an oversize body surfaces as *http.MaxBytesError at the
+// first read and answers a clean 413.
+func limitBodies(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func main() {
@@ -198,28 +364,54 @@ func main() {
 		walDir  = flag.String("wal", "", "durability directory: write-ahead log + checkpoints; reopening with the same directory recovers the query set and window after a crash")
 		durab   = flag.String("durability", "epoch", "with -wal: fsync policy, off|epoch|always")
 		ckptN   = flag.Int("checkpoint", 256, "with -wal: checkpoint (and rotate the log) every N epoch boundaries; 0 disables automatic checkpoints")
+		replOn  = flag.String("replicate-addr", "", "with -wal: stream the WAL to followers on this address (host:port)")
+		follow  = flag.String("follow", "", "with -wal: run as a read-only warm standby of the primary replicating at this address")
+		readyLg = flag.Uint64("ready-lag", 16, "with -follow: /readyz reports ready while within this many epochs of the primary's head")
 	)
 	flag.Parse()
 
-	eng, err := buildEngine(*walDir, *durab, *ckptN, *windowN, *span, *shards, *batch)
+	if *follow != "" {
+		if *walDir == "" {
+			log.Fatal("itaserver: -follow requires -wal (the standby mirrors the primary's WAL there)")
+		}
+		if *demo {
+			log.Fatal("itaserver: -demo on a follower would require writes; a standby is read-only until /promote")
+		}
+	}
+
+	eng, err := buildEngine(*walDir, *durab, *ckptN, *windowN, *span, *shards, *batch, *follow)
 	if err != nil {
 		log.Fatalf("itaserver: %v", err)
 	}
-	if *walDir != "" {
+	if *follow != "" {
+		log.Printf("warm standby: following %s into wal=%s (recovered %d queries, %d window documents)",
+			*follow, *walDir, eng.Queries(), eng.WindowLen())
+	} else if *walDir != "" {
 		log.Printf("durable: wal=%s durability=%s checkpoint every %d boundaries (recovered %d queries, %d window documents)",
 			*walDir, *durab, *ckptN, eng.Queries(), eng.WindowLen())
 	}
-	s := &server{eng: eng}
+	if *replOn != "" && *follow == "" {
+		raddr, err := eng.StartReplication(*replOn)
+		if err != nil {
+			log.Fatalf("itaserver: %v", err)
+		}
+		log.Printf("replicating WAL on %s", raddr)
+	}
+	s := &server{eng: eng, readyLag: *readyLg, replicateAddr: *replOn}
 
-	if *batch > 1 && *flushIv > 0 {
+	if *batch > 1 && *flushIv > 0 && *follow == "" {
 		// Bound result staleness: a partial epoch flushes after at most
 		// -flush of quiet, so a burst gets epoch amortization while a
-		// trickle still surfaces promptly.
+		// trickle still surfaces promptly. A follower's epochs are driven
+		// by the primary's record stream instead.
 		go func() {
 			tick := time.NewTicker(*flushIv)
 			defer tick.Stop()
 			for range tick.C {
 				if err := eng.Flush(); err != nil {
+					if errors.Is(err, ita.ErrClosed) {
+						return
+					}
 					log.Printf("itaserver: flush: %v", err)
 				}
 			}
@@ -242,29 +434,18 @@ func main() {
 		log.Printf("demo feed publishing at %.1f docs/s", *rate)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		s.postDocument(w, r)
-	})
-	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodPost:
-			s.postQuery(w, r)
-		case http.MethodGet:
-			s.listQueries(w, r)
-		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		}
-	})
-	mux.HandleFunc("/queries/", s.queryByID)
-	mux.HandleFunc("/stats", s.stats)
-
 	log.Printf("continuous text search server (%s) listening on %s", eng.Algorithm(), *addr)
-	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: limitBodies(newMux(s)),
+		// Slow-client hygiene: a stalled request cannot hold a handler
+		// forever, a stalled response write is bounded, and idle
+		// keep-alives are reaped.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	// Graceful shutdown: drain HTTP, then write a final checkpoint so the
 	// next start restores instantly instead of replaying the log tail. A
@@ -284,7 +465,10 @@ func main() {
 			log.Printf("itaserver: drain: %v", err)
 		}
 		if *walDir != "" {
-			if err := eng.Checkpoint(); err != nil {
+			// A still-standby follower cannot checkpoint (its mirror must
+			// track the primary's rotations exactly); its WAL is already
+			// durable, so skipping is correct, not a degraded shutdown.
+			if err := eng.Checkpoint(); err != nil && !errors.Is(err, ita.ErrReadOnly) {
 				log.Printf("itaserver: shutdown checkpoint: %v", err)
 			}
 		}
@@ -295,8 +479,9 @@ func main() {
 }
 
 // buildEngine assembles the engine from the command-line configuration;
-// with a WAL directory it creates or recovers the durable engine.
-func buildEngine(walDir, durab string, ckptN, windowN int, span time.Duration, shards, batch int) (*ita.Engine, error) {
+// with a WAL directory it creates or recovers the durable engine, and
+// with follow set it opens a warm standby of that primary instead.
+func buildEngine(walDir, durab string, ckptN, windowN int, span time.Duration, shards, batch int, follow ...string) (*ita.Engine, error) {
 	opts := []ita.Option{ita.WithTextRetention()}
 	if span > 0 {
 		opts = append(opts, ita.WithTimeWindow(span))
@@ -317,5 +502,11 @@ func buildEngine(walDir, durab string, ckptN, windowN int, span time.Duration, s
 		return nil, err
 	}
 	opts = append(opts, ita.WithDurability(mode), ita.WithCheckpointEvery(ckptN))
+	if len(follow) > 0 && follow[0] != "" {
+		// A standby's window/shard/batch configuration comes from the
+		// primary's checkpoint; the remaining options are runtime policy.
+		return ita.OpenFollower(walDir, follow[0],
+			ita.WithDurability(mode), ita.WithCheckpointEvery(ckptN))
+	}
 	return ita.Open(walDir, opts...)
 }

@@ -19,28 +19,18 @@ func newTestServer(t *testing.T, extra ...ita.Option) (*server, *httptest.Server
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { eng.Close() })
-	s := &server{eng: eng}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		s.postDocument(w, r)
-	})
-	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodPost:
-			s.postQuery(w, r)
-		case http.MethodGet:
-			s.listQueries(w, r)
-		default:
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		}
-	})
-	mux.HandleFunc("/queries/", s.queryByID)
-	mux.HandleFunc("/stats", s.stats)
-	ts := httptest.NewServer(mux)
+	s := &server{eng: eng, readyLag: 16}
+	ts := httptest.NewServer(limitBodies(newMux(s)))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// serveEngine exposes an already-built engine through the production
+// route table, as the replication tests need for primary/standby pairs.
+func serveEngine(t *testing.T, eng *ita.Engine, replicateAddr string) (*server, *httptest.Server) {
+	t.Helper()
+	s := &server{eng: eng, readyLag: 16, replicateAddr: replicateAddr}
+	ts := httptest.NewServer(limitBodies(newMux(s)))
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -386,4 +376,147 @@ func TestServerWALRecovery(t *testing.T) {
 			t.Fatalf("recovered match %d = %+v, want %+v", i, m, want[i])
 		}
 	}
+}
+
+// TestServerBodyLimit: a request body past 1 MiB answers a clean 413
+// instead of being slurped into memory.
+func TestServerBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t)
+	big := `{"text":"` + strings.Repeat("oil ", maxBody/4+1024) + `"}`
+	resp, _ := post(t, ts.URL+"/documents", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize POST /documents = %d, want 413", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/queries", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize POST /queries = %d, want 413", resp.StatusCode)
+	}
+	// The connection and engine survive the rejection.
+	resp, _ = post(t, ts.URL+"/documents", `{"text":"crude oil production"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("normal POST after 413 = %d", resp.StatusCode)
+	}
+}
+
+// TestServerHealthEndpoints covers /healthz, /readyz and /promote on a
+// standalone (non-replicating) server.
+func TestServerHealthEndpoints(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp, body := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK || body["ok"] != true {
+		t.Fatalf("GET /healthz = %d %v", resp.StatusCode, body)
+	}
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK || body["ready"] != true {
+		t.Fatalf("GET /readyz = %d %v", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, ts.URL+"/promote", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /promote on a non-follower = %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/promote"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /promote = %d, want 405", resp.StatusCode)
+	}
+	resp, stats := get(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	repl, ok := stats["replication"].(map[string]any)
+	if !ok || repl["role"] != "none" {
+		t.Fatalf("stats replication block = %v", stats["replication"])
+	}
+}
+
+// TestServerFailoverHTTP drives the full failover story through the
+// HTTP surface: a durable primary replicates to a standby server,
+// reads flow on both, mutations on the standby answer 503, /readyz
+// gates it until caught up, and after the primary goes away POST
+// /promote turns it into a serving primary.
+func TestServerFailoverHTTP(t *testing.T) {
+	primary, err := buildEngine(t.TempDir(), "off", 64, 100, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raddr, err := primary.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pts := serveEngine(t, primary, "")
+
+	standby, err := buildEngine(t.TempDir(), "off", 64, 100, 0, 1, 1, raddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fts := serveEngine(t, standby, "127.0.0.1:0")
+	t.Cleanup(func() { standby.Close() })
+
+	// Write through the primary's HTTP surface.
+	if resp, _ := post(t, pts.URL+"/queries", `{"text":"crude oil production","k":3}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /queries = %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, pts.URL+"/documents", `{"text":"crude oil production rose again"}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /documents = %d", resp.StatusCode)
+	}
+
+	// The standby catches up and /readyz opens.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, _ := get(t, fts.URL+"/readyz")
+		if resp.StatusCode == http.StatusOK {
+			if r, _ := get(t, fts.URL+"/queries/1"); r.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never became ready: readyz=%d, stats=%+v", resp.StatusCode, standby.ReplicationStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp, body := get(t, fts.URL+"/queries/1"); resp.StatusCode != http.StatusOK || body["query"] != "crude oil production" {
+		t.Fatalf("standby GET /queries/1 = %d %v", resp.StatusCode, body)
+	}
+
+	// Mutations on the standby answer 503, reads keep working.
+	if resp, _ := post(t, fts.URL+"/documents", `{"text":"rejected"}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby POST /documents = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := post(t, fts.URL+"/queries", `{"text":"rejected","k":1}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby POST /queries = %d, want 503", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, fts.URL+"/queries/1", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("standby DELETE = %d, want 503", resp.StatusCode)
+		}
+	}
+	resp, stats := get(t, fts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standby GET /stats = %d", resp.StatusCode)
+	}
+	if repl, ok := stats["replication"].(map[string]any); !ok || repl["role"] != "follower" {
+		t.Fatalf("standby replication block = %v", stats["replication"])
+	}
+
+	// Primary dies; the standby promotes and starts serving replication
+	// for the next generation.
+	if err := primary.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, fts.URL+"/promote", "")
+	if resp.StatusCode != http.StatusOK || body["role"] != "primary" {
+		t.Fatalf("POST /promote = %d %v", resp.StatusCode, body)
+	}
+	if _, ok := body["replicating_on"].(string); !ok {
+		t.Fatalf("promoted server did not start replication: %v", body)
+	}
+	if resp, _ := post(t, fts.URL+"/promote", ""); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second POST /promote = %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := post(t, fts.URL+"/documents", `{"text":"crude oil after failover"}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("promoted POST /documents = %d", resp.StatusCode)
+	}
+	if resp, body := get(t, fts.URL+"/readyz"); resp.StatusCode != http.StatusOK || body["role"] != "primary" {
+		t.Fatalf("promoted GET /readyz = %d %v", resp.StatusCode, body)
+	}
+	_ = fs
 }

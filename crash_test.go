@@ -1,13 +1,13 @@
 package ita
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"ita/internal/faults"
 	"ita/internal/wal"
 )
 
@@ -32,33 +32,6 @@ import (
 func withWALHooks(h *walTestHooks) Option {
 	return func(c *config) error { c.walHooks = h; return nil }
 }
-
-// failingFile wraps a real file and starts failing writes once limit
-// bytes have been written, optionally leaving a short (torn) write
-// behind — the disk-full / yanked-power model for the live path.
-type failingFile struct {
-	f       *os.File
-	limit   int
-	written int
-}
-
-func (f *failingFile) Write(p []byte) (int, error) {
-	room := f.limit - f.written
-	if room < len(p) {
-		if room < 0 {
-			room = 0
-		}
-		n, _ := f.f.Write(p[:room])
-		f.written += n
-		return n, errors.New("injected write failure")
-	}
-	n, err := f.f.Write(p)
-	f.written += n
-	return n, err
-}
-func (f *failingFile) Close() error              { return f.f.Close() }
-func (f *failingFile) Sync() error               { return f.f.Sync() }
-func (f *failingFile) Truncate(size int64) error { return f.f.Truncate(size) }
 
 // sweepConfigs is the engine grid every fault model runs over: serial,
 // epoch-batched, and sharded+batched.
@@ -175,7 +148,9 @@ func TestCrashPointByteSweep(t *testing.T) {
 // remember — and reopening the directory must recover a state no older
 // than the last successful operation.
 func TestLiveWALWriteFailure(t *testing.T) {
-	limits := []int{0, 1, 7, 8, 20, 64, 150, 300, 600, 1200}
+	// -1 is faults.File's already-full disk: every write fails with
+	// zero bytes landed.
+	limits := []int{-1, 1, 7, 8, 20, 64, 150, 300, 600, 1200}
 	for _, tc := range sweepConfigs {
 		tc := tc
 		for _, limit := range limits {
@@ -189,7 +164,10 @@ func TestLiveWALWriteFailure(t *testing.T) {
 							return nil, err
 						}
 						if filepath.Ext(path) == ".log" {
-							return &failingFile{f: f, limit: limit}, nil
+							// The disk-fault wrapper of internal/faults is the
+							// generalization of the failingFile these sweeps began
+							// with; Limit is its hard byte cap (disk-full model).
+							return &faults.File{F: f, Limit: limit}, nil
 						}
 						return f, nil
 					},

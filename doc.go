@@ -161,6 +161,50 @@
 // commits atomically via rename, and recovery prefers the newest
 // complete checkpoint while garbage-collecting leftovers.
 //
+// # Replication and failover
+//
+// A durable primary can ship its WAL to warm standbys.
+// StartReplication(addr) serves the log over TCP; OpenFollower(dir,
+// primaryAddr, opts...) opens a read-only engine that bootstraps from
+// the primary's newest checkpoint, then applies the byte-identical
+// stream as it is written, publishing views at the same epoch
+// boundaries the primary published. Reads — Results, ResultsAll,
+// Stats, Watch — all work on the standby; mutating calls return
+// ErrReadOnly. Promote flips a standby into a writable primary after
+// stopping its replication client; the promoted engine may itself call
+// StartReplication to serve the next generation of followers.
+// ReplicationStats exposes roles, per-follower ack positions and lag.
+//
+// The replication consistency model extends read-your-epoch across
+// machines:
+//
+//   - A standby's state is always an exact epoch-boundary prefix of the
+//     primary's history — the same guarantee crash recovery gives,
+//     because the follower applies the primary's own log bytes through
+//     the recovery code paths. States internal to an epoch are never
+//     visible on a standby, and its WAL is a byte-identical mirror of
+//     the primary's.
+//   - Replication is asynchronous: a read on a standby may trail the
+//     primary by the replication lag (ReplicationStats reports it; the
+//     itaserver /readyz endpoint gates on it), but it never observes a
+//     state the primary did not publish.
+//   - An epoch the follower has acknowledged survives failover: Promote
+//     includes every acked epoch, so promoting after the primary dies
+//     loses at most the unacknowledged suffix — never acknowledged
+//     history, and never a torn intermediate state.
+//   - A follower that falls behind the primary's WAL retention window
+//     (WithReplicationRetention) resyncs from a shipped checkpoint; the
+//     result is the same byte-identical prefix guarantee, entered at a
+//     newer boundary.
+//
+// The metamorphic replication suite drives a primary, a live standby
+// and a never-faulted reference through the full operation generator
+// while a deterministic fault schedule (internal/faults) drops, delays,
+// truncates and partitions the replication link, killing and rejoining
+// either side, and requires all three byte-identical at every
+// acknowledged boundary — including promotion under a network
+// partition.
+//
 // # Scaling to millions of queries
 //
 // Internally the engine never keys per-query state by the public

@@ -56,7 +56,13 @@ type walState struct {
 	// every boundary.
 	ckptDue     bool
 	ckptRetryAt uint64
-	hooks       walTestHooks
+	// retain caps how many completed segments survive a checkpoint for
+	// lagging followers (see WithReplicationRetention); tune carries the
+	// replication timing overrides. Both only matter once replication is
+	// started.
+	retain int
+	tune   *replTuning
+	hooks  walTestHooks
 }
 
 // walTestHooks lets the crash-point tests substitute failing files and
@@ -137,6 +143,29 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 		hooks = *probe.walHooks
 	}
 
+	// Startup cleanup: a crash can orphan checkpoint temporaries and —
+	// when it hit before the first record or corrupted everything — leave
+	// segments that carry no recoverable state. Both are deleted here so
+	// an interrupted first checkpoint (or a torn genesis) does not wedge
+	// the directory forever. A segment with even one valid record is
+	// never touched by this pass: below, it still makes a checkpoint-less
+	// directory refuse to open rather than silently drop operations.
+	for _, p := range st.Tmp {
+		os.Remove(p)
+	}
+	st.Tmp = nil
+	if _, found := st.Latest(); !found {
+		kept := st.Segments[:0]
+		for _, seq := range st.Segments {
+			if res, err := wal.ScanFile(wal.SegmentPath(dir, seq)); err == nil && len(res.Records) == 0 {
+				os.Remove(wal.SegmentPath(dir, seq))
+				continue
+			}
+			kept = append(kept, seq)
+		}
+		st.Segments = kept
+	}
+
 	latest, found := st.Latest()
 	if !found {
 		if len(st.Segments) > 0 {
@@ -148,7 +177,7 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.wal = &walState{dir: dir, mode: mode, every: every, hooks: hooks}
+		e.wal = &walState{dir: dir, mode: mode, every: every, retain: probe.replRetain, tune: probe.replTune, hooks: hooks}
 		if err := e.writeCheckpointLocked(0); err != nil {
 			// Release the shard workers the fresh engine may own; a caller
 			// retrying Open must not leak goroutines per attempt.
@@ -186,7 +215,7 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 		return nil, err
 	}
 	w := &walState{
-		dir: dir, mode: mode, every: every, hooks: hooks,
+		dir: dir, mode: mode, every: every, retain: probe.replRetain, tune: probe.replTune, hooks: hooks,
 		epochSeq: snap.EpochSeq, markerSeq: snap.EpochSeq, ckptSeq: latest,
 	}
 	e.wal = w
@@ -218,7 +247,11 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 		}
 	}
 	w.log = wal.NewLog(sf, res.Clean, mode)
-	wal.GC(dir, st, latest)
+	// With replication retention configured, a restarting primary keeps
+	// its follower-resume window across the restart (no follower has
+	// registered yet, so every segment in the window is kept as grace);
+	// otherwise older segments are collected exactly as before.
+	wal.Retain(dir, st, latest, e.walKeepSegLocked(st, latest))
 	return e, nil
 }
 
@@ -227,14 +260,21 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 // goes: replayed id assignment must reproduce the logged ids, and
 // marker records must arrive in sequence and never ahead of the
 // boundaries the replayed operations produced.
+//
+// Each operation's watch deltas are queued rather than discarded:
+// during crash recovery no watcher exists yet so the queue stays empty,
+// but a replication follower replays records while serving live Watch
+// subscriptions, and its watchers must observe the same epoch-boundary
+// delta stream the primary's do.
 func (e *Engine) replayRecord(rec *wal.Record) error {
 	w := e.wal
 	switch rec.Kind {
 	case wal.KindDoc:
-		id, _, err := e.ingestLocked(rec.Text, time.Unix(0, rec.At))
+		id, deltas, err := e.ingestLocked(rec.Text, time.Unix(0, rec.At))
 		if err != nil {
 			return err
 		}
+		e.queueDeltasLocked(deltas)
 		if uint64(id) != rec.Doc {
 			return fmt.Errorf("replayed doc id %d, logged %d", id, rec.Doc)
 		}
@@ -243,27 +283,31 @@ func (e *Engine) replayRecord(rec *wal.Record) error {
 		for i, it := range rec.Items {
 			items[i] = TimedText{Text: it.Text, At: time.Unix(0, it.At)}
 		}
-		ids, _, err := e.ingestBatchLocked(items)
+		ids, deltas, err := e.ingestBatchLocked(items)
 		if err != nil {
 			return err
 		}
+		e.queueDeltasLocked(deltas)
 		if len(ids) > 0 && uint64(ids[0]) != rec.Doc {
 			return fmt.Errorf("replayed batch start id %d, logged %d", ids[0], rec.Doc)
 		}
 	case wal.KindRegister:
-		id, _, err := e.registerLocked(rec.Text, rec.K)
+		id, deltas, err := e.registerLocked(rec.Text, rec.K)
 		if err != nil {
 			return err
 		}
+		e.queueDeltasLocked(deltas)
 		if uint64(id) != rec.Query {
 			return fmt.Errorf("replayed query id %d, logged %d", id, rec.Query)
 		}
 	case wal.KindUnregister:
 		e.unregisterLocked(QueryID(rec.Query))
 	case wal.KindAdvance:
-		if _, err := e.advanceLocked(time.Unix(0, rec.At)); err != nil {
+		deltas, err := e.advanceLocked(time.Unix(0, rec.At))
+		if err != nil {
 			return err
 		}
+		e.queueDeltasLocked(deltas)
 	case wal.KindFlush:
 		if err := e.flushLocked(); err != nil {
 			return err
@@ -301,7 +345,15 @@ func (e *Engine) walAppendLocked(rec *wal.Record) error {
 	if w == nil || w.recovering {
 		return nil
 	}
-	return w.log.Append(rec)
+	if err := w.log.Append(rec); err != nil {
+		return err
+	}
+	// Replication ships records as soon as they are written, not only at
+	// fsync points: the follower's acked-boundary guarantee comes from
+	// its own acks, and shipping early keeps its lag at the network
+	// round-trip instead of the checkpoint cadence.
+	e.replPublishLocked()
+	return nil
 }
 
 // walBoundaryLocked accounts one completed publication boundary:
@@ -336,6 +388,7 @@ func (e *Engine) walBoundaryLocked() error {
 			return err
 		}
 	}
+	e.replPublishLocked()
 	if w.every > 0 && w.epochSeq-w.ckptSeq >= uint64(w.every) && w.epochSeq >= w.ckptRetryAt {
 		w.ckptDue = true
 	}
@@ -384,6 +437,10 @@ func (e *Engine) maybeCheckpointLocked() {
 // an error on an engine without a WAL.
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	if e.wal == nil {
 		e.mu.Unlock()
 		return errors.New("ita: Checkpoint requires a durable engine (ita.Open or WithWAL)")
@@ -472,9 +529,10 @@ func (e *Engine) writeCheckpointLocked(seq uint64) error {
 	w.log = wal.NewLog(sf, 0, w.mode)
 	w.hooks.phase("rotated")
 	if st, err := wal.ScanDir(w.dir); err == nil {
-		wal.GC(w.dir, st, seq)
+		wal.Retain(w.dir, st, seq, e.walKeepSegLocked(st, seq))
 	}
 	w.ckptSeq = seq
+	e.replPublishLocked()
 	w.hooks.phase("done")
 	return nil
 }

@@ -482,14 +482,132 @@ func TestOpenLeavesForeignFilesAlone(t *testing.T) {
 	}
 }
 
-// TestOpenRefusesSegmentsWithoutCheckpoint: a directory with log
-// segments but no checkpoint is damaged beyond safe recovery.
+// TestOpenRefusesSegmentsWithoutCheckpoint: a directory whose only
+// checkpoint is gone but whose segment still holds real records is
+// damaged beyond safe recovery — opening it would silently drop those
+// operations. (A segment with no valid records at all is a different
+// story: startup cleanup deletes it, see TestOpenCleansCrashLeftovers.)
 func TestOpenRefusesSegmentsWithoutCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir, "wal-0.log"), nil, 0o644); err != nil {
+	f, err := os.Create(filepath.Join(dir, "wal-0.log"))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, WithCountWindow(4)); err == nil {
-		t.Fatal("segments without checkpoint accepted")
+	l := wal.NewLog(f, 0, wal.DurabilityOff)
+	if err := l.Append(&wal.Record{Kind: wal.KindDoc, Doc: 1, At: 1, Text: "orphaned operation"}); err != nil {
+		t.Fatal(err)
 	}
+	l.Close()
+	if _, err := Open(dir, WithCountWindow(4)); err == nil {
+		t.Fatal("segment with records but no checkpoint accepted")
+	}
+}
+
+// TestOpenCleansCrashLeftovers photographs every leftover shape a
+// crash can strand in a WAL directory and proves startup cleanup
+// removes it: an orphaned checkpoint temporary next to live state, a
+// temporary alone in an otherwise fresh directory (an interrupted
+// first checkpoint), a temporary plus an empty genesis segment, and a
+// segment holding only garbage bytes. In every case Open succeeds, the
+// leftovers are gone afterwards, and recoverable state is untouched.
+func TestOpenCleansCrashLeftovers(t *testing.T) {
+	requireGone := func(t *testing.T, paths ...string) {
+		t.Helper()
+		for _, p := range paths {
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("leftover %s survived startup cleanup (stat err: %v)", p, err)
+			}
+		}
+	}
+	requireUsable := func(t *testing.T, e *Engine) {
+		t.Helper()
+		id, err := e.Register("crude oil", 2)
+		if err != nil {
+			t.Fatalf("register on cleaned engine: %v", err)
+		}
+		if _, err := e.IngestText("crude oil market", at(1)); err != nil {
+			t.Fatalf("ingest on cleaned engine: %v", err)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Results(id); len(got) == 0 {
+			t.Fatal("cleaned engine serves no results")
+		}
+	}
+
+	t.Run("tmp next to live state", func(t *testing.T) {
+		dir := t.TempDir()
+		e, err := Open(dir, WithCountWindow(8), WithDurability(DurabilityOff))
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveOps(t, 0, 40, e)
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		pre := captureState(e)
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tmp := wal.CheckpointTmpPath(dir, 99)
+		if err := os.WriteFile(tmp, []byte("interrupted checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen with orphaned tmp: %v", err)
+		}
+		defer r.Close()
+		requireGone(t, tmp)
+		requireSameState(t, captureState(r), pre, "state after tmp cleanup")
+	})
+
+	t.Run("tmp alone", func(t *testing.T) {
+		dir := t.TempDir()
+		tmp := wal.CheckpointTmpPath(dir, 0)
+		if err := os.WriteFile(tmp, []byte("torn first checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := Open(dir, WithCountWindow(8), WithDurability(DurabilityOff))
+		if err != nil {
+			t.Fatalf("open over lone tmp: %v", err)
+		}
+		defer e.Close()
+		requireGone(t, tmp)
+		requireUsable(t, e)
+	})
+
+	t.Run("tmp plus empty segment", func(t *testing.T) {
+		dir := t.TempDir()
+		tmp := wal.CheckpointTmpPath(dir, 0)
+		seg := wal.SegmentPath(dir, 0)
+		if err := os.WriteFile(tmp, []byte("torn first checkpoint"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(seg, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := Open(dir, WithCountWindow(8), WithDurability(DurabilityOff))
+		if err != nil {
+			t.Fatalf("open over tmp + empty segment: %v", err)
+		}
+		defer e.Close()
+		requireGone(t, tmp)
+		requireUsable(t, e)
+	})
+
+	t.Run("garbage segment", func(t *testing.T) {
+		dir := t.TempDir()
+		seg := wal.SegmentPath(dir, 0)
+		if err := os.WriteFile(seg, []byte("\x00\x01garbage, not a frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, err := Open(dir, WithCountWindow(8), WithDurability(DurabilityOff))
+		if err != nil {
+			t.Fatalf("open over garbage segment: %v", err)
+		}
+		defer e.Close()
+		requireUsable(t, e)
+	})
 }

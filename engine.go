@@ -10,6 +10,7 @@ import (
 
 	"ita/internal/core"
 	"ita/internal/model"
+	"ita/internal/repl"
 	"ita/internal/textproc"
 	"ita/internal/topk"
 	"ita/internal/wal"
@@ -77,6 +78,15 @@ type Engine struct {
 	// boundaries append markers and fsync per the policy, and
 	// checkpoints rotate the log. See durable.go.
 	wal *walState
+
+	// repl is the replication attachment (nil until StartReplication or
+	// OpenFollower); readOnly marks a follower, whose mutating
+	// operations return ErrReadOnly until Promote. closed makes every
+	// later operation fail with ErrClosed instead of reaching an inner
+	// engine whose workers have shut down. See replication.go.
+	repl     *replState
+	readOnly bool
+	closed   bool
 
 	// pub is the wait-free read path: an immutable publishedState swapped
 	// at every publication boundary (epoch flush, Register, Unregister,
@@ -212,6 +222,10 @@ func (e *Engine) publishLocked() {
 // epoch flushes.
 func (e *Engine) IngestText(text string, at time.Time) (DocID, error) {
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
 	id, deltas, err := e.ingestLocked(text, at)
 	e.queueDeltasLocked(deltas)
 	if err == nil {
@@ -305,6 +319,10 @@ func (e *Engine) IngestBatch(items []TimedText) ([]DocID, error) {
 		return nil, nil
 	}
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
 	ids, deltas, err := e.ingestBatchLocked(items)
 	e.queueDeltasLocked(deltas)
 	if err == nil {
@@ -416,6 +434,10 @@ func (e *Engine) flushExplicitLocked() error {
 // bound result staleness on a stream that has gone quiet.
 func (e *Engine) Flush() error {
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	err := e.flushExplicitLocked()
 	e.queueDeltasLocked(e.collectDeltas())
 	if err == nil {
@@ -426,16 +448,61 @@ func (e *Engine) Flush() error {
 	return err
 }
 
+// gateWriteLocked rejects mutating operations on an engine that can no
+// longer honor them: ErrClosed after Close, ErrReadOnly on a
+// replication follower (until Promote). Must be called with e.mu held,
+// before any state is touched; the follower's own apply path bypasses
+// it by construction (it calls the xxxLocked internals directly).
+func (e *Engine) gateWriteLocked() error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.readOnly {
+		return ErrReadOnly
+	}
+	return nil
+}
+
 // Close flushes any buffered epoch and releases engine resources — for
-// the sharded engine, its shard worker goroutines. The final epoch's
-// watch deltas are delivered before the inner engine shuts down, so a
-// callback that re-enters the engine (as WatchFunc permits) still finds
-// it live. The engine must not be used afterwards. Close is idempotent
-// and a no-op for the single-threaded engines.
+// the sharded engine, its shard worker goroutines; for a replicating
+// engine, its server or client. The final epoch's watch deltas are
+// delivered before the inner engine shuts down, so a callback that
+// re-enters the engine (as WatchFunc permits) still finds it live.
+// Close is idempotent, and every operation after it returns ErrClosed:
+// a Results/IngestText racing Close observes either the live engine or
+// the error, never a shut-down inner engine.
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	err := e.flushExplicitLocked()
-	e.queueDeltasLocked(e.collectDeltas())
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	readOnly := e.readOnly
+	var cli *repl.Client
+	var srv *repl.Server
+	if e.repl != nil {
+		cli, srv = e.repl.client, e.repl.server
+	}
+	e.mu.Unlock()
+	// Quiesce replication outside the lock: the follower client's apply
+	// calls take e.mu, and the server only reads files. After these
+	// return, no replication goroutine touches the engine again.
+	if cli != nil {
+		cli.Stop()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	var err error
+	e.mu.Lock()
+	if !readOnly {
+		// A follower skips the final flush: its buffered epoch belongs to
+		// the primary's record stream and must not grow a local boundary
+		// the primary never logged.
+		err = e.flushExplicitLocked()
+		e.queueDeltasLocked(e.collectDeltas())
+	}
 	e.mu.Unlock()
 	e.deliverQueued()
 	e.mu.Lock()
@@ -464,6 +531,10 @@ func (e *Engine) Close() error {
 // Any buffered epoch is flushed first: its documents arrived before now.
 func (e *Engine) Advance(now time.Time) error {
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	deltas, err := e.advanceLocked(now)
 	e.queueDeltasLocked(deltas)
 	if err == nil {
@@ -500,6 +571,10 @@ func (e *Engine) advanceLocked(now time.Time) ([]pendingDelta, error) {
 // every document ingested before the call.
 func (e *Engine) Register(queryText string, k int) (QueryID, error) {
 	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
 	id, deltas, err := e.registerLocked(queryText, k)
 	e.queueDeltasLocked(deltas)
 	if err == nil {
@@ -592,6 +667,12 @@ func (e *Engine) internReleaseLocked(text string) {
 // so the buffered documents were maintained while the query was live.
 func (e *Engine) Unregister(id QueryID) bool {
 	e.mu.Lock()
+	if e.gateWriteLocked() != nil {
+		// The bool signature cannot carry ErrReadOnly/ErrClosed; a gated
+		// engine simply reports the query as not removed.
+		e.mu.Unlock()
+		return false
+	}
 	ok := e.unregisterLocked(id)
 	e.maybeCheckpointLocked()
 	e.mu.Unlock()

@@ -1,0 +1,236 @@
+// Package faults is the reusable fault-injection layer of the test
+// suite: scriptable network faults (drop, delay, partition,
+// truncate-mid-frame) over wrapped net.Conn/net.Listener pairs, and
+// disk write faults generalizing the failingFile of the crash-point
+// sweeps.
+//
+// All decisions come from a Schedule: a seeded deterministic generator
+// that maps the n-th I/O event to an action. Two runs that present the
+// same event sequence to a schedule built from the same seed inject
+// exactly the same faults, which is what makes a failing fuzz or
+// metamorphic run replayable — re-run with the logged seed and the
+// fault pattern reproduces.
+package faults
+
+import (
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op classifies the I/O event a Schedule is deciding on.
+type Op int
+
+const (
+	// OpRead is a connection read.
+	OpRead Op = iota
+	// OpWrite is a connection write.
+	OpWrite
+	// OpAccept is a listener accept.
+	OpAccept
+	// OpDisk is a disk file write.
+	OpDisk
+)
+
+// Action is a schedule's decision for one event.
+type Action int
+
+const (
+	// ActNone lets the event proceed untouched.
+	ActNone Action = iota
+	// ActDelay stalls the event, then lets it proceed.
+	ActDelay
+	// ActDrop kills the connection (or fails the disk write) before
+	// any byte of the event transfers.
+	ActDrop
+	// ActTruncate transfers a strict prefix of the event's bytes and
+	// then kills the connection — the torn-frame model: the peer
+	// receives part of a length-prefixed frame and must treat the
+	// stream as ended at the previous clean boundary.
+	ActTruncate
+)
+
+// Config sets the per-event fault probabilities of a Schedule. All
+// rates are in [0, 1] and independent; a zero Config injects nothing.
+type Config struct {
+	// DropRate is the probability a read or write kills the
+	// connection outright.
+	DropRate float64
+	// TruncateRate is the probability a write transfers only a prefix
+	// before the connection dies (reads cannot truncate; the bytes
+	// were either sent or not).
+	TruncateRate float64
+	// DelayRate is the probability an event stalls for a uniform
+	// duration up to MaxDelay before proceeding.
+	DelayRate float64
+	// MaxDelay bounds an injected delay; zero disables delays even
+	// when DelayRate is set.
+	MaxDelay time.Duration
+	// PartitionRate is the probability an event opens a network
+	// partition: the triggering connection dies, and every connection
+	// and accept through the same Network fails until PartitionFor
+	// has elapsed.
+	PartitionRate float64
+	// PartitionFor is how long a schedule-driven partition lasts.
+	PartitionFor time.Duration
+	// DiskFailRate is the probability a disk write fails, possibly
+	// leaving a short (torn) write behind.
+	DiskFailRate float64
+}
+
+// decision is one resolved event: the action plus its parameters.
+type decision struct {
+	act   Action
+	delay time.Duration
+	// frac in [0,1) picks the truncation point within the buffer.
+	frac float64
+	// partition reports that this event also opens a partition.
+	partition bool
+}
+
+// Schedule turns a seed into a deterministic fault script. It is safe
+// for concurrent use; concurrent callers serialize on an internal
+// mutex, so the event numbering (and therefore the fault pattern) is
+// determined by the order events reach the schedule.
+type Schedule struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	cfg    Config
+	events uint64
+}
+
+// NewSchedule builds a deterministic schedule from a seed.
+func NewSchedule(seed int64, cfg Config) *Schedule {
+	return &Schedule{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Events returns how many events the schedule has decided so far — a
+// progress gauge for logs, not part of the deterministic contract.
+func (s *Schedule) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+func (s *Schedule) decide(op Op) decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events++
+	var d decision
+	// Draw every rate in a fixed order so one event consumes a fixed
+	// number of rng values regardless of outcome — the stream of
+	// decisions depends only on (seed, event index).
+	pDrop := s.rng.Float64()
+	pTrunc := s.rng.Float64()
+	pDelay := s.rng.Float64()
+	fDelay := s.rng.Float64()
+	fCut := s.rng.Float64()
+	pPart := s.rng.Float64()
+	pDisk := s.rng.Float64()
+
+	if op == OpDisk {
+		if pDisk < s.cfg.DiskFailRate {
+			d.act = ActTruncate // short write; frac 0 degenerates to a clean failure
+			d.frac = fCut
+		}
+		return d
+	}
+	if s.cfg.PartitionRate > 0 && pPart < s.cfg.PartitionRate {
+		d.partition = true
+		d.act = ActDrop
+		return d
+	}
+	switch {
+	case pDrop < s.cfg.DropRate:
+		d.act = ActDrop
+	case op == OpWrite && pTrunc < s.cfg.TruncateRate:
+		d.act = ActTruncate
+		d.frac = fCut
+	case pDelay < s.cfg.DelayRate && s.cfg.MaxDelay > 0:
+		d.act = ActDelay
+		d.delay = time.Duration(fDelay * float64(s.cfg.MaxDelay))
+	}
+	return d
+}
+
+// writeFile is the file surface the disk-fault wrapper needs — the
+// same method set as wal.File, declared structurally so the package
+// has no dependency direction with internal/wal.
+type writeFile interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// File wraps a log file and injects write failures: a hard byte limit
+// (the disk-full model of the original failingFile) and, when a
+// Schedule with DiskFailRate is attached, probabilistic failures that
+// may leave a short torn write behind. The zero Limit means no limit;
+// a negative Limit models a disk that is already full (every write
+// fails without landing a byte).
+type File struct {
+	F writeFile
+	// Limit, when non-zero, fails any write that would push the total
+	// past Limit bytes, first writing the prefix that still fits —
+	// the disk-full / yanked-power model.
+	Limit int
+	// Sched, when non-nil, draws OpDisk decisions for every write.
+	Sched *Schedule
+
+	written int
+	err     error
+}
+
+// Written returns the bytes successfully written through the wrapper.
+func (f *File) Written() int { return f.written }
+
+// Write implements io.Writer with the configured fault model.
+func (f *File) Write(p []byte) (int, error) {
+	if f.Limit != 0 {
+		room := f.Limit - f.written
+		if room < len(p) {
+			if room < 0 {
+				room = 0
+			}
+			n, _ := f.F.Write(p[:room])
+			f.written += n
+			return n, injectedErr{"disk write past limit"}
+		}
+	}
+	if f.Sched != nil {
+		if d := f.Sched.decide(OpDisk); d.act == ActTruncate {
+			cut := int(d.frac * float64(len(p)))
+			n, _ := f.F.Write(p[:cut])
+			f.written += n
+			return n, injectedErr{"disk write fault"}
+		}
+	}
+	n, err := f.F.Write(p)
+	f.written += n
+	return n, err
+}
+
+// Close implements io.Closer.
+func (f *File) Close() error { return f.F.Close() }
+
+// Sync passes through; fsync faults are modelled as write faults (the
+// engine treats a failed sync as terminal, which the crash sweeps
+// already cover).
+func (f *File) Sync() error { return f.F.Sync() }
+
+// Truncate passes through so the log's partial-write rollback works.
+func (f *File) Truncate(size int64) error { return f.F.Truncate(size) }
+
+// injectedErr marks an error as fault-injected, so tests can tell
+// injected failures from real ones.
+type injectedErr struct{ what string }
+
+func (e injectedErr) Error() string { return "faults: injected " + e.what }
+
+// IsInjected reports whether err came from this package's injection.
+func IsInjected(err error) bool {
+	_, ok := err.(injectedErr)
+	return ok
+}

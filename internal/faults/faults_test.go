@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterminism: the same seed and event sequence must yield
+// the same decision stream — the replayability contract.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{DropRate: 0.2, TruncateRate: 0.2, DelayRate: 0.3, MaxDelay: time.Millisecond, PartitionRate: 0.05, PartitionFor: time.Millisecond, DiskFailRate: 0.1}
+	ops := []Op{OpRead, OpWrite, OpAccept, OpDisk, OpWrite, OpRead, OpDisk, OpWrite}
+	run := func() []decision {
+		s := NewSchedule(42, cfg)
+		var out []decision
+		for i := 0; i < 400; i++ {
+			out = append(out, s.decide(ops[i%len(ops)]))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed must (overwhelmingly) differ somewhere.
+	s2 := NewSchedule(43, cfg)
+	diff := false
+	for i := 0; i < 400; i++ {
+		if s2.decide(ops[i%len(ops)]) != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical 400-event schedules")
+	}
+}
+
+// TestFileLimit reproduces the failingFile contract: writes past the
+// byte limit fail after the fitting prefix lands.
+func TestFileLimit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	raw, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &File{F: raw, Limit: 10}
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("write under limit: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !IsInjected(err) {
+		t.Fatalf("write past limit: n=%d err=%v", n, err)
+	}
+	if f.Written() != 10 {
+		t.Fatalf("written=%d, want 10", f.Written())
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "12345678ab" {
+		t.Fatalf("file holds %q", data)
+	}
+}
+
+// TestConnTruncateMidFrame: a truncating write delivers a strict
+// prefix to the peer and then the connection dies — the peer can read
+// the prefix and then sees EOF/reset, never the full frame.
+func TestConnTruncateMidFrame(t *testing.T) {
+	sched := NewSchedule(7, Config{TruncateRate: 1})
+	n := NewNetwork(sched)
+	srv, cli := net.Pipe()
+	defer srv.Close()
+	wc := &Conn{Conn: cli, net: n}
+	n.track(wc)
+
+	frame := bytes.Repeat([]byte{0xAB}, 128)
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(srv)
+		got <- buf
+	}()
+	wn, err := wc.Write(frame)
+	if !IsInjected(err) {
+		t.Fatalf("truncating write returned %v", err)
+	}
+	if wn >= len(frame) {
+		t.Fatalf("truncation wrote all %d bytes", wn)
+	}
+	select {
+	case buf := <-got:
+		if len(buf) != wn {
+			t.Fatalf("peer read %d bytes, writer reported %d", len(buf), wn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer read did not complete")
+	}
+}
+
+// TestPartitionAndHeal: a manual partition kills live connections and
+// refuses new traffic until healed.
+func TestPartitionAndHeal(t *testing.T) {
+	sched := NewSchedule(1, Config{})
+	nw := NewNetwork(sched)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := nw.Listener(l)
+	defer wl.Close()
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := wl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	c1, err := nw.Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := <-accepted
+	defer sc.Close()
+	if _, err := c1.Write([]byte("x")); err != nil {
+		t.Fatalf("pre-partition write: %v", err)
+	}
+
+	nw.Partition()
+	if _, err := c1.Write([]byte("y")); err == nil {
+		t.Fatal("write succeeded during partition")
+	}
+	if _, err := nw.Dial(l.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial succeeded during partition")
+	}
+
+	nw.Heal()
+	c2, err := nw.Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("z")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+// TestInjectedErrors distinguishes injected from real failures.
+func TestInjectedErrors(t *testing.T) {
+	if !IsInjected(injectedErr{"x"}) {
+		t.Fatal("IsInjected(injectedErr) = false")
+	}
+	if IsInjected(errors.New("real")) {
+		t.Fatal("IsInjected(real error) = true")
+	}
+}

@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Network groups the wrapped connections of one fault domain and
+// carries its partition state. Connections created through the same
+// Network partition and heal together, which is what a replication
+// test needs to cut the primary off from its standby as one event.
+type Network struct {
+	sched *Schedule
+
+	mu          sync.Mutex
+	partitioned bool      // manual partition, until Heal
+	partUntil   time.Time // schedule-driven partition deadline
+	conns       map[*Conn]struct{}
+}
+
+// NewNetwork builds a fault domain drawing decisions from sched.
+func NewNetwork(sched *Schedule) *Network {
+	return &Network{sched: sched, conns: make(map[*Conn]struct{})}
+}
+
+// Partition cuts the network by hand: every live connection is closed
+// and every read, write and accept fails until Heal. Unlike
+// schedule-driven partitions it does not expire on its own.
+func (n *Network) Partition() {
+	n.mu.Lock()
+	n.partitioned = true
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+}
+
+// Heal ends a manual partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partitioned = false
+	n.partUntil = time.Time{}
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether the network is currently cut (manually
+// or by an unexpired schedule-driven partition).
+func (n *Network) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned || time.Now().Before(n.partUntil)
+}
+
+// openPartition starts a schedule-driven partition: live connections
+// die now, and the cut heals itself once the configured duration
+// elapses.
+func (n *Network) openPartition() {
+	n.mu.Lock()
+	n.partUntil = time.Now().Add(n.sched.cfg.PartitionFor)
+	conns := make([]*Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Conn.Close()
+	}
+}
+
+func (n *Network) track(c *Conn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Network) untrack(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// Listener wraps l: accepted connections join the fault domain, and
+// accepts during a partition are refused (the connection is closed
+// immediately, as a dropped SYN would leave the dialer).
+func (n *Network) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, net: n}
+}
+
+// Dial wraps a dialed connection into the fault domain. The dial
+// itself fails during a partition.
+func (n *Network) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if n.Partitioned() {
+		return nil, injectedErr{"dial during partition"}
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	wc := &Conn{Conn: c, net: n}
+	n.track(wc)
+	return wc, nil
+}
+
+type listener struct {
+	net.Listener
+	net *Network
+}
+
+// Accept wraps accepted connections, dropping them while partitioned.
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.net.Partitioned() {
+			c.Close()
+			continue
+		}
+		if d := l.net.sched.decide(OpAccept); d.act == ActDrop || d.partition {
+			if d.partition {
+				l.net.openPartition()
+			}
+			c.Close()
+			continue
+		}
+		wc := &Conn{Conn: c, net: l.net}
+		l.net.track(wc)
+		return wc, nil
+	}
+}
+
+// Conn is a connection inside a fault domain. Reads and writes
+// consult the schedule; a drop or truncate closes the underlying
+// connection so the peer observes the failure too.
+type Conn struct {
+	net.Conn
+	net *Network
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.net.Partitioned() {
+		c.Conn.Close()
+		return 0, injectedErr{"read during partition"}
+	}
+	d := c.net.sched.decide(OpRead)
+	if d.partition {
+		c.net.openPartition()
+		return 0, injectedErr{"partition"}
+	}
+	switch d.act {
+	case ActDrop:
+		c.Conn.Close()
+		return 0, injectedErr{"read drop"}
+	case ActDelay:
+		time.Sleep(d.delay)
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn. ActTruncate sends a strict prefix and
+// kills the connection — with length-prefixed frames written in one
+// call, that is exactly a truncate-mid-frame fault at the receiver.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.net.Partitioned() {
+		c.Conn.Close()
+		return 0, injectedErr{"write during partition"}
+	}
+	d := c.net.sched.decide(OpWrite)
+	if d.partition {
+		c.net.openPartition()
+		return 0, injectedErr{"partition"}
+	}
+	switch d.act {
+	case ActDrop:
+		c.Conn.Close()
+		return 0, injectedErr{"write drop"}
+	case ActTruncate:
+		cut := int(d.frac * float64(len(p)))
+		n, _ := c.Conn.Write(p[:cut])
+		c.Conn.Close()
+		return n, injectedErr{"write truncated"}
+	case ActDelay:
+		time.Sleep(d.delay)
+	}
+	return c.Conn.Write(p)
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.net.untrack(c)
+	return c.Conn.Close()
+}

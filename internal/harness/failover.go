@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ita"
+)
+
+// FailoverPoint is one cell of the warm-standby experiment. Three
+// phases are measured:
+//
+//   - "steady": the primary streams the workload while a live standby
+//     applies it; replication lag is sampled from the primary's ack
+//     ledger after every batch, and the drain time from the last write
+//     to a fully caught-up standby is timed.
+//   - "catchup": the standby is stopped, the primary runs ahead by the
+//     cell's epoch gap, and the rejoin is timed from OpenFollower to
+//     lag zero — through the resume negotiation or, past the retention
+//     window, the checkpoint-resync fallback (Resynced records which).
+//   - "promote": the primary is shut down and the standby promoted;
+//     the cell times Promote itself and the first read served by the
+//     new primary, and verifies that read against the old primary's
+//     final published results.
+type FailoverPoint struct {
+	Phase string `json:"phase"`
+	// Steady-state cells.
+	IngestPerSec float64 `json:"ingest_docs_per_sec,omitempty"`
+	LagSamples   int     `json:"lag_samples,omitempty"`
+	LagEpochsAvg float64 `json:"lag_epochs_avg"`
+	LagEpochsMax uint64  `json:"lag_epochs_max"`
+	DrainMs      float64 `json:"drain_ms,omitempty"`
+	// Catch-up cells.
+	BehindEpochs int     `json:"behind_epochs,omitempty"`
+	CatchupMs    float64 `json:"catchup_ms,omitempty"`
+	Resynced     bool    `json:"resynced,omitempty"`
+	// Promote cell.
+	PromoteMs   float64 `json:"promote_ms,omitempty"`
+	FirstReadMs float64 `json:"first_read_ms,omitempty"`
+	PromotedOK  bool    `json:"promoted_ok,omitempty"`
+}
+
+// FailoverReport is the outcome of the warm-standby experiment, with
+// the same hardware context as the other BENCH reports.
+type FailoverReport struct {
+	Queries    int             `json:"queries"`
+	QueryLen   int             `json:"query_len"`
+	K          int             `json:"k"`
+	Window     int             `json:"window"`
+	BatchSize  int             `json:"batch_size"`
+	Events     int             `json:"events"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Points     []FailoverPoint `json:"points"`
+}
+
+// Failover measures the warm-standby replication path end to end:
+// steady-state lag while the standby shadows a full ingest run,
+// catch-up time after falling each gap in behind (measured in epoch
+// boundaries), and the promote-to-first-served-read latency of a
+// failover. One primary/standby pair lives through the whole
+// experiment, so the catch-up cells exercise rejoin against a primary
+// with real history, not a fresh directory.
+func Failover(p Profile, queries, queryLen, win, batch int, behind []int, events int, progress func(string)) (FailoverReport, error) {
+	const dict = 2000
+	rep := FailoverReport{
+		Queries:    queries,
+		QueryLen:   queryLen,
+		K:          p.K,
+		Window:     win,
+		BatchSize:  batch,
+		Events:     events,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	tmp, err := os.MkdirTemp("", "ita-failover-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(tmp)
+	pDir := filepath.Join(tmp, "primary")
+	fDir := filepath.Join(tmp, "standby")
+
+	prim, err := ita.Open(pDir, ita.WithCountWindow(win), ita.WithBatchSize(batch),
+		ita.WithDurability(ita.DurabilityOff), ita.WithCheckpointEvery(64))
+	if err != nil {
+		return rep, err
+	}
+	defer prim.Close()
+	addr, err := prim.StartReplication("127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	stand, err := ita.OpenFollower(fDir, addr.String(), ita.WithDurability(ita.DurabilityOff))
+	if err != nil {
+		return rep, err
+	}
+	defer func() { stand.Close() }()
+
+	// waitCaughtUp polls the primary's ack ledger until the standby has
+	// acknowledged the primary's current head epoch, returning the wait.
+	waitCaughtUp := func(ctx string) (time.Duration, error) {
+		t0 := time.Now()
+		deadline := t0.Add(2 * time.Minute)
+		for {
+			fs := prim.ReplicationStats().Followers
+			if len(fs) > 0 && fs[len(fs)-1].Connected && fs[len(fs)-1].LagEpochs == 0 {
+				return time.Since(t0), nil
+			}
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("failover: %s: standby never caught up: %+v", ctx, fs)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	qrnd := rand.New(rand.NewSource(7777))
+	for i := 0; i < queries; i++ {
+		if _, err := prim.Register(readsText(qrnd, dict, queryLen), p.K); err != nil {
+			return rep, err
+		}
+	}
+
+	// stream ingests n events in epoch-sized batches and returns the
+	// ingest rate; sample, when non-nil, runs after every batch.
+	rnd := rand.New(rand.NewSource(42))
+	clock := time.Unix(0, 0)
+	stream := func(n int, sample func()) (float64, error) {
+		items := make([]ita.TimedText, batch)
+		start := time.Now()
+		sent := 0
+		for sent < n {
+			for i := range items {
+				clock = clock.Add(time.Millisecond)
+				items[i] = ita.TimedText{Text: readsText(rnd, dict, 12), At: clock}
+			}
+			if _, err := prim.IngestBatch(items); err != nil {
+				return 0, err
+			}
+			sent += batch
+			if sample != nil {
+				sample()
+			}
+		}
+		return float64(sent) / time.Since(start).Seconds(), nil
+	}
+
+	// Phase 1 — steady-state shadowing.
+	if progress != nil {
+		progress(fmt.Sprintf("failover: steady state (%d queries, %d events)", queries, events))
+	}
+	pt := FailoverPoint{Phase: "steady"}
+	var lagSum uint64
+	rate, err := stream(events, func() {
+		fs := prim.ReplicationStats().Followers
+		if len(fs) == 0 {
+			return
+		}
+		lag := fs[len(fs)-1].LagEpochs
+		lagSum += lag
+		if lag > pt.LagEpochsMax {
+			pt.LagEpochsMax = lag
+		}
+		pt.LagSamples++
+	})
+	if err != nil {
+		return rep, err
+	}
+	pt.IngestPerSec = rate
+	if pt.LagSamples > 0 {
+		pt.LagEpochsAvg = float64(lagSum) / float64(pt.LagSamples)
+	}
+	if err := prim.Flush(); err != nil {
+		return rep, err
+	}
+	drain, err := waitCaughtUp("steady drain")
+	if err != nil {
+		return rep, err
+	}
+	pt.DrainMs = float64(drain.Nanoseconds()) / 1e6
+	rep.Points = append(rep.Points, pt)
+
+	// Phase 2 — catch-up from N epochs behind. The standby closes, the
+	// primary keeps going, and the rejoin is timed end to end.
+	for _, n := range behind {
+		if progress != nil {
+			progress(fmt.Sprintf("failover: catch-up from %d epochs behind", n))
+		}
+		if err := stand.Close(); err != nil {
+			return rep, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := stream(batch, nil); err != nil {
+				return rep, err
+			}
+			if err := prim.Flush(); err != nil {
+				return rep, err
+			}
+		}
+		t0 := time.Now()
+		stand, err = ita.OpenFollower(fDir, addr.String(), ita.WithDurability(ita.DurabilityOff))
+		if err != nil {
+			return rep, err
+		}
+		if _, err := waitCaughtUp(fmt.Sprintf("catch-up n=%d", n)); err != nil {
+			return rep, err
+		}
+		// The resync counter is per engine instance, so any non-zero
+		// value here belongs to this rejoin.
+		rep.Points = append(rep.Points, FailoverPoint{
+			Phase:        "catchup",
+			BehindEpochs: n,
+			CatchupMs:    float64(time.Since(t0).Nanoseconds()) / 1e6,
+			Resynced:     stand.ReplicationStats().Resyncs > 0,
+		})
+	}
+
+	// Phase 3 — failover. The primary stops serving; the standby must
+	// come up writable and serve its first read from the promoted state.
+	if progress != nil {
+		progress("failover: promote standby")
+	}
+	if err := prim.Flush(); err != nil {
+		return rep, err
+	}
+	if _, err := waitCaughtUp("pre-promote"); err != nil {
+		return rep, err
+	}
+	want := prim.ResultsAll()
+	if err := prim.Close(); err != nil {
+		return rep, err
+	}
+	t0 := time.Now()
+	if err := stand.Promote(); err != nil {
+		return rep, fmt.Errorf("failover: promote: %w", err)
+	}
+	promoted := time.Now()
+	got := stand.ResultsAll()
+	read := time.Now()
+
+	ppt := FailoverPoint{
+		Phase:       "promote",
+		PromoteMs:   float64(promoted.Sub(t0).Nanoseconds()) / 1e6,
+		FirstReadMs: float64(read.Sub(promoted).Nanoseconds()) / 1e6,
+		PromotedOK:  len(got) == len(want),
+	}
+	for i := range got {
+		if !ppt.PromotedOK {
+			break
+		}
+		if got[i].Query != want[i].Query || len(got[i].Matches) != len(want[i].Matches) {
+			ppt.PromotedOK = false
+		}
+		for j := range got[i].Matches {
+			if got[i].Matches[j] != want[i].Matches[j] {
+				ppt.PromotedOK = false
+				break
+			}
+		}
+	}
+	// The promoted engine must also accept writes.
+	if ppt.PromotedOK {
+		clock = clock.Add(time.Millisecond)
+		if _, err := stand.IngestText(readsText(rnd, dict, 12), clock); err != nil {
+			ppt.PromotedOK = false
+		}
+	}
+	rep.Points = append(rep.Points, ppt)
+	if !ppt.PromotedOK {
+		return rep, fmt.Errorf("failover: promoted standby diverged from the primary's final results")
+	}
+	return rep, nil
+}
+
+// Format renders the report as an aligned text table.
+func (r FailoverReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "failover — %d queries (n=%d, k=%d), window N=%d, B=%d, %d events, GOMAXPROCS=%d\n",
+		r.Queries, r.QueryLen, r.K, r.Window, r.BatchSize, r.Events, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-10s%-10s%12s%12s%12s%12s%12s%12s\n",
+		"phase", "behind", "lag avg", "lag max", "drain ms", "catchup ms", "promote ms", "read ms")
+	for _, pt := range r.Points {
+		behind, lavg, lmax, drain, catch, prom, read := "-", "-", "-", "-", "-", "-", "-"
+		switch pt.Phase {
+		case "steady":
+			lavg = fmt.Sprintf("%.2f", pt.LagEpochsAvg)
+			lmax = fmt.Sprintf("%d", pt.LagEpochsMax)
+			drain = fmt.Sprintf("%.2f", pt.DrainMs)
+		case "catchup":
+			behind = fmt.Sprintf("%d", pt.BehindEpochs)
+			if pt.Resynced {
+				behind += "*"
+			}
+			catch = fmt.Sprintf("%.2f", pt.CatchupMs)
+		case "promote":
+			prom = fmt.Sprintf("%.3f", pt.PromoteMs)
+			read = fmt.Sprintf("%.3f", pt.FirstReadMs)
+		}
+		fmt.Fprintf(&b, "%-10s%-10s%12s%12s%12s%12s%12s%12s\n",
+			pt.Phase, behind, lavg, lmax, drain, catch, prom, read)
+	}
+	b.WriteString("note: lag is sampled from the primary's ack ledger after every ingest batch (epochs the standby has yet to acknowledge); behind* means the rejoin fell past the WAL retention window and resynced from a shipped checkpoint; promote ms covers stopping the replication client and flipping the engine writable, read ms the first ResultsAll served afterwards.\n")
+	return b.String()
+}
+
+// JSON renders the report for BENCH_*.json files.
+func (r FailoverReport) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }

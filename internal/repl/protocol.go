@@ -1,0 +1,174 @@
+// Package repl implements warm-standby replication by WAL shipping: a
+// primary-side server that streams write-ahead-log segment bytes to
+// followers from a requested position, and a follower-side client that
+// mirrors them locally and feeds the decoded records to an applier.
+//
+// # Protocol
+//
+// All messages ride the WAL's own frame discipline — a length prefix,
+// a CRC-32C of the payload, then the payload — over one TCP connection
+// per follower:
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes little-endian CRC-32C of the payload]
+//	[payload: 1 type byte, varint fields, raw data]
+//
+// The follower opens with hello (its durable position: checkpoint
+// sequence, byte offset into that segment, and a CRC over its local
+// segment tail so a diverged log is detected, not replayed into). The
+// primary answers with either resume (the position is a live prefix of
+// its own log: streaming continues from exactly there) or snapshot
+// (the full current checkpoint; the follower rebuilds from it and
+// streaming continues from the fresh segment). From then on the
+// primary pushes records messages carrying raw segment bytes — whole
+// frames only, so the follower's segment stays bit-identical to the
+// primary's prefix — interleaved with rotate (the primary checkpointed;
+// the follower writes its own equivalent checkpoint and starts the
+// same fresh segment) and heartbeat (liveness plus the primary's head
+// position, the follower's lag gauge). The follower answers every
+// message with ack (its applied durable position), which drives the
+// primary's segment retention and replication stats.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Message types.
+const (
+	msgHello byte = iota + 1
+	msgResume
+	msgSnapshot
+	msgRecords
+	msgRotate
+	msgHeartbeat
+	msgAck
+)
+
+const (
+	frameHeader = 8
+	// maxMessage bounds one message so a corrupt length cannot force a
+	// giant allocation. Snapshot messages carry a whole checkpoint, so
+	// the bound is generous; records chunks stay far below it.
+	maxMessage = 1 << 30
+)
+
+// crcTable is the Castagnoli polynomial, matching internal/wal.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// message is one protocol frame. Fields are a union over the types;
+// unused fields encode as zero varints (one byte each).
+type message struct {
+	Type byte
+	// Seq/Off/Epoch: the position a message speaks about — the
+	// follower's durable position (hello, ack), the chunk's start
+	// position plus the primary's head epoch (records), the primary's
+	// head (heartbeat), the checkpoint boundary (snapshot, rotate).
+	Seq   uint64
+	Off   int64
+	Epoch uint64
+	// CRC/CRCLen: hello's tail check — CRC-32C over the CRCLen bytes
+	// ending at Off in the follower's local copy of segment Seq.
+	CRC    uint32
+	CRCLen int64
+	// HasState: hello — false forces a snapshot (fresh or diverged
+	// follower).
+	HasState bool
+	// ID: hello — the follower's stable identity for pinning and stats.
+	ID string
+	// Data: snapshot bytes or raw segment frames.
+	Data []byte
+}
+
+// appendMessage appends the framed encoding of m to dst.
+func appendMessage(dst []byte, m *message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, m.Type)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		dst = append(dst, tmp[:n]...)
+	}
+	put(m.Seq)
+	put(uint64(m.Off))
+	put(m.Epoch)
+	put(uint64(m.CRC))
+	put(uint64(m.CRCLen))
+	hs := uint64(0)
+	if m.HasState {
+		hs = 1
+	}
+	put(hs)
+	put(uint64(len(m.ID)))
+	dst = append(dst, m.ID...)
+	dst = append(dst, m.Data...)
+	payload := dst[start+frameHeader:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, crcTable))
+	return dst
+}
+
+// writeMessage frames and writes m, reusing scratch.
+func writeMessage(w io.Writer, m *message, scratch []byte) ([]byte, error) {
+	scratch = appendMessage(scratch[:0], m)
+	_, err := w.Write(scratch)
+	return scratch, err
+}
+
+// readMessage reads and decodes one frame. Any framing violation —
+// short read, oversized length, CRC mismatch, truncated fields — is an
+// error; the connection cannot be trusted past it and must be dropped
+// (the follower then reconnects and re-handshakes from its durable
+// position, so a torn frame costs a round trip, never consistency).
+func readMessage(r io.Reader) (*message, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	if n == 0 || n > maxMessage {
+		return nil, fmt.Errorf("repl: message length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, fmt.Errorf("repl: message CRC mismatch")
+	}
+	return decodeMessage(payload)
+}
+
+func decodeMessage(payload []byte) (*message, error) {
+	m := &message{Type: payload[0]}
+	rest := payload[1:]
+	get := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	seq, ok1 := get()
+	off, ok2 := get()
+	epoch, ok3 := get()
+	crc, ok4 := get()
+	crcLen, ok5 := get()
+	hasState, ok6 := get()
+	idLen, ok7 := get()
+	if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) || idLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("repl: truncated message fields")
+	}
+	m.Seq, m.Off, m.Epoch = seq, int64(off), epoch
+	m.CRC, m.CRCLen = uint32(crc), int64(crcLen)
+	m.HasState = hasState != 0
+	m.ID = string(rest[:idLen])
+	m.Data = rest[idLen:]
+	return m, nil
+}

@@ -1,0 +1,55 @@
+package repl
+
+import "sync"
+
+// Position is a durable point in a WAL directory: byte offset Off into
+// segment Seq, at epoch boundary count Epoch. Positions are totally
+// ordered by (Seq, Off); Epoch is a human-scale gauge of the same point
+// (lag in epochs rather than bytes).
+type Position struct {
+	Seq   uint64
+	Off   int64
+	Epoch uint64
+}
+
+// Less reports whether p is strictly before q.
+func (p Position) Less(q Position) bool {
+	if p.Seq != q.Seq {
+		return p.Seq < q.Seq
+	}
+	return p.Off < q.Off
+}
+
+// Tracker publishes the primary's clean log position to streaming
+// goroutines. The engine calls Set under its own mutex after every
+// successful append; each follower connection waits on the returned
+// channel for "more bytes exist" without holding any engine lock.
+type Tracker struct {
+	mu  sync.Mutex
+	pos Position
+	ch  chan struct{}
+}
+
+// NewTracker returns a tracker at the given starting position.
+func NewTracker(pos Position) *Tracker {
+	return &Tracker{pos: pos, ch: make(chan struct{})}
+}
+
+// Set advances the published position and wakes every waiter.
+func (t *Tracker) Set(pos Position) {
+	t.mu.Lock()
+	if pos != t.pos {
+		t.pos = pos
+		close(t.ch)
+		t.ch = make(chan struct{})
+	}
+	t.mu.Unlock()
+}
+
+// Get returns the current position and a channel closed at the next
+// change.
+func (t *Tracker) Get() (Position, <-chan struct{}) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pos, t.ch
+}

@@ -113,15 +113,24 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // leftover file is re-collected on the next open, and recovery
 // correctness never depends on deletion.
 func GC(dir string, st DirState, keep uint64) {
+	Retain(dir, st, keep, nil)
+}
+
+// Retain is GC generalized for replication: checkpoints other than
+// keepCkpt and temporaries are collected exactly as GC does, but an
+// older segment survives when keepSeg reports a registered follower
+// still needs its records. A nil keepSeg retains nothing extra.
+func Retain(dir string, st DirState, keepCkpt uint64, keepSeg func(seq uint64) bool) {
 	for _, seq := range st.Checkpoints {
-		if seq != keep {
+		if seq != keepCkpt {
 			os.Remove(CheckpointPath(dir, seq))
 		}
 	}
 	for _, seq := range st.Segments {
-		if seq != keep {
-			os.Remove(SegmentPath(dir, seq))
+		if seq == keepCkpt || (keepSeg != nil && keepSeg(seq)) {
+			continue
 		}
+		os.Remove(SegmentPath(dir, seq))
 	}
 	for _, p := range st.Tmp {
 		os.Remove(p)

@@ -150,6 +150,37 @@ func (l *Log) Append(rec *Record) error {
 	return nil
 }
 
+// AppendRaw appends pre-framed bytes: whole frames exactly as another
+// log encoded them. The replication follower uses it to byte-mirror
+// the primary's segment — the shipped bytes land verbatim, so the
+// follower's segment file is bit-identical to the primary's prefix and
+// the CRC framing keeps guarding the copy. The caller must pass only
+// complete frames (Scan(frames).Clean == len(frames)); partial-write
+// rollback matches Append.
+func (l *Log) AppendRaw(frames []byte) error {
+	if l.broken != nil {
+		return l.broken
+	}
+	if l.f == nil {
+		return fmt.Errorf("wal: append to closed log")
+	}
+	n, err := l.f.Write(frames)
+	if err != nil {
+		if n > 0 {
+			if terr := l.f.Truncate(l.off); terr != nil {
+				l.broken = fmt.Errorf("wal: raw append failed (%v) and truncate failed (%v): log unusable", err, terr)
+				return l.broken
+			}
+		}
+		return fmt.Errorf("wal: raw append: %w", err)
+	}
+	l.off += int64(n)
+	if l.mode == DurabilityAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
 // Poison permanently disables the log: every later Append and Sync
 // returns err. The engine uses it when the file layout can no longer
 // honor durability (a failed segment rotation would otherwise leave

@@ -59,7 +59,7 @@ type config struct {
 	seed          uint64
 	disableRollup bool
 	pureTrees     bool // skiplist-only threshold trees (equivalence testing)
-	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
+	shards        int  // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
 	shardsSet     bool
 	batchSize     int // epoch size for auto-coalesced ingestion; <= 1 disables
 
@@ -71,6 +71,13 @@ type config struct {
 	walEverySet   bool
 	walAttach     bool
 	walHooks      *walTestHooks
+
+	// Replication (see replication.go). replRetain bounds how many
+	// completed segments are kept for lagging followers; replTune carries
+	// timing/dialing overrides for the replication server and follower
+	// client (tests inject faults and fast backoffs through it).
+	replRetain int
+	replTune   *replTuning
 }
 
 // Option configures New.
@@ -257,6 +264,30 @@ func WithCheckpointEvery(n int) Option {
 		c.walEverySet = true
 		return nil
 	}
+}
+
+// WithReplicationRetention caps how many completed (checkpointed)
+// segments a replicating primary keeps on disk for lagging followers.
+// Within the cap, a checkpoint deletes only segments every registered
+// follower has acknowledged past; a follower that falls behind the cap
+// loses its resume position and is resynced with a full checkpoint
+// fetch plus tail replay instead. n = 0 takes the default (8);
+// retention only takes effect once StartReplication is called.
+func WithReplicationRetention(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("ita: replication retention must be >= 0, got %d", n)
+		}
+		c.replRetain = n
+		return nil
+	}
+}
+
+// withReplTuning overrides replication timings and dialing. Unexported:
+// it exists for the fault-injection suite, which needs millisecond
+// backoffs and fault-wrapped connections.
+func withReplTuning(t replTuning) Option {
+	return func(c *config) error { c.replTune = &t; return nil }
 }
 
 // walAttached marks a config constructed by the Open recovery machinery

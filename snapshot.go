@@ -112,6 +112,12 @@ type snapshotDoc struct {
 // engine stays usable afterwards.
 func (e *Engine) Snapshot(w io.Writer) error {
 	e.mu.Lock()
+	// Gated on followers too: the pre-snapshot flush would create a
+	// local epoch boundary the primary's record stream never had.
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
 	err := e.snapshotLocked(w)
 	e.queueDeltasLocked(e.collectDeltas())
 	e.mu.Unlock()

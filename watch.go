@@ -48,6 +48,9 @@ type watchState struct {
 func (e *Engine) Watch(id QueryID, fn WatchFunc) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
 	cur, ok := e.inner.Result(id)
 	if !ok {
 		return fmt.Errorf("ita: watch: unknown query %d", id)
