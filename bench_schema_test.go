@@ -12,9 +12,12 @@ import (
 // TestBenchJSONSchemas sanity-checks every checked-in BENCH_*.json
 // artifact: each must parse, carry its hardware context (gomaxprocs,
 // num_cpu) and a non-empty points array, and BENCH_SCALE.json must
-// additionally match the scale schema — including the embedded
-// pre-refactor baseline and the ≥30% bytes/query reduction the dense
-// layout is required to hold at the largest shared sweep point.
+// additionally match the scale schema — including the chained layout
+// baselines, the ≥30% bytes/query reduction the dense layout holds
+// against the original pointer-and-map layout, and the ingest-curve
+// acceptance of the θ-ordered probe index: per-event probe-cost fields
+// on every point, a curve ratio that rules out the old ingest cliff,
+// and a 1M-query ingest rate at least 25× the pre-θ-index record.
 func TestBenchJSONSchemas(t *testing.T) {
 	files, err := filepath.Glob("BENCH_*.json")
 	if err != nil {
@@ -91,6 +94,9 @@ func TestBenchJSONSchemas(t *testing.T) {
 				if pt.Queries <= 0 || pt.BytesPerQuery <= 0 || pt.IngestEvents <= 0 {
 					t.Fatalf("malformed scale point %+v", pt)
 				}
+				if pt.ProbeHitsPerEvent <= 0 || pt.ScoreCompsPerEvent <= 0 {
+					t.Fatalf("scale point at %d queries missing probe-cost fields: %+v", pt.Queries, pt)
+				}
 				if pt.Queries > maxQ {
 					maxQ = pt.Queries
 				}
@@ -99,13 +105,60 @@ func TestBenchJSONSchemas(t *testing.T) {
 				t.Fatalf("scale sweep tops out at %d queries, want at least 1M", maxQ)
 			}
 			if rep.Baseline == nil || len(rep.Baseline.Points) == 0 {
-				t.Fatal("scale report has no embedded pre-refactor baseline")
+				t.Fatal("scale report has no embedded baseline")
 			}
 			if rep.Layout == rep.Baseline.Layout {
 				t.Fatalf("report and baseline both measure layout %q", rep.Layout)
 			}
-			if rep.ReductionPct < 30 {
-				t.Fatalf("bytes/query reduction %.1f%%, want >= 30%%", rep.ReductionPct)
+
+			// The ingest cliff this sweep exists to catch: the curve may
+			// not collapse with query count, and the largest point must
+			// beat the pre-θ-index record by the accepted 25×.
+			if rep.IngestCurveRatio < 0.25 {
+				t.Fatalf("ingest curve ratio %.3f, want >= 0.25 (events/s at %d queries collapses vs the smallest count)",
+					rep.IngestCurveRatio, maxQ)
+			}
+			var prior1M float64
+			for b := rep.Baseline; b != nil; b = b.Baseline {
+				for _, pt := range b.Points {
+					if pt.Queries == maxQ && pt.IngestPerSec > 0 {
+						prior1M = pt.IngestPerSec // deepest chained record wins
+					}
+				}
+			}
+			cur1M := 0.0
+			for _, pt := range rep.Points {
+				if pt.Queries == maxQ {
+					cur1M = pt.IngestPerSec
+				}
+			}
+			if prior1M > 0 && cur1M < 25*prior1M {
+				t.Fatalf("ingest at %d queries is %.1f events/s, want >= 25x the prior record's %.2f",
+					maxQ, cur1M, prior1M)
+			}
+
+			// Memory claim: the dense layout's bytes/query reduction is
+			// measured against the original pointer-and-map layout — the
+			// deepest report in the baseline chain — at the largest query
+			// count both sweeps share.
+			deepest := rep.Baseline
+			for deepest.Baseline != nil && len(deepest.Baseline.Points) > 0 {
+				deepest = deepest.Baseline
+			}
+			var cur, old *harness.ScalePoint
+			for i := range rep.Points {
+				for j := range deepest.Points {
+					if rep.Points[i].Queries == deepest.Points[j].Queries &&
+						(cur == nil || rep.Points[i].Queries > cur.Queries) {
+						cur, old = &rep.Points[i], &deepest.Points[j]
+					}
+				}
+			}
+			if cur == nil {
+				t.Fatalf("no shared sweep point between layout %q and deepest baseline %q", rep.Layout, deepest.Layout)
+			}
+			if red := 100 * (1 - cur.BytesPerQuery/old.BytesPerQuery); red < 30 {
+				t.Fatalf("bytes/query reduction vs %q is %.1f%%, want >= 30%%", deepest.Layout, red)
 			}
 		})
 	}

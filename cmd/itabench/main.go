@@ -63,8 +63,8 @@ func main() {
 		// query counts, measuring engine bytes/query (forced-GC heap
 		// deltas around registration) and ingest throughput.
 		countSet = flag.String("counts", "10000,100000,1000000", "scale: comma-separated registered-query counts")
-		scaleWin = flag.Int("scalewin", 256, "scale: count-window size during the sweep")
-		layout   = flag.String("layout", "dense-arena", "scale: label for the query-state layout under measurement")
+		scaleWin = flag.Int("scalewin", 32768, "scale: count-window size during the sweep")
+		layout   = flag.String("layout", "theta-probe", "scale: label for the query-state layout under measurement")
 		baseline = flag.String("baseline", "", "scale: path to an earlier layout's scale JSON to embed as the comparison baseline")
 	)
 	flag.Parse()

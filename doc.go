@@ -117,6 +117,35 @@
 // The Naïve baseline engines have no published views and read under the
 // engine lock.
 //
+// # Watching result changes
+//
+// Watch(id, fn) subscribes a callback to one query's result changes —
+// the paper's alerting use case. The delivery guarantee is exact:
+// watchers receive at most one delta per query per epoch, the net
+// difference between the query's results at consecutive published
+// epoch boundaries, delivered in epoch order after the triggering call
+// releases the engine lock. Three properties are load-bearing and
+// regression-tested:
+//
+//   - The baseline of a new watcher is the last published boundary —
+//     the same state collectDeltas diffs against — never a live
+//     mid-epoch result, so the first delta a watcher receives is a
+//     boundary-to-boundary difference even when Watch lands mid-epoch
+//     (e.g. on a follower whose replicated chunk stops short of the
+//     epoch marker).
+//   - A watcher callback that panics cannot eat other queries' deltas:
+//     the undelivered tail of the batch is re-enqueued, in order,
+//     before the panic propagates. The panicking query's own delta is
+//     consumed (its callback ran), preserving at-most-once per epoch.
+//   - Deltas of one epoch are delivered in ascending query id, and
+//     consecutive epochs deliver in epoch order even when different
+//     goroutines flush them.
+//
+// The metamorphic suite reconstructs every watched query's result set
+// purely from its delta stream and requires it equal to the published
+// boundary result at every comparison point, across the whole engine
+// grid (serial, sharded, batched, durable, crash/reopen).
+//
 // # Durability
 //
 // Open(dir, opts...) (equivalently New with WithWAL(dir)) makes the
@@ -221,12 +250,26 @@
 // with no per-event map traffic, and identical query texts share one
 // immutable term vector.
 //
-// The per-term threshold trees are frequency-adaptive: query
-// populations per term are Zipfian, so the vast majority of trees hold
-// a handful of thresholds and are stored as compact sorted slices (24
-// bytes per entry, binary-search probes); a tree crossing ~128 entries
-// promotes itself to a skip list and demotes back on shrink, with
-// hysteresis. The crossover was picked by measurement
+// The per-term threshold trees are frequency-adaptive and θ-ordered:
+// each (query, term) entry carries the score threshold θ the term's
+// contribution must beat, entries are kept in ascending-θ order, and
+// every tree maintains its minimum θ. An arriving or expiring
+// document's probe therefore costs what it can affect, not what is
+// registered: a whole term is skipped in O(1) when its min-θ exceeds
+// the term's contribution, an ordered probe walks only the beatable
+// prefix and exits at the first unbeatable threshold, and in the
+// epoch-batched path a term whose min-θ exceeds the epoch's maximum
+// contribution is skipped once for the entire epoch. Zero-floor
+// queries (every bound trivially beatable) are scored during the probe
+// itself: their shared-term contributions accumulate in ascending term
+// order — bit-identical to a full evaluation — so the dominant case
+// never touches the scoring scratch map at all.
+//
+// Query populations per term are Zipfian, so the vast majority of
+// trees hold a handful of thresholds and are stored as compact sorted
+// slices (24 bytes per entry, binary-search probes); a tree crossing
+// ~128 entries promotes itself to a skip list and demotes back on
+// shrink, with hysteresis. The crossover was picked by measurement
 // (BenchmarkTierCrossover in internal/threshtree): the slice tier is
 // 5-9.5x faster below ~64 entries and CPU parity is reached between 64
 // and 128, where the slice tier still uses about a quarter of the
@@ -237,8 +280,12 @@
 // operation counters at every boundary.
 //
 // itabench -exp scale measures the result (BENCH_SCALE.json): engine
-// memory per registered query at 10k/100k/1M standing queries, with
-// the pre-refactor pointer-and-map layout embedded as the baseline.
+// memory per registered query and steady-state ingest events/s at
+// 10k/100k/1M standing queries, with earlier layouts' sweeps embedded
+// as chained baselines. The report records probe hits and score
+// computations per event alongside throughput, plus the ingest curve
+// ratio (events/s at the largest query count over the smallest) — the
+// flatness number that catches a probe-cost regression as a cliff.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured comparison of every figure.

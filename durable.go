@@ -202,7 +202,19 @@ func openDurable(dir string, opts []Option) (*Engine, error) {
 	if err := checkSnapshotCompat(&probe, snap); err != nil {
 		return nil, err
 	}
-	e, err := restoreSnapshot(snap, []Option{WithWAL(dir), walAttached()})
+	// Runtime-only knobs (floor margins, probe-twin trees) are not
+	// persisted in checkpoints — they exist only in the caller's
+	// options. Dropping them here would make the recovered engine
+	// maintain its floors on a different schedule than the engine that
+	// wrote the log, so thread them through alongside the WAL wiring.
+	extra := []Option{WithWAL(dir), walAttached()}
+	if probe.scanTrees {
+		extra = append(extra, withScanAllTrees())
+	}
+	if probe.floorTarget != 0 || probe.floorRaise != 0 {
+		extra = append(extra, withFloorMargins(probe.floorTarget, probe.floorRaise))
+	}
+	e, err := restoreSnapshot(snap, extra)
 	if err != nil {
 		return nil, err
 	}

@@ -4,36 +4,43 @@ import (
 	"fmt"
 	"math"
 
-	"ita/internal/invindex"
 	"ita/internal/model"
 )
 
-// CheckInvariants verifies the maintenance invariants I1–I3 of every
-// registered query, plus structural consistency between the threshold
-// trees and the per-query threshold state. It costs a full index scan
-// per query and exists for tests and debugging, not production paths.
+// CheckInvariants verifies the floor invariants (see floor.go) of every
+// registered query, plus structural consistency between the probe trees
+// and the per-query floor state. It costs a full index scan per query
+// and exists for tests and debugging, not production paths.
 func (e *ITA) CheckInvariants() error { return e.m.CheckInvariants() }
 
-// CheckInvariants verifies I1–I3 for every owned query plus the
-// tree/threshold structural consistency of this maintainer.
+// CheckInvariants verifies the floor invariants for every owned query
+// plus the tree/bound structural consistency of this maintainer.
 func (m *Maintainer) CheckInvariants() error {
-	// Structural: every (term, theta) pair must be present in its tree,
-	// and tree sizes must add up to the total number of query terms.
-	// The dense arena must agree with the ext→dense lookup in both
-	// directions.
+	// Structural: every term's registered bound must be finite,
+	// non-negative, and exactly the floor-derived value F·fac, and tree
+	// sizes must add up to the total number of query terms. The dense
+	// arena must agree with the ext→dense lookup in both directions.
 	total := 0
 	live := 0
 	var structErr error
 	m.eachLive(func(qs *queryState) {
 		live++
 		total += len(qs.terms)
+		if structErr == nil && (qs.f < 0 || math.IsNaN(qs.f) || math.IsInf(qs.f, 0)) {
+			structErr = fmt.Errorf("query %d: invalid floor %g", qs.q.ID, qs.f)
+		}
 		for i := range qs.terms {
 			ts := &qs.terms[i]
-			if ts.theta == invindex.Top() && structErr == nil {
-				structErr = fmt.Errorf("query %d term %d: threshold still at Top after registration", qs.q.ID, ts.term)
+			if structErr != nil {
+				return
 			}
-			if (math.IsInf(ts.theta.W, 0) || math.IsNaN(ts.theta.W)) && structErr == nil {
-				structErr = fmt.Errorf("query %d term %d: non-finite threshold %v", qs.q.ID, ts.term, ts.theta)
+			if math.IsInf(ts.b, 0) || math.IsNaN(ts.b) || ts.b < 0 {
+				structErr = fmt.Errorf("query %d term %d: invalid bound %g", qs.q.ID, ts.term, ts.b)
+				return
+			}
+			if want := boundFor(qs.f, ts.fac); ts.b != want {
+				structErr = fmt.Errorf("query %d term %d: bound %g, want %g for floor %g", qs.q.ID, ts.term, ts.b, want, qs.f)
+				return
 			}
 		}
 		if v, ok := m.views.lookup.Load(qs.q.ID); !ok || v.(uint32) != qs.id {
@@ -61,7 +68,7 @@ func (m *Maintainer) CheckInvariants() error {
 		trees += tr.Len()
 	}
 	if trees != total {
-		return fmt.Errorf("threshold trees hold %d entries, queries own %d terms", trees, total)
+		return fmt.Errorf("probe trees hold %d entries, queries own %d terms", trees, total)
 	}
 
 	var err error
@@ -75,34 +82,11 @@ func (m *Maintainer) CheckInvariants() error {
 
 func (m *Maintainer) checkQuery(qs *queryState) error {
 	qid := qs.q.ID
-	tau := qs.tau()
+	k := qs.q.K
 
-	// I1 (coverage) — every document with an entry strictly ahead of a
-	// local threshold is in R; while scanning, collect the set of
-	// covered documents to validate R's converse direction.
-	covered := make(map[model.DocID]bool)
-	for i := range qs.terms {
-		ts := &qs.terms[i]
-		l := m.index.List(ts.term)
-		if l == nil {
-			continue
-		}
-		for it := l.First(); it.Valid(); it.Next() {
-			key := it.Key()
-			if !invindex.Before(key, ts.theta) {
-				break // reached the unconsumed region
-			}
-			covered[key.Doc] = true
-			if !qs.r.Contains(key.Doc) {
-				return fmt.Errorf("I1: query %d term %d: doc %d (w=%g) ahead of θ=%v but not in R",
-					qid, ts.term, key.Doc, key.W, ts.theta)
-			}
-		}
-	}
-
-	// R soundness: every member is valid, has its exact score, and is
-	// covered by at least one threshold (otherwise expirations could
-	// never evict it).
+	// R soundness: every member is valid, carries its exact score, sits
+	// at or above the floor, and beats at least one probe bound
+	// (otherwise its expiration could never evict it).
 	var rErr error
 	qs.r.Each(func(doc model.DocID, score float64) {
 		if rErr != nil {
@@ -117,32 +101,48 @@ func (m *Maintainer) checkQuery(qs *queryState) error {
 			rErr = fmt.Errorf("R: query %d doc %d stored score %g, true score %g", qid, doc, score, want)
 			return
 		}
-		if !covered[doc] {
-			rErr = fmt.Errorf("R: query %d doc %d is in R but behind every local threshold", qid, doc)
+		if score < qs.f {
+			rErr = fmt.Errorf("R: query %d doc %d scores %g below floor %g", qid, doc, score, qs.f)
+			return
+		}
+		reachable := false
+		for i := range qs.terms {
+			if w, has := d.Weight(qs.terms[i].term); has && w >= qs.terms[i].b {
+				reachable = true
+				break
+			}
+		}
+		if !reachable {
+			rErr = fmt.Errorf("R: query %d doc %d beats no probe bound (floor %g)", qid, doc, qs.f)
 		}
 	})
 	if rErr != nil {
 		return rErr
 	}
 
-	// I2 (safety) — every valid document outside R scores at most τ.
-	var i2Err error
+	// Completeness — every valid document outside R scores at most F.
+	// The comparison is exact: scores and the floor are both produced by
+	// the same deterministic float pipeline, and admission uses ≥ F, so
+	// an outside document above F is a real maintenance bug, not
+	// rounding.
+	var cErr error
 	m.index.Docs(func(d *model.Document) {
-		if i2Err != nil || qs.r.Contains(d.ID) {
+		if cErr != nil || qs.r.Contains(d.ID) {
 			return
 		}
-		if s := model.Score(qs.q, d); s > tau+1e-12 {
-			i2Err = fmt.Errorf("I2: query %d doc %d outside R scores %g > τ=%g", qid, d.ID, s, tau)
+		if s := model.Score(qs.q, d); s > qs.f {
+			cErr = fmt.Errorf("completeness: query %d doc %d outside R scores %g > floor %g", qid, d.ID, s, qs.f)
 		}
 	})
-	if i2Err != nil {
-		return i2Err
+	if cErr != nil {
+		return cErr
 	}
 
-	// I3 (verification) — τ ≤ Sk whenever R holds k documents.
-	if qs.r.Len() >= qs.q.K {
-		if sk := qs.r.Kth(qs.q.K); tau > sk+1e-12 {
-			return fmt.Errorf("I3: query %d τ=%g > Sk=%g with |R|=%d", qid, tau, sk, qs.r.Len())
+	// Verification — F ≤ Sk whenever R holds k documents, so the
+	// reported top-k is a true top-k of the window.
+	if qs.r.Len() >= k {
+		if sk := qs.r.Kth(k); qs.f > sk {
+			return fmt.Errorf("query %d floor %g > Sk=%g with |R|=%d", qid, qs.f, sk, qs.r.Len())
 		}
 	}
 	return nil

@@ -286,7 +286,9 @@ func TestEpochTimeWindow(t *testing.T) {
 func TestEpochAmortizesWork(t *testing.T) {
 	build := func() (*ITA, []*model.Query, *contGen) {
 		g := newContGen(77, 10)
-		e := NewITA(window.Count{N: 8})
+		// Tiny floor margins so the 8-document window actually produces
+		// refills to amortize; the defaults would hold every match in R.
+		e := NewITA(window.Count{N: 8}, WithFloorMargins(1, 1))
 		var qs []*model.Query
 		for i := 0; i < 8; i++ {
 			q := g.query(t, model.QueryID(i+1))

@@ -8,22 +8,20 @@ import (
 	"ita/internal/window"
 )
 
-// ITA is the paper's Incremental Threshold Algorithm. It maintains, per
-// query, the result list R of all consumed documents with their exact
-// scores, plus one local threshold θ_{Q,t} per query term marking the
-// first unconsumed position of t's inverted list. The invariants are:
+// ITA is the paper's Incremental Threshold Algorithm, maintained
+// through a score floor. Per query it keeps the result list R of every
+// valid document scoring at least the floor F, with exact scores, plus
+// one floor-derived probe bound per query term registered in the
+// θ-ordered per-term probe trees (see floor.go for the invariants and
+// the soundness argument). R's best k entries are a true top-k of the
+// window whenever |R| ≥ k, because any document outside R scores at
+// most F ≤ Sk.
 //
-//	I1 (coverage): every valid document with an impact entry strictly
-//	    ahead of θ_{Q,t} in some list of Q is in R with its exact score.
-//	I2 (safety): every valid document not in R therefore scores at most
-//	    τ = Σ_t w_{Q,t}·θ_{Q,t}.W.
-//	I3 (verification): τ ≤ Sk whenever |R| ≥ k, so R's best k documents
-//	    are a true top-k of the window.
-//
-// Arrivals that land ahead of a threshold are scored and added to R
-// (rolling thresholds up when they improve the top-k); expirations of
-// documents ahead of a threshold are removed from R (resuming the
-// threshold-algorithm search downwards when they leave the top-k).
+// Arrivals whose term contribution beats a probe bound are scored and
+// added to R when they reach the floor (raising the floor — the roll-up
+// analog of §III-B — once R outgrows its margins); expirations of R
+// members are removed (rebuilding R with a threshold-algorithm scan,
+// §III-A, when they leave fewer than k members).
 //
 // Structurally ITA is a coordinator (window policy + inverted index)
 // over a single Maintainer holding every query; the sharded engine in
@@ -41,9 +39,9 @@ type ITA struct {
 // ITAOption configures an ITA engine.
 type ITAOption func(*ITA)
 
-// WithoutRollup disables the threshold roll-up of §III-B (ablation A2):
-// thresholds then only ever move down, so the monitored region grows
-// monotonically between expirations.
+// WithoutRollup disables arrival-driven floor raises (ablation A2, the
+// roll-up analog): the floor then moves only at rebuilds, so the
+// monitored region grows monotonically between expirations.
 func WithoutRollup() ITAOption { return func(e *ITA) { e.cfg.DisableRollup = true } }
 
 // WithRoundRobinProbe replaces the paper's greedy w_{Q,t}·c_t probe
@@ -54,11 +52,22 @@ func WithRoundRobinProbe() ITAOption { return func(e *ITA) { e.cfg.RoundRobinPro
 // WithITASeed fixes the skip-list randomness seed.
 func WithITASeed(seed uint64) ITAOption { return func(e *ITA) { e.cfg.Seed = seed } }
 
-// WithSkiplistOnlyTrees pins every threshold tree to the skip-list tier
-// (the pre-tiering representation). It exists so equivalence suites can
-// prove the tiered trees behavior-identical; it is not a production
-// configuration.
-func WithSkiplistOnlyTrees() ITAOption { return func(e *ITA) { e.cfg.SkiplistOnlyTrees = true } }
+// WithScanAllTrees pins every probe tree to the entry-ordered scan-all
+// representation, where a probe tests every registered query instead of
+// walking the θ-ordered beatable prefix. It exists so equivalence
+// suites can prove the θ-ordered probe visits exactly the same queries;
+// it is not a production configuration.
+func WithScanAllTrees() ITAOption { return func(e *ITA) { e.cfg.ScanAllTrees = true } }
+
+// WithFloorMargins overrides the floor maintenance margins (see
+// floor.go). Tests use small margins to exercise floor raises and
+// rebuilds densely inside small windows; zero keeps a default.
+func WithFloorMargins(target, raise int) ITAOption {
+	return func(e *ITA) {
+		e.cfg.FloorTargetMargin = target
+		e.cfg.FloorRaiseMargin = raise
+	}
+}
 
 // NewITA returns an empty ITA engine over the given window policy.
 func NewITA(policy window.Policy, opts ...ITAOption) *ITA {

@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"ita/internal/invindex"
 	"ita/internal/model"
 	"ita/internal/window"
 )
@@ -65,14 +64,18 @@ func mustCheck(t *testing.T, e *ITA) {
 	}
 }
 
-// TestITANarrative walks the engine through the §III-B scenario of the
-// paper's Figure 2 with self-consistent numbers: an initial top-k
-// search, an arrival that enters the top-k and triggers a roll-up that
-// evicts a document from R, and an expiration of a top-k document that
-// triggers an incremental refill. All intermediate thresholds, R
-// contents and results are pinned.
+// TestITANarrative walks the engine through the full floor lifecycle
+// with self-consistent numbers: an initial top-k rebuild that sets the
+// floor and purges the sub-floor tail, an arrival that enters the
+// top-2, a second arrival that trips the raise margin (the roll-up
+// analog of §III-B), a sub-bound arrival the probe index must skip
+// without scoring, and expirations exercising the non-member fast path,
+// the member-removal-without-rebuild path, and the refill rebuild. All
+// intermediate floors, R contents, results and counters are pinned.
+// Margins (1,1) make the rebuild target k+1=3 and the raise trigger
+// |R| > 4.
 func TestITANarrative(t *testing.T) {
-	e := NewITA(window.Count{N: 6})
+	e := NewITA(window.Count{N: 8}, WithFloorMargins(1, 1))
 	// Initial window: impact lists
 	//   L_A: (0.10,d1) (0.08,d2) (0.07,d5)
 	//   L_B: (0.08,d3) (0.06,d2) (0.04,d4)
@@ -95,24 +98,28 @@ func TestITANarrative(t *testing.T) {
 	}
 	mustCheck(t, e)
 
-	// Initial search: scores S(d2)=0.10, S(d3)=0.08, S(d1)=0.05.
+	// Initial rebuild, greedy w·c order: reads d3 (S=0.08), d2 (S=0.10),
+	// d1 (S=0.05), d2 again (Contains-skip), d4 (S=0.04); then τ =
+	// 0.5·0.07 = 0.035 ≤ Kth(3) = 0.05 stops the scan with d5 unread.
+	// F = Kth(3) = 0.05 purges d4.
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 2, Score: 0.10}, {Doc: 3, Score: 0.08}})
 	qs := e.m.lookup(1)
 	if qs.r.Len() != 3 {
-		t.Fatalf("|R| = %d, want 3 (d1 kept unverified)", qs.r.Len())
+		t.Fatalf("|R| = %d, want 3 (d2, d3, d1)", qs.r.Len())
 	}
-	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.08, Doc: 2}) {
-		t.Fatalf("θ_A = %v, want (0.08,d2)", got)
+	if !approx(qs.f, 0.05) {
+		t.Fatalf("floor = %g, want 0.05", qs.f)
 	}
-	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.04, Doc: 4}) {
-		t.Fatalf("θ_B = %v, want (0.04,d4)", got)
+	if e.Stats().SearchReads != 5 || e.Stats().ScoreComputations != 4 {
+		t.Fatalf("search reads/scores = %d/%d, want 5/4",
+			e.Stats().SearchReads, e.Stats().ScoreComputations)
 	}
-	if !approx(qs.tau(), 0.08) {
-		t.Fatalf("τ = %g, want 0.08", qs.tau())
+	if e.Stats().RollupDrops != 1 {
+		t.Fatalf("rollup drops = %d, want 1 (d4 purged)", e.Stats().RollupDrops)
 	}
 
-	// Arrival of d9 (A:0.16, B:0.05): S(d9)=0.13 enters the top-2;
-	// roll-up lifts θ_A past d1 (dropping it from R) and θ_B past d9.
+	// Arrival of d9 (A:0.16, B:0.05): S(d9)=0.13 enters the top-2.
+	// |R| grows to 4, which does not pass the raise trigger.
 	if err := e.Process(doc(t, 9, 5,
 		model.Posting{Term: termA, Weight: 0.16},
 		model.Posting{Term: termB, Weight: 0.05})); err != nil {
@@ -120,55 +127,89 @@ func TestITANarrative(t *testing.T) {
 	}
 	mustCheck(t, e)
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
-	if qs.r.Contains(1) {
-		t.Fatal("d1 should have been rolled out of R")
+	if qs.r.Len() != 4 || e.Stats().RollupSteps != 0 {
+		t.Fatalf("|R| = %d, rollup steps = %d; want 4, 0", qs.r.Len(), e.Stats().RollupSteps)
+	}
+
+	// Arrival of d10 (A:0.12): S(d10)=0.06 ≥ F joins R, |R|=5 > 4 trips
+	// the raise: F = Kth(3) of {.13,.10,.08,.06,.05} = 0.08, purging d1
+	// (0.05) and d10 (0.06) right back out.
+	if err := e.Process(doc(t, 10, 6, model.Posting{Term: termA, Weight: 0.12})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
+	if !approx(qs.f, 0.08) {
+		t.Fatalf("floor after raise = %g, want 0.08", qs.f)
+	}
+	if e.Stats().RollupSteps != 1 || e.Stats().RollupDrops != 3 {
+		t.Fatalf("rollup steps/drops = %d/%d, want 1/3", e.Stats().RollupSteps, e.Stats().RollupDrops)
 	}
 	if qs.r.Len() != 3 {
 		t.Fatalf("|R| = %d, want 3 (d9, d2, d3)", qs.r.Len())
 	}
-	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.10, Doc: 1}) {
-		t.Fatalf("θ_A = %v, want (0.10,d1)", got)
-	}
-	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.05, Doc: 9}) {
-		t.Fatalf("θ_B = %v, want (0.05,d9)", got)
-	}
-	if e.Stats().RollupSteps != 2 || e.Stats().RollupDrops != 1 {
-		t.Fatalf("rollup steps/drops = %d/%d, want 2/1", e.Stats().RollupSteps, e.Stats().RollupDrops)
-	}
 
-	// Window is at 6: the next arrival expires d1, which is unconsumed
-	// (θ_A sits exactly at its entry) — no query work should happen.
-	refillsBefore := e.Stats().Refills
-	if err := e.Process(doc(t, 10, 6, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+	// Arrival of d11 (A:0.05): its contribution is below the A bound
+	// F·fac_A ≈ 0.08, so the θ-ordered probe must skip the query without
+	// touching it — no probe hit, no score computation.
+	probes, scores := e.Stats().ProbeHits, e.Stats().ScoreComputations
+	if err := e.Process(doc(t, 11, 7, model.Posting{Term: termA, Weight: 0.05})); err != nil {
 		t.Fatal(err)
 	}
 	mustCheck(t, e)
-	if e.Stats().Refills != refillsBefore {
-		t.Fatal("expiring an unconsumed document must not trigger a refill")
+	if e.Stats().ProbeHits != probes || e.Stats().ScoreComputations != scores {
+		t.Fatalf("probe hits/scores moved to %d/%d on a sub-bound arrival (were %d/%d)",
+			e.Stats().ProbeHits, e.Stats().ScoreComputations, probes, scores)
 	}
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
 
-	// Next arrival expires d2 — currently ranked 2nd — forcing an
-	// incremental refill that resumes from the thresholds.
-	if err := e.Process(doc(t, 11, 7, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+	// Window is at 8: the next arrival expires d1, which was purged at
+	// the raise. Its A weight still beats the bound, so the probe finds
+	// the query, but the R removal is a miss and nothing rebuilds.
+	if err := e.Process(doc(t, 12, 8, model.Posting{Term: termC, Weight: 0.5})); err != nil {
 		t.Fatal(err)
 	}
 	mustCheck(t, e)
-	if e.Stats().Refills != refillsBefore+1 {
-		t.Fatalf("refills = %d, want %d", e.Stats().Refills, refillsBefore+1)
+	if e.Stats().Refills != 0 {
+		t.Fatal("expiring a non-member must not trigger a refill")
+	}
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 2, Score: 0.10}})
+
+	// Next arrival expires d2 — ranked 2nd — but |R| drops only to 2 = k,
+	// so the margin absorbs it with no rebuild.
+	if err := e.Process(doc(t, 13, 9, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, e)
+	if e.Stats().Refills != 0 {
+		t.Fatal("an expiration absorbed by the margin must not trigger a refill")
 	}
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 3, Score: 0.08}})
-	if got := qs.terms[0].theta; got != (invindex.EntryKey{W: 0.07, Doc: 5}) {
-		t.Fatalf("θ_A after refill = %v, want (0.07,d5)", got)
+
+	// Next arrival expires d3: |R|=1 < k forces the refill rebuild. The
+	// scan keeps d9 (Contains-skip), re-admits d10 (0.06) and d4 (0.04),
+	// and stops with d5 and d11 unread (τ=0.035 ≤ Kth(3)=0.04); the
+	// floor comes back down to 0.04.
+	if err := e.Process(doc(t, 14, 10, model.Posting{Term: termC, Weight: 0.5})); err != nil {
+		t.Fatal(err)
 	}
-	if got := qs.terms[1].theta; got != (invindex.EntryKey{W: 0.04, Doc: 4}) {
-		t.Fatalf("θ_B after refill = %v, want (0.04,d4)", got)
+	mustCheck(t, e)
+	if e.Stats().Refills != 1 {
+		t.Fatalf("refills = %d, want 1", e.Stats().Refills)
+	}
+	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 9, Score: 0.13}, {Doc: 10, Score: 0.06}})
+	if !approx(qs.f, 0.04) {
+		t.Fatalf("floor after refill = %g, want 0.04", qs.f)
+	}
+	if qs.r.Len() != 3 {
+		t.Fatalf("|R| = %d, want 3 (d9, d10, d4)", qs.r.Len())
 	}
 }
 
-func TestITAInitialSearchKeepsUnverified(t *testing.T) {
-	// The initial search must retain encountered-but-unverified
-	// documents in R; without them incremental refill is impossible.
+func TestITAInitialSearchKeepsMargin(t *testing.T) {
+	// The initial rebuild must retain the margin of below-top-k
+	// documents in R; without it every near-top expiration would force
+	// a rebuild.
 	e := NewITA(window.Count{N: 100})
 	for i := 1; i <= 10; i++ {
 		w := float64(i) / 20 // 0.05 .. 0.50
@@ -181,10 +222,16 @@ func TestITAInitialSearchKeepsUnverified(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustCheck(t, e)
-	// Single-list search: reading the 3rd entry makes τ = its weight =
-	// Sk, so exactly 3 reads are verified and |R| = 3. As documents
-	// expire from the top, refills walk down one entry at a time.
+	// Ten matches exceed the rebuild target k+tgtMargin, so the scan
+	// stops there: R holds the target count — a tgtMargin of
+	// below-top-k members — with the floor at the target-th score.
 	wantResult(t, e, 1, []model.ScoredDoc{{Doc: 10, Score: 0.50}, {Doc: 9, Score: 0.45}, {Doc: 8, Score: 0.40}})
+	qs := e.m.lookup(1)
+	target := 3 + defaultTargetMargin
+	if qs.r.Len() != target || qs.f <= 0 || qs.f != qs.r.Kth(target) {
+		t.Fatalf("|R| = %d floor = %g, want %d members with the floor at the %d-th score %g",
+			qs.r.Len(), qs.f, target, target, qs.r.Kth(target))
+	}
 }
 
 func TestITAQueryTermAbsentFromWindow(t *testing.T) {

@@ -11,7 +11,7 @@ import (
 )
 
 // Maintainer owns the per-query maintenance state of ITA for a set of
-// queries: their threshold trees, result sets R and local thresholds.
+// queries: their per-term probe bounds, result sets R and score floors.
 // It is the unit of parallelism of the sharded engine — every piece of
 // state it touches during event handling is strictly per-query (trees,
 // query states, stats, scratch buffers), while the inverted index it
@@ -23,11 +23,11 @@ import (
 // index into stable-addressed slabs), recycled through a free list on
 // Unregister. External QueryIDs appear exactly twice — in the
 // ext→dense lookup shared with the published Views, and inside the
-// *model.Query itself — so the per-event hot paths (threshold-tree
-// probes, affected-query dedup, epoch work queues) run entirely on
-// dense ids with array indexing instead of map lookups. The threshold
-// trees store dense ids too, which is what lets a probe hit resolve to
-// its query state without touching any map.
+// *model.Query itself — so the per-event hot paths (probe-tree walks,
+// affected-query dedup, epoch work queues) run entirely on dense ids
+// with array indexing instead of map lookups. The probe trees store
+// dense ids too, which is what lets a probe hit resolve to its query
+// state without touching any map.
 //
 // A Maintainer is not safe for concurrent use with itself; the sharded
 // engine runs many maintainers concurrently, each on its own goroutine,
@@ -48,11 +48,17 @@ type Maintainer struct {
 	next  uint32 // high-water dense id
 	n     int    // live queries
 
+	// Floor maintenance margins (see floor.go): a refill rebuilds R down
+	// to k+tgtMargin members and a floor raise triggers past
+	// k+tgtMargin+raiseMargin.
+	tgtMargin   int
+	raiseMargin int
+
 	// Ablation switches (DESIGN.md A1, A2). Both default to the paper's
-	// configuration: greedy probing and roll-up enabled.
+	// configuration: greedy probing and floor raising enabled.
 	rollupEnabled bool
 	greedyProbe   bool
-	pureTrees     bool // skiplist-only threshold trees (equivalence reference)
+	scanTrees     bool // entry-ordered scan-all probe trees (equivalence reference)
 
 	// Scratch reused across events to keep steady-state processing
 	// allocation-free. Affected-query dedup and the epoch work queue
@@ -64,10 +70,38 @@ type Maintainer struct {
 	touched []*queryState
 	iterBuf []invindex.Iterator
 
+	// Per-event scoring scratch: the current document's postings as a
+	// stamp-marked dense array keyed by TermID (term ids are interned
+	// densely, so the array is bounded by vocabulary size). Scoring an
+	// affected query costs one array load per query term — mark and
+	// weight share a cache line, no map hashing — and loading the next
+	// document is a plain overwrite with a fresh stamp, no clearing
+	// pass over the previous document's terms. scoreDoc reproduces
+	// model.Score's exact float summation order, so the fast path is
+	// bit-identical to the slow one.
+	docW     []docWEntry
+	docStamp uint64
+
+	// Admit lists: for every window document, the dense ids of the
+	// queries that admitted it into their R. Expiry walks the
+	// document's list instead of probing the trees — the list touches
+	// exactly the queries that hold the document (plus tolerated stale
+	// entries, see recordAdmit), while a probe visits every query with
+	// a beatable bound, a superset that is typically an order of
+	// magnitude larger. Lists are recycled through holderPool when
+	// their document expires.
+	holders    map[model.DocID][]threshtree.Ref
+	holderPool [][]threshtree.Ref
+
 	// Epoch scratch: per-query net work lists reused across HandleEpoch
-	// calls (the inner adds/dels slices keep their capacity).
-	epochQueue []epochWork
-	// epochHigh tracks consecutive HandleEpoch calls that used only a
+	// calls (the inner adds/dels slices keep their capacity), plus the
+	// whole-term epoch skip: per-term max contribution across the epoch's
+	// documents, resolved once per term against the tree's min-θ.
+	epochQueue  []epochWork
+	epochMaxW   map[model.TermID]float64
+	epochSkip   map[model.TermID]bool
+	epochSkipOn bool
+	// epochLow tracks consecutive HandleEpoch calls that used only a
 	// small fraction of the retained scratch capacity; past a threshold
 	// the scratch shrinks back (see shrinkScratch).
 	epochLow int
@@ -96,11 +130,14 @@ const (
 type stateSlab [slabSize]queryState
 
 // epochWork is the net effect of one epoch on one query: the arrived
-// documents that probe ahead of a local threshold and the expired ones.
+// documents whose contribution beats one of the query's bounds (with
+// their scores, computed once at probe time while the document's
+// posting map is hot) and the expired ones.
 type epochWork struct {
-	qs   *queryState
-	adds []*model.Document
-	dels []*model.Document
+	qs        *queryState
+	adds      []*model.Document
+	addScores []float64
+	dels      []*model.Document
 }
 
 // MaintainerConfig carries the tuning knobs shared by the single-threaded
@@ -109,9 +146,14 @@ type MaintainerConfig struct {
 	Seed            uint64
 	DisableRollup   bool // ablation A2
 	RoundRobinProbe bool // ablation A1
-	// SkiplistOnlyTrees pins every threshold tree to the skip-list tier
-	// (the pre-tiering representation). Test/equivalence use only.
-	SkiplistOnlyTrees bool
+	// ScanAllTrees pins every probe tree to the entry-ordered scan-all
+	// representation (every probe tests every registered query).
+	// Test/equivalence use only.
+	ScanAllTrees bool
+	// FloorTargetMargin and FloorRaiseMargin override the floor
+	// maintenance margins; zero selects the defaults (see floor.go).
+	FloorTargetMargin int
+	FloorRaiseMargin  int
 }
 
 // NewMaintainer returns an empty maintainer reading from index and
@@ -119,24 +161,35 @@ type MaintainerConfig struct {
 // the sharded engine hands every shard the same index but a private
 // stats block, merged on read.
 func NewMaintainer(index *invindex.Index, stats *Stats, cfg MaintainerConfig) *Maintainer {
+	tgt, raise := cfg.FloorTargetMargin, cfg.FloorRaiseMargin
+	if tgt <= 0 {
+		tgt = defaultTargetMargin
+	}
+	if raise <= 0 {
+		raise = defaultRaiseMargin
+	}
 	return &Maintainer{
 		index:         index,
 		stats:         stats,
 		trees:         make(map[model.TermID]*threshtree.Tree),
+		holders:       make(map[model.DocID][]threshtree.Ref),
 		seed:          cfg.Seed,
+		tgtMargin:     tgt,
+		raiseMargin:   raise,
 		rollupEnabled: !cfg.DisableRollup,
 		greedyProbe:   !cfg.RoundRobinProbe,
-		pureTrees:     cfg.SkiplistOnlyTrees,
+		scanTrees:     cfg.ScanAllTrees,
 	}
 }
 
-// termState tracks one query term: its weight and its local threshold,
-// the position of the first unconsumed entry of the term's inverted
-// list (Bottom once the list is exhausted).
+// termState tracks one query term: its weight, the precomputed bound
+// factor fac (the term's probe bound is b = F·fac, see floor.go), and
+// the bound b currently registered in the term's probe tree.
 type termState struct {
-	term  model.TermID
-	qw    float64
-	theta invindex.EntryKey
+	term model.TermID
+	qw   float64
+	fac  float64
+	b    float64
 }
 
 // queryState is one dense arena slot. The zero value is a free slot;
@@ -147,7 +200,8 @@ type queryState struct {
 	q     *model.Query
 	terms []termState
 	r     *topk.ResultSet
-	id    uint32 // own dense id (slab index)
+	f     float64 // score floor F: R holds every valid doc scoring ≥ F
+	id    uint32  // own dense id (slab index)
 	live  bool
 
 	// Publication state: whether r changed since the last Publish. The
@@ -160,6 +214,16 @@ type queryState struct {
 	mark  uint64 // collectAffected dedup stamp
 	emark uint64 // HandleEpoch work-queue stamp
 	eslot int32  // index into epochQueue, valid while emark is current
+
+	// escore accumulates the probed document's score while mark is
+	// current, for zero-floor queries only: with F = 0 every bound is 0,
+	// so every shared term's probe necessarily visits the query, and
+	// postings iterate in ascending term order — the exact summation
+	// order scoreDoc and model.Score use — making the accumulated value
+	// bit-identical to a full evaluation at a fraction of the cost (no
+	// per-term map lookups). Queries with F > 0 may have unbeatable
+	// bounds on shared terms, so their arrivals take the scoreDoc path.
+	escore float64
 }
 
 // state returns the arena slot of dense id i.
@@ -193,17 +257,6 @@ func (m *Maintainer) lookup(id model.QueryID) *queryState {
 	return m.state(v.(uint32))
 }
 
-// tau returns the influence threshold τ = Σ w_{Q,t}·θ_{Q,t}.W, the least
-// upper bound on the score of any valid document outside R (invariant
-// I2).
-func (qs *queryState) tau() float64 {
-	var t float64
-	for i := range qs.terms {
-		t += qs.terms[i].qw * qs.terms[i].theta.W
-	}
-	return t
-}
-
 // Len returns the number of queries this maintainer owns.
 func (m *Maintainer) Len() int { return m.n }
 
@@ -226,16 +279,16 @@ func (m *Maintainer) eachLive(fn func(qs *queryState)) {
 	}
 }
 
-// tree returns the threshold tree for term t, creating it on first use.
+// tree returns the probe tree for term t, creating it on first use.
 // Trees exist independently of inverted lists: a query term that matches
-// no valid document still needs its threshold registered so future
-// arrivals can probe it.
+// no valid document still needs its bound registered so future arrivals
+// can probe it.
 func (m *Maintainer) tree(t model.TermID) *threshtree.Tree {
 	tr := m.trees[t]
 	if tr == nil {
 		seed := m.seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1)
-		if m.pureTrees {
-			tr = threshtree.NewSkiplistOnly(seed)
+		if m.scanTrees {
+			tr = threshtree.NewScanAll(seed)
 		} else {
 			tr = threshtree.New(seed)
 		}
@@ -244,8 +297,9 @@ func (m *Maintainer) tree(t model.TermID) *threshtree.Tree {
 	return tr
 }
 
-// install claims a dense slot for query q and wires it into the arena
-// and lookup. Shared by Register and RestoreQuery; r is the query's
+// install claims a dense slot for query q and wires it into the arena,
+// lookup, and probe trees (with zero bounds: floor 0 until the caller
+// sets one). Shared by Register and RestoreQuery; r is the query's
 // result set (nil builds a fresh empty one — RestoreQuery passes the
 // prevalidated set it already built).
 func (m *Maintainer) install(q *model.Query, r *topk.ResultSet) *queryState {
@@ -255,9 +309,19 @@ func (m *Maintainer) install(q *model.Query, r *topk.ResultSet) *queryState {
 	qs.id = id
 	qs.live = true
 	qs.pubDirty = false
+	qs.f = 0
 	qs.terms = qs.terms[:0]
+	n := float64(len(q.Terms))
 	for _, t := range q.Terms {
-		qs.terms = append(qs.terms, termState{term: t.Term, qw: t.Weight, theta: invindex.Top()})
+		qs.terms = append(qs.terms, termState{
+			term: t.Term,
+			qw:   t.Weight,
+			fac:  boundSlack / (n * t.Weight),
+		})
+	}
+	for i := range qs.terms {
+		m.tree(qs.terms[i].term).Set(id, 0)
+		m.stats.TreeUpdates++
 	}
 	if r == nil {
 		r = topk.NewResultSet(m.seed^uint64(q.ID), q.ID)
@@ -269,14 +333,15 @@ func (m *Maintainer) install(q *model.Query, r *topk.ResultSet) *queryState {
 	return qs
 }
 
-// Register runs the initial top-k search of §III-A for q and installs
-// the resulting local thresholds. It fails on a duplicate query id.
+// Register runs the initial top-k search for q (a threshold-algorithm
+// scan, see rebuild) and installs the resulting score floor and probe
+// bounds. It fails on a duplicate query id.
 func (m *Maintainer) Register(q *model.Query) error {
 	if m.Has(q.ID) {
 		return fmt.Errorf("core: duplicate query id %d", q.ID)
 	}
 	qs := m.install(q, nil)
-	m.runSearch(qs)
+	m.rebuild(qs)
 	m.markDirty(qs)
 	return nil
 }
@@ -294,7 +359,7 @@ func (m *Maintainer) Unregister(id model.QueryID) bool {
 	for i := range qs.terms {
 		ts := &qs.terms[i]
 		if tr := m.trees[ts.term]; tr != nil {
-			tr.Remove(qs.id, ts.theta)
+			tr.Remove(qs.id, ts.b)
 			m.stats.TreeUpdates++
 			if tr.Len() == 0 {
 				delete(m.trees, ts.term)
@@ -307,6 +372,7 @@ func (m *Maintainer) Unregister(id model.QueryID) bool {
 	qs.r = nil
 	qs.live = false
 	qs.pubDirty = false
+	qs.f = 0
 	qs.terms = qs.terms[:0] // keep capacity for the next occupant
 	m.free = append(m.free, qs.id)
 	m.n--
@@ -322,12 +388,57 @@ func (m *Maintainer) Result(id model.QueryID) ([]model.ScoredDoc, bool) {
 	return qs.r.Top(qs.q.K), true
 }
 
-// collectAffected probes the threshold tree of every term of d and
-// gathers, without duplicates, the queries whose consumed region
-// contains the corresponding impact entry. The paper's note that "d is
-// processed only once for each Qi even if d ranks higher than several of
-// Q's local thresholds" is the deduplication here — an epoch-stamped
-// mark in each dense slot, no map and no clearing pass.
+// docWEntry is one slot of the per-event scoring scratch: a term's
+// weight in the current document, valid only while mark carries the
+// current document stamp.
+type docWEntry struct {
+	mark uint64
+	w    float64
+}
+
+// prepDoc loads d's composition list into the scoring scratch so
+// subsequent scoreDoc calls against d are one array load per query
+// term. A term's entry is valid only under the current stamp, so stale
+// weights from earlier documents are dead without being cleared.
+func (m *Maintainer) prepDoc(d *model.Document) {
+	m.docStamp++
+	for _, p := range d.Postings {
+		if int(p.Term) >= len(m.docW) {
+			grown := make([]docWEntry, p.Term+p.Term/2+64)
+			copy(grown, m.docW)
+			m.docW = grown
+		}
+		m.docW[p.Term] = docWEntry{mark: m.docStamp, w: p.Weight}
+	}
+}
+
+// scoreDoc computes S(d|Q) for the document loaded by prepDoc. It
+// reads the query's terms from the maintainer-owned term states (same
+// terms and weights as qs.q.Terms, in the same ascending order, without
+// dereferencing the shared Query object) and sums the shared-term
+// products in that order — exactly the order model.Score's merge-join
+// uses — so the result is bit-identical to model.Score(qs.q, d).
+func (m *Maintainer) scoreDoc(qs *queryState) float64 {
+	var s float64
+	for i := range qs.terms {
+		if t := qs.terms[i].term; int(t) < len(m.docW) && m.docW[t].mark == m.docStamp {
+			s += qs.terms[i].qw * m.docW[t].w
+		}
+	}
+	return s
+}
+
+// collectAffected probes the tree of every term of d and gathers,
+// without duplicates, the queries with a bound the term's contribution
+// can beat — a superset of the queries whose result can change (see
+// floor.go for why no other query can be affected). The cost is
+// proportional to the number of beatable bounds, not the number of
+// queries registered on d's terms: each probe walks the θ-ordered
+// prefix and exits at the first unbeatable bound, a whole term is
+// skipped in O(1) when its min-θ exceeds the contribution, and in the
+// batch path a term whose min-θ exceeds the epoch's max contribution is
+// skipped once for the entire epoch. The dedup is an epoch-stamped mark
+// in each dense slot, no map and no clearing pass.
 //
 // The result is a maintainer-owned scratch slice, valid until the next
 // call.
@@ -336,62 +447,128 @@ func (m *Maintainer) collectAffected(d *model.Document) []*queryState {
 	m.stamp++
 	stamp := m.stamp
 	for _, p := range d.Postings {
+		if m.epochSkipOn && m.epochSkip[p.Term] {
+			continue
+		}
 		tr := m.trees[p.Term]
 		if tr == nil || tr.Len() == 0 {
 			continue
 		}
-		entry := invindex.EntryKey{W: p.Weight, Doc: d.ID}
-		tr.Probe(entry, func(ref threshtree.Ref) {
+		if min, ok := tr.MinTheta(); !ok || min > p.Weight {
+			continue // O(1) whole-term skip: no bound on t is beatable
+		}
+		tr.ProbeBeatable(p.Weight, func(ref threshtree.Ref) {
 			m.stats.ProbeHits++
 			qs := m.state(ref)
-			if qs.mark == stamp {
-				return
+			if qs.mark != stamp {
+				qs.mark = stamp
+				qs.escore = 0
+				m.touched = append(m.touched, qs)
 			}
-			qs.mark = stamp
-			m.touched = append(m.touched, qs)
+			if qs.f == 0 {
+				for i := range qs.terms {
+					if qs.terms[i].term == p.Term {
+						qs.escore += qs.terms[i].qw * p.Weight
+						break
+					}
+				}
+			}
 		})
 	}
 	return m.touched
 }
 
-// HandleArrival implements the arrival procedure of §III-B for the
-// owned queries. The document must already be present in the index, and
-// the index must stay unmodified for the duration of the call.
+// HandleArrival applies one arrival to the owned queries: every query
+// with a beatable bound is scored against d (bit-identical fast path),
+// and d joins R exactly when it reaches the floor. A query whose R has
+// grown past the raise margin gets its floor raised. The document must
+// already be present in the index, and the index must stay unmodified
+// for the duration of the call.
 func (m *Maintainer) HandleArrival(d *model.Document) {
+	m.prepDoc(d)
 	for _, qs := range m.collectAffected(d) {
 		m.markDirty(qs)
 		m.stats.ScoreComputations++
-		score := model.Score(qs.q, d)
-		skBefore := qs.r.Kth(qs.q.K)
+		score := qs.escore
+		if qs.f != 0 {
+			score = m.scoreDoc(qs)
+		}
+		if score < qs.f {
+			continue
+		}
 		qs.r.Add(d.ID, score)
-		if score > skBefore && m.rollupEnabled {
-			// The arrival entered the top-k, raising Sk: shrink the
-			// monitored region.
-			m.rollUp(qs)
+		m.recordAdmit(d.ID, qs.id)
+		if m.rollupEnabled && qs.r.Len() > qs.q.K+m.tgtMargin+m.raiseMargin {
+			m.raiseFloor(qs)
 		}
 	}
 }
 
-// HandleExpire implements the expiration procedure of §III-B for the
-// owned queries. The document must already be removed from the index,
-// and the index must stay unmodified for the duration of the call.
+// recordAdmit appends a query's dense id to a document's admit list.
+// Every path that adds a document to some R must record the admit, so
+// the expiry walk finds every holder without probing the trees.
+// Entries are never removed before the document expires: a query that
+// later drops the document (purgeBelow after a floor raise), dies
+// (Unregister, possibly with slot reuse), or re-admits it (a refill
+// after a purge) leaves a stale or duplicate entry behind. The expiry
+// walk tolerates all three — r.Remove reports false for a non-member
+// and the liveness check skips dead slots — so admits stay O(1) and
+// the list is simply discarded wholesale when its document expires.
+func (m *Maintainer) recordAdmit(doc model.DocID, id threshtree.Ref) {
+	l, ok := m.holders[doc]
+	if !ok && len(m.holderPool) > 0 {
+		n := len(m.holderPool) - 1
+		l, m.holderPool[n] = m.holderPool[n], nil
+		m.holderPool = m.holderPool[:n]
+	}
+	m.holders[doc] = append(l, id)
+}
+
+// takeHolders detaches and returns a document's admit list (nil when no
+// query ever admitted it — the common case for most of the stream).
+// The caller walks the list and hands it back through releaseHolders.
+func (m *Maintainer) takeHolders(doc model.DocID) []threshtree.Ref {
+	refs, ok := m.holders[doc]
+	if !ok {
+		return nil
+	}
+	delete(m.holders, doc)
+	return refs
+}
+
+// releaseHolders recycles an expired document's admit list for reuse by
+// recordAdmit. The pool is capped so one burst of expirations cannot
+// pin its high-water slice count forever.
+func (m *Maintainer) releaseHolders(refs []threshtree.Ref) {
+	const maxPool = 1024
+	if refs != nil && len(m.holderPool) < maxPool {
+		m.holderPool = append(m.holderPool, refs[:0])
+	}
+}
+
+// HandleExpire applies one expiration to the owned queries. The
+// expiring document's admit list names exactly the queries that ever
+// admitted it into R (see recordAdmit), so the walk touches R holders
+// directly — no tree probe, whose beatable-bound visit set is a strict
+// superset of the holders. A query whose R drops below k rebuilds —
+// unless its floor is zero, in which case R already holds every
+// matching valid document and there is nothing to refill from. The
+// document must already be removed from the index, and the index must
+// stay unmodified for the duration of the call.
 func (m *Maintainer) HandleExpire(d *model.Document) {
-	for _, qs := range m.collectAffected(d) {
-		m.markDirty(qs)
-		rank, inR := qs.r.Rank(d.ID)
-		if !inR {
-			// Possible only for boundary positions the roll-up already
-			// evicted; nothing to do.
-			continue
+	refs := m.takeHolders(d.ID)
+	for _, ref := range refs {
+		qs := m.state(ref)
+		if !qs.live || !qs.r.Remove(d.ID) {
+			continue // stale admit entry: the holder purged d or died
 		}
-		qs.r.Remove(d.ID)
-		if rank < qs.q.K {
-			// The expired document was in the top-k: refill by resuming
-			// the threshold search from the local thresholds downwards.
+		m.markDirty(qs)
+		if qs.r.Len() < qs.q.K && qs.f > 0 {
 			m.stats.Refills++
-			m.runSearch(qs)
+			m.rebuild(qs)
 		}
 	}
+	m.releaseHolders(refs)
 }
 
 // HandleEpoch applies the net effect of one epoch — a batch of arrivals
@@ -400,22 +577,22 @@ func (m *Maintainer) HandleExpire(d *model.Document) {
 // lists excluding documents that arrived and expired within the epoch)
 // and stay unmodified for the duration of the call.
 //
-// Every epoch document is probed against the threshold trees first,
-// with the epoch-start thresholds, deduplicating affected queries
-// across the whole batch; each affected query then gets one net
-// maintenance pass (maintainEpoch). Probing before any maintenance is
-// sound in both directions: an expired document still in some R is
-// necessarily covered by an epoch-start threshold (the R-coverage
-// invariant), so its queries are always collected; and an arrival
-// consumed here that per-event processing would have skipped (because
-// an intra-epoch roll-up lifted the threshold first) is merely extra
-// coverage that the epoch-end roll-up re-evicts.
+// Expired documents resolve their affected queries through their admit
+// lists (exactly the holders, as in HandleExpire); arrivals are probed
+// against the probe trees with the epoch-start bounds, deduplicating
+// affected queries across the whole batch. Each affected query then
+// gets one net maintenance pass (maintainEpoch). Collecting before any
+// maintenance is sound: an arrival collected here that per-event
+// processing would have filtered (because an intra-epoch floor raise
+// happened first) is merely extra work that the epoch-end floor
+// comparison discards, and a stale admit entry merely enqueues a
+// removal that r.Remove reports as a no-op.
 //
-// At the epoch boundary the maintained state satisfies the same
-// invariants I1–I3 as event-serial processing, so the reported top-k is
-// identical; internal state (threshold positions, R membership beyond
-// the top-k) and operation counters legitimately differ, which is
-// exactly where the amortization comes from.
+// At the epoch boundary the maintained state satisfies the same floor
+// invariants as event-serial processing, so the reported top-k is
+// identical; internal state (floor values, R membership beyond the
+// top-k) and operation counters legitimately differ, which is exactly
+// where the amortization comes from.
 func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
 	if m.n == 0 {
 		return
@@ -429,33 +606,84 @@ func (m *Maintainer) HandleEpoch(arrived, expired []*model.Document) {
 		m.HandleExpire(expired[0])
 		return
 	}
+	m.beginEpochSkip(arrived)
 	m.estamp++
 	for _, d := range expired {
-		for _, qs := range m.collectAffected(d) {
+		refs := m.takeHolders(d.ID)
+		for _, ref := range refs {
+			qs := m.state(ref)
+			if !qs.live {
+				continue
+			}
 			w := m.epochFor(qs)
 			w.dels = append(w.dels, d)
 		}
+		m.releaseHolders(refs)
 	}
 	for _, d := range arrived {
+		m.prepDoc(d)
 		for _, qs := range m.collectAffected(d) {
 			w := m.epochFor(qs)
+			m.stats.ScoreComputations++
+			score := qs.escore
+			if qs.f != 0 {
+				score = m.scoreDoc(qs)
+			}
 			w.adds = append(w.adds, d)
+			w.addScores = append(w.addScores, score)
 		}
 	}
+	m.epochSkipOn = false
 	for i := range m.epochQueue {
 		w := &m.epochQueue[i]
-		m.maintainEpoch(w.qs, w.adds, w.dels)
+		m.maintainEpoch(w.qs, w.adds, w.addScores, w.dels)
 		// Drop the document references (keeping capacity): otherwise the
 		// scratch pins one burst's worth of expired documents until a
 		// future epoch happens to reuse every slot to the same depth.
 		w.qs = nil
 		clear(w.adds)
 		clear(w.dels)
-		w.adds, w.dels = w.adds[:0], w.dels[:0]
+		w.adds, w.addScores, w.dels = w.adds[:0], w.addScores[:0], w.dels[:0]
 	}
 	used := len(m.epochQueue)
 	m.epochQueue = m.epochQueue[:0]
 	m.shrinkScratch(used)
+}
+
+// beginEpochSkip computes the whole-term epoch skip: the maximum
+// contribution any of the epoch's arrivals carries for each term,
+// resolved once against the term tree's min-θ. A term whose epoch-max
+// contribution cannot beat even the smallest bound is skipped for every
+// document of the epoch with one map lookup, without re-consulting the
+// tree per document. The skip is semantically a no-op (the per-document
+// probe would find nothing), so it cannot change visit sets or
+// counters. Only arrivals feed the table — expirations resolve through
+// admit lists and never probe.
+func (m *Maintainer) beginEpochSkip(arrived []*model.Document) {
+	if m.epochMaxW == nil {
+		m.epochMaxW = make(map[model.TermID]float64, 256)
+		m.epochSkip = make(map[model.TermID]bool, 256)
+	}
+	clear(m.epochMaxW)
+	clear(m.epochSkip)
+	for _, d := range arrived {
+		for _, p := range d.Postings {
+			if p.Weight > m.epochMaxW[p.Term] {
+				m.epochMaxW[p.Term] = p.Weight
+			}
+		}
+	}
+	for t, w := range m.epochMaxW {
+		tr := m.trees[t]
+		skip := tr == nil || tr.Len() == 0
+		if !skip {
+			if min, ok := tr.MinTheta(); !ok || min > w {
+				skip = true
+			}
+		}
+		m.epochSkip[t] = skip
+	}
+	m.epochSkipOn = true
 }
 
 // shrinkScratch bounds the retained capacity of the epoch and touched
@@ -502,7 +730,7 @@ func (m *Maintainer) epochFor(qs *queryState) *epochWork {
 	if i < cap(m.epochQueue) {
 		m.epochQueue = m.epochQueue[:i+1]
 		w := &m.epochQueue[i]
-		w.qs, w.adds, w.dels = qs, w.adds[:0], w.dels[:0]
+		w.qs, w.adds, w.addScores, w.dels = qs, w.adds[:0], w.addScores[:0], w.dels[:0]
 	} else {
 		m.epochQueue = append(m.epochQueue, epochWork{qs: qs})
 	}
@@ -565,51 +793,36 @@ func (m *Maintainer) Publish() {
 func (m *Maintainer) Views() *Views { return &m.views }
 
 // maintainEpoch is the net-effect maintenance of one query for one
-// epoch: all expirations are removed from R and all consumed arrivals
-// scored and added, then at most one refill search (only when the
-// removals actually left the top-k deficient — additions may have
-// already repaired it) and at most one roll-up (only when some arrival
-// raised Sk) run, instead of one of each per event.
-func (m *Maintainer) maintainEpoch(qs *queryState, adds, dels []*model.Document) {
+// epoch: all expirations are removed from R and all floor-reaching
+// arrivals added (scores were computed at probe time), then at most one
+// rebuild (only when the removals actually left the top-k deficient —
+// additions may have already repaired it) or one floor raise runs,
+// instead of one of each per event.
+func (m *Maintainer) maintainEpoch(qs *queryState, adds []*model.Document, addScores []float64, dels []*model.Document) {
 	m.markDirty(qs)
 	k := qs.q.K
-	lostTopK := false
 	for _, d := range dels {
-		rank, inR := qs.r.Rank(d.ID)
-		if !inR {
-			continue // evicted earlier by a roll-up
-		}
 		qs.r.Remove(d.ID)
-		if rank < k {
-			lostTopK = true
+	}
+	for i, d := range adds {
+		if s := addScores[i]; s >= qs.f {
+			qs.r.Add(d.ID, s)
+			m.recordAdmit(d.ID, qs.id)
 		}
 	}
-	skBefore := qs.r.Kth(k)
-	raised := false
-	for _, d := range adds {
-		m.stats.ScoreComputations++
-		score := model.Score(qs.q, d)
-		qs.r.Add(d.ID, score)
-		if score > skBefore {
-			raised = true
-		}
-	}
-	// I3 can only have broken if a top-k member left: τ is untouched and
-	// additions only raise Sk. Refill exactly when it is still broken
-	// after the additions.
-	if lostTopK && (qs.r.Len() < k || qs.tau() > qs.r.Kth(k)) {
+	switch {
+	case qs.r.Len() < k && qs.f > 0:
 		m.stats.Refills++
-		m.runSearch(qs)
-	}
-	if raised && m.rollupEnabled {
-		m.rollUp(qs)
+		m.rebuild(qs)
+	case m.rollupEnabled && qs.r.Len() > k+m.tgtMargin+m.raiseMargin:
+		m.raiseFloor(qs)
 	}
 }
 
 // MemoryUsage reports the maintainer's estimated per-component heap
-// footprint: threshold trees, dense query state (arena slabs, term
-// vectors, result sets) and the published view slots. The inverted
-// index is owned by the coordinator and accounted there.
+// footprint: probe trees, dense query state (arena slabs, term vectors,
+// result sets) and the published view slots. The inverted index is
+// owned by the coordinator and accounted there.
 func (m *Maintainer) MemoryUsage() Memory {
 	var mem Memory
 	for _, tr := range m.trees {
@@ -622,6 +835,10 @@ func (m *Maintainer) MemoryUsage() Memory {
 		mem.QueryStateBytes += uint64(cap(qs.terms)) * uint64(unsafe.Sizeof(termState{}))
 		mem.QueryStateBytes += qs.r.MemoryBytes()
 	})
+	// Admit lists: one map entry plus a ref slice per held document.
+	for _, refs := range m.holders {
+		mem.QueryStateBytes += 48 + uint64(cap(refs))*4
+	}
 	mem.ViewBytes = m.views.memoryBytes()
 	return mem
 }

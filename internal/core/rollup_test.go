@@ -7,15 +7,14 @@ import (
 	"ita/internal/window"
 )
 
-// TestRollupTieAtKthGuard pins the correctness guard discussed in
-// rollUp's comment: when the entry passed over by a lift belongs to a
-// document tied at the k-th score, the admissibility comparison must use
-// the Sk that would hold after the drop (the (k+1)-th score), not the
-// current one. The engine under test is driven into exactly that
-// configuration and cross-checked against the oracle.
+// TestRollupTieAtKthGuard drives the floor across score ties: runs of
+// equal scores straddle the (k+tgtMargin)-th slot, so raises must stop
+// at the tie (raiseFloor's newF <= f guard) and purges must keep
+// members at exactly F. Small margins make every arrival a potential
+// raise; the oracle cross-check pins the results at every step.
 func TestRollupTieAtKthGuard(t *testing.T) {
 	pol := window.Count{N: 10}
-	e := NewITA(pol)
+	e := NewITA(pol, WithFloorMargins(1, 1))
 	o := NewOracle(pol)
 
 	q := query(t, 1, 2, model.QueryTerm{Term: termA, Weight: 1})
@@ -53,53 +52,58 @@ func TestRollupTieAtKthGuard(t *testing.T) {
 	}
 }
 
-// TestRollupShrinksMonitoredRegion verifies the roll-up's purpose: after
-// a strong arrival raises Sk, weaker future arrivals that previously
-// fell inside the monitored region no longer cause probe hits.
+// TestRollupShrinksMonitoredRegion verifies the floor raise's purpose:
+// once strong arrivals lift the floor, weaker future arrivals fall
+// below the probe bound and no longer cause probe hits — the θ-ordered
+// index skips the query entirely.
 func TestRollupShrinksMonitoredRegion(t *testing.T) {
-	e := NewITA(window.Count{N: 100})
+	// Margins (1,1) with k=1: a raise fires when |R| > 3 and sets the
+	// floor to the 2nd-best score.
+	stream := func(e *ITA) {
+		// Strong docs grow R to 4 members; the raise lifts F to 0.8 and
+		// purges the 0.7 and 0.6 tail.
+		for i, w := range []float64{0.9, 0.8, 0.7, 0.6} {
+			if err := e.Process(doc(t, model.DocID(i+1), i+1, model.Posting{Term: termA, Weight: w})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e := NewITA(window.Count{N: 100}, WithFloorMargins(1, 1))
 	q := query(t, 1, 1, model.QueryTerm{Term: termA, Weight: 1})
 	if err := e.Register(q); err != nil {
 		t.Fatal(err)
 	}
-	// Weak doc establishes a low threshold.
-	if err := e.Process(doc(t, 1, 1, model.Posting{Term: termA, Weight: 0.1})); err != nil {
-		t.Fatal(err)
+	stream(e)
+	if e.Stats().RollupSteps == 0 {
+		t.Fatal("the strong arrivals should have raised the floor")
 	}
-	// Strong doc takes over the top-1 and rolls the threshold up.
-	if err := e.Process(doc(t, 2, 2, model.Posting{Term: termA, Weight: 0.9})); err != nil {
-		t.Fatal(err)
-	}
-	hitsAfterRollup := e.Stats().ProbeHits
-	// Mid-weight arrivals score 0.5 < Sk = 0.9: with the threshold
-	// rolled up they must be filtered without probe hits.
-	for i := 3; i <= 12; i++ {
+	hitsAfterRaise := e.Stats().ProbeHits
+	// Mid-weight arrivals contribute 0.5 < b = F·fac ≈ 0.8: with the
+	// floor raised they must be filtered without probe hits.
+	for i := 5; i <= 14; i++ {
 		if err := e.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: 0.5})); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := e.Stats().ProbeHits; got != hitsAfterRollup {
-		t.Fatalf("probe hits grew %d → %d; roll-up failed to shrink the monitored region",
-			hitsAfterRollup, got)
+	if got := e.Stats().ProbeHits; got != hitsAfterRaise {
+		t.Fatalf("probe hits grew %d → %d; the raised floor failed to shrink the monitored region",
+			hitsAfterRaise, got)
 	}
-	// Sanity: the same stream without roll-up does hit the query.
-	e2 := NewITA(window.Count{N: 100}, WithoutRollup())
+	// Sanity: the same stream with raises disabled does hit the query —
+	// the floor stays at the Register-time 0, whose bound any
+	// contribution beats.
+	e2 := NewITA(window.Count{N: 100}, WithFloorMargins(1, 1), WithoutRollup())
 	if err := e2.Register(q); err != nil {
 		t.Fatal(err)
 	}
-	if err := e2.Process(doc(t, 1, 1, model.Posting{Term: termA, Weight: 0.1})); err != nil {
-		t.Fatal(err)
-	}
-	if err := e2.Process(doc(t, 2, 2, model.Posting{Term: termA, Weight: 0.9})); err != nil {
-		t.Fatal(err)
-	}
+	stream(e2)
 	base := e2.Stats().ProbeHits
-	for i := 3; i <= 12; i++ {
+	for i := 5; i <= 14; i++ {
 		if err := e2.Process(doc(t, model.DocID(i), i, model.Posting{Term: termA, Weight: 0.5})); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := e2.Stats().ProbeHits; got == base {
-		t.Fatal("without roll-up the mid-weight arrivals should probe the query")
+		t.Fatal("without raises the mid-weight arrivals should probe the query")
 	}
 }

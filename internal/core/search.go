@@ -5,32 +5,38 @@ import (
 	"ita/internal/model"
 )
 
-// runSearch is the threshold-algorithm search of §III-A, used both for
-// the initial top-k computation (thresholds at Top) and for incremental
-// refills after an expiration (thresholds wherever maintenance left
-// them). It consumes inverted-list entries — greedily from the list with
-// the highest w_{Q,t}·c_t, where c_t is the impact of the next unread
-// entry — scoring each newly encountered document into R, until either
+// rebuild recomputes R and the score floor from the inverted lists with
+// a threshold-algorithm scan, used both for the initial top-k
+// computation at Register and for refills after an expiration leaves R
+// with fewer than k members. It consumes inverted-list entries from the
+// heads downwards — greedily from the list with the highest w_{Q,t}·c_t,
+// where c_t is the impact of the next unread entry — scoring each newly
+// encountered document into R (documents already in R are skipped: their
+// stored scores are exact, so the surviving high region of R is never
+// re-scored), until either
 //
-//   - R holds at least k documents and τ = Σ w_{Q,t}·c_t has dropped to
-//     at most Sk (k documents are verified), or
-//   - every list is exhausted (the window holds fewer than k matches).
+//   - R holds at least k+tgtMargin documents and τ = Σ w_{Q,t}·c_t has
+//     dropped to at most the (k+tgtMargin)-th score (every unseen
+//     document provably scores below it), or
+//   - every list is exhausted (each matching document has been seen).
 //
-// On return the local thresholds are set to the final cursor positions
-// (the latest c_t values, Bottom for exhausted lists) and the threshold
-// trees are updated accordingly.
-func (m *Maintainer) runSearch(qs *queryState) {
-	k := qs.q.K
+// On return the floor is the (k+tgtMargin)-th best score when R is that
+// large — unseen documents score at most τ ≤ that value, so
+// completeness holds — and zero otherwise (the window holds fewer
+// matches than the target, and R holds all of them). Members below the
+// new floor are purged; the per-term probe bounds follow the floor.
+func (m *Maintainer) rebuild(qs *queryState) {
+	target := qs.q.K + m.tgtMargin
 	n := len(qs.terms)
-	// Reuse the maintainer's iterator scratch: refills run once per
-	// affected query per epoch, and runSearch is never reentered.
+	// Reuse the maintainer's iterator scratch: rebuilds run at most once
+	// per affected query per epoch, and rebuild is never reentered.
 	if cap(m.iterBuf) < n {
 		m.iterBuf = make([]invindex.Iterator, n)
 	}
 	iters := m.iterBuf[:n]
 	for i := range qs.terms {
 		if l := m.index.List(qs.terms[i].term); l != nil {
-			iters[i] = l.SeekGE(qs.terms[i].theta)
+			iters[i] = l.First()
 		} else {
 			iters[i] = invindex.Iterator{}
 		}
@@ -50,7 +56,7 @@ func (m *Maintainer) runSearch(qs *queryState) {
 		if !live {
 			break
 		}
-		if qs.r.Len() >= k && tau <= qs.r.Kth(k) {
+		if qs.r.Len() >= target && tau <= qs.r.Kth(target) {
 			break
 		}
 		best := -1
@@ -81,28 +87,14 @@ func (m *Maintainer) runSearch(qs *queryState) {
 			if d, ok := m.index.Get(key.Doc); ok {
 				m.stats.ScoreComputations++
 				qs.r.Add(key.Doc, model.Score(qs.q, d))
+				m.recordAdmit(key.Doc, qs.id)
 			}
 		}
 	}
-	// Record the final cursor positions as the local thresholds and
-	// reflect them in the threshold trees. A threshold still at Top
-	// (fresh registration) has no tree entry to remove.
-	for i := range qs.terms {
-		ts := &qs.terms[i]
-		newTheta := invindex.Bottom()
-		if iters[i].Valid() {
-			newTheta = iters[i].Key()
-		}
-		if newTheta == ts.theta {
-			continue
-		}
-		tr := m.tree(ts.term)
-		if ts.theta != invindex.Top() {
-			tr.Remove(qs.id, ts.theta)
-			m.stats.TreeUpdates++
-		}
-		tr.Set(qs.id, newTheta)
-		m.stats.TreeUpdates++
-		ts.theta = newTheta
+	newF := 0.0
+	if qs.r.Len() >= target {
+		newF = qs.r.Kth(target)
 	}
+	m.setFloor(qs, newF)
+	m.purgeBelow(qs)
 }

@@ -4,22 +4,21 @@ import (
 	"fmt"
 	"math"
 
-	"ita/internal/invindex"
 	"ita/internal/model"
 	"ita/internal/topk"
 )
 
 // QueryState is the exact serializable incremental state of one query:
-// the local threshold θ_{Q,t} of every query term (parallel to
-// Query.Terms) and the full result list R with exact scores. Together
-// with the window contents it reconstructs a maintainer byte-for-byte
-// in every observable respect — results, thresholds, and therefore
-// every future maintenance decision and operation counter. (Skip-list
-// level draws are re-randomized on restore; they affect neither results
-// nor counters.)
+// the score floor F and the full result list R with exact scores.
+// Together with the window contents it reconstructs a maintainer
+// byte-for-byte in every observable respect — results, floor, probe
+// bounds (pure functions of F and the query's term weights), and
+// therefore every future maintenance decision and operation counter.
+// (Skip-list level draws are re-randomized on restore; they affect
+// neither results nor counters.)
 type QueryState struct {
-	Thetas []invindex.EntryKey
-	R      []model.ScoredDoc
+	F float64
+	R []model.ScoredDoc
 }
 
 // StateSnapshotter is implemented by engines whose complete incremental
@@ -29,7 +28,7 @@ type QueryState struct {
 // arrival order, RestoreQueryState for every query, then SetStats with
 // the counters captured at export. The engine must be quiescent
 // throughout. Engines without it (the Naïve baselines) are restored by
-// replaying the window, which reproduces results but not thresholds or
+// replaying the window, which reproduces results but not floors or
 // counters.
 type StateSnapshotter interface {
 	ExportQueryState(id model.QueryID) (QueryState, bool)
@@ -45,11 +44,8 @@ func (m *Maintainer) ExportState(id model.QueryID) (QueryState, bool) {
 		return QueryState{}, false
 	}
 	st := QueryState{
-		Thetas: make([]invindex.EntryKey, len(qs.terms)),
-		R:      make([]model.ScoredDoc, 0, qs.r.Len()),
-	}
-	for i := range qs.terms {
-		st.Thetas[i] = qs.terms[i].theta
+		F: qs.f,
+		R: make([]model.ScoredDoc, 0, qs.r.Len()),
 	}
 	qs.r.Each(func(doc model.DocID, score float64) {
 		st.R = append(st.R, model.ScoredDoc{Doc: doc, Score: score})
@@ -58,38 +54,40 @@ func (m *Maintainer) ExportState(id model.QueryID) (QueryState, bool) {
 }
 
 // RestoreQuery installs a query with previously exported state instead
-// of running the initial top-k search: thresholds go straight into the
-// threshold trees and R is rebuilt from its exact entries. Validation
-// is defensive — a corrupted checkpoint must surface as an error, never
-// a panic or a silently broken invariant.
+// of running the initial top-k search: R is rebuilt from its exact
+// entries and the floor re-derives every probe bound bit-identically
+// (bounds are pure functions of F). Validation is defensive — a
+// corrupted checkpoint must surface as an error, never a panic or a
+// silently broken invariant.
 func (m *Maintainer) RestoreQuery(q *model.Query, st QueryState) error {
 	if m.Has(q.ID) {
 		return fmt.Errorf("core: duplicate query id %d", q.ID)
 	}
-	if len(st.Thetas) != len(q.Terms) {
-		return fmt.Errorf("core: restore query %d: %d thresholds for %d terms", q.ID, len(st.Thetas), len(q.Terms))
+	if st.F < 0 || math.IsNaN(st.F) || math.IsInf(st.F, 0) {
+		return fmt.Errorf("core: restore query %d: invalid floor %g", q.ID, st.F)
 	}
 	// All-or-nothing: validate into locals first, claim an arena slot
 	// and mutate shared structures only afterwards, so a rejected state
 	// leaves the maintainer untouched.
-	for i, t := range q.Terms {
-		theta := st.Thetas[i]
-		if theta == invindex.Top() || math.IsNaN(theta.W) || math.IsInf(theta.W, 0) {
-			return fmt.Errorf("core: restore query %d: invalid threshold %+v for term %d", q.ID, theta, t.Term)
-		}
-	}
 	r := topk.NewResultSet(m.seed^uint64(q.ID), q.ID)
 	for _, sd := range st.R {
+		if sd.Score < st.F {
+			return fmt.Errorf("core: restore query %d: result doc %d scores %g below floor %g", q.ID, sd.Doc, sd.Score, st.F)
+		}
 		if r.Contains(sd.Doc) {
 			return fmt.Errorf("core: restore query %d: duplicate result document %d", q.ID, sd.Doc)
 		}
 		r.Add(sd.Doc, sd.Score)
 	}
 	qs := m.install(q, r)
-	for i := range qs.terms {
-		qs.terms[i].theta = st.Thetas[i]
-		m.tree(qs.terms[i].term).Set(qs.id, qs.terms[i].theta)
+	// Rebuild the admit lists the live run would have accumulated: the
+	// restored query holds exactly st.R, so each member's expiry must
+	// find it. List order differs from the live chronology, which is
+	// immaterial — expiry maintenance is independent per query.
+	for _, sd := range st.R {
+		m.recordAdmit(sd.Doc, qs.id)
 	}
+	m.setFloor(qs, st.F)
 	m.markDirty(qs)
 	return nil
 }

@@ -1,11 +1,14 @@
 package repl
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -88,12 +91,35 @@ func (c *ClientConfig) defaults() {
 		c.MaxBackoff = 5 * time.Second
 	}
 	if c.Seed == 0 {
+		// Mix per-process entropy and a per-derivation counter into the
+		// ID hash. Deriving from the ID alone gives followers with empty
+		// or identical IDs identical jitter streams, so a primary
+		// restart makes them reconnect in lockstep — every retry storm
+		// arrives as one synchronized thundering herd.
+		c.Seed = seedEntropy + seedCounter.Add(1)
 		for _, b := range []byte(c.ID) {
 			c.Seed = c.Seed*131 + int64(b)
 		}
-		c.Seed++
+		if c.Seed == 0 {
+			c.Seed = 1
+		}
 	}
 }
+
+// seedEntropy distinguishes processes whose followers carry identical
+// ClientConfig.IDs; seedCounter distinguishes such followers within one
+// process. Explicit ClientConfig.Seed bypasses both (deterministic
+// tests).
+var (
+	seedEntropy = func() int64 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return time.Now().UnixNano()
+		}
+		return int64(binary.LittleEndian.Uint64(b[:]))
+	}()
+	seedCounter atomic.Int64
+)
 
 // ClientStats is the follower side's replication gauge.
 type ClientStats struct {

@@ -121,10 +121,20 @@ func WithRoundRobinProbe() Option {
 	return func(c *core.MaintainerConfig) { c.RoundRobinProbe = true }
 }
 
-// WithSkiplistOnlyTrees pins threshold trees to the skip-list tier,
-// matching core.WithSkiplistOnlyTrees (equivalence testing only).
-func WithSkiplistOnlyTrees() Option {
-	return func(c *core.MaintainerConfig) { c.SkiplistOnlyTrees = true }
+// WithScanAllTrees pins probe trees to the entry-ordered scan-all
+// representation, matching core.WithScanAllTrees (equivalence testing
+// only).
+func WithScanAllTrees() Option {
+	return func(c *core.MaintainerConfig) { c.ScanAllTrees = true }
+}
+
+// WithFloorMargins overrides the floor maintenance margins, matching
+// core.WithFloorMargins (zero keeps a default).
+func WithFloorMargins(target, raise int) Option {
+	return func(c *core.MaintainerConfig) {
+		c.FloorTargetMargin = target
+		c.FloorRaiseMargin = raise
+	}
 }
 
 // New returns an empty sharded engine with the given shard count;

@@ -1,32 +1,44 @@
-// Package threshtree implements the paper's threshold trees: one
-// book-keeping structure per inverted list holding an entry ⟨θ_{Q,t}, Q⟩
-// for every query Q that includes term t, ordered so that "all queries
-// whose local threshold lies below a given impact entry" is a suffix
-// scan.
+// Package threshtree implements the per-term probe indexes of the
+// engine: one structure per inverted list holding an entry ⟨b_{Q,t}, Q⟩
+// for every query Q that includes term t, where b_{Q,t} is the smallest
+// impact weight of term t that could contribute to pushing a document's
+// score up to Q's current score floor. Entries are ordered by ascending
+// bound, so "all queries a given term contribution can matter to" is a
+// prefix scan with an early exit — ProbeBeatable — instead of a walk
+// over every query registered on the term.
 //
-// Local thresholds are full list positions (invindex.EntryKey), not bare
-// weights, which makes the consumed-region test exact even under weight
-// ties: an entry e is ahead of a threshold θ iff e strictly precedes θ
-// in list order.
+// The tree also maintains the term's minimum bound (MinTheta) in O(1),
+// which gives the engine a whole-term skip: when an arrival's (or an
+// epoch's maximum) contribution for a term is below the term's min-θ, no
+// query on that term can be affected and the tree is not probed at all.
+// In the skip-list tier the θ-ordering doubles as a per-block summary:
+// every tower link spans a block of entries whose smallest θ is the θ at
+// the link's origin, so a probe descends only into blocks that still
+// contain beatable bounds and stops at the first entry past the
+// contribution.
 //
 // The tree is tiered and frequency-adaptive. Query populations per term
 // are Zipfian: at realistic dictionary sizes the vast majority of terms
 // carry a handful of registered queries, while a small Zipf head carries
-// thousands. A tree therefore starts as a compact sorted slice — 24
-// bytes per entry, zero per-entry allocation, binary-search probes and
-// memmove updates — and promotes itself to a skip list once it crosses
-// promoteAt entries, where O(n) memmoves would start to lose to O(log n)
-// pointer chasing. Shrinking below demoteAt (hysteresis, so a term
-// oscillating around the crossover does not thrash) demotes it back.
-// Both tiers maintain the identical total order, so every operation is
-// answer-identical regardless of tier; NewSkiplistOnly pins a tree to
-// the skip-list tier so equivalence tests can prove exactly that.
+// thousands. A tree therefore starts as a compact sorted slice — 16
+// bytes per entry, zero per-entry allocation, binary-search updates and
+// a contiguous prefix probe — and promotes itself to a skip list once it
+// crosses promoteAt entries. Shrinking below demoteAt (hysteresis, so a
+// term oscillating around the crossover does not thrash) demotes it
+// back. Both tiers maintain the identical total order, so every
+// operation is answer-identical regardless of tier.
+//
+// NewScanAll builds the entry-ordered reference twin: entries are keyed
+// by query ref alone and ProbeBeatable scans all of them, testing each
+// bound individually with no ordering and no early exit. It visits
+// exactly the same set of queries (in ref order rather than θ order), so
+// equivalence suites can prove the θ-ordered prefix scan loses no query;
+// it is not a production configuration.
 package threshtree
 
 import (
 	"sort"
 
-	"ita/internal/invindex"
 	"ita/internal/skiplist"
 )
 
@@ -36,76 +48,81 @@ import (
 type Ref = uint32
 
 type key struct {
-	pos invindex.EntryKey
-	ref Ref
+	theta float64
+	ref   Ref
 }
 
 func keyLess(a, b key) bool {
-	if a.pos != b.pos {
-		return invindex.Before(a.pos, b.pos)
+	if a.theta != b.theta {
+		return a.theta < b.theta
 	}
 	return a.ref < b.ref
 }
 
-// Tier crossover. The slice tier's probe is a binary search plus a
-// linear suffix walk over contiguous 24-byte entries; its update is a
-// binary search plus one memmove. BenchmarkTierCrossover (this
-// package) measures mixed Set/Probe/Remove churn on the build host
-// (GOMAXPROCS=1, Xeon 2.7 GHz): the slice tier wins 9.5x at 16 entries
-// (87ns vs 827ns per op triple) and 5x at 64 (200ns vs 1030ns); the
-// tiers cross between 64 and 128, where the skip list pulls ~1.2x
-// ahead (1474ns vs 1195ns). promoteAt sits at that crossing: CPU is
-// already a wash there while the slice tier still stores an entry in
-// 24 bytes with zero per-entry allocations versus the skip list's
-// ~90 bytes across one node allocation — so the Zipfian long tail of
-// terms (the overwhelming majority, holding a handful of queries each)
-// stays compact, and only genuinely hot terms pay for pointer
-// structure. demoteAt at ~promoteAt/3 gives enough hysteresis that
-// Unregister/re-Register churn around the boundary cannot thrash
-// promote/demote rebuilds.
+func refLess(a, b Ref) bool { return a < b }
+
+// Tier crossover. The slice tier's probe is a contiguous prefix walk
+// over 16-byte entries and its update a binary search plus one memmove;
+// the skip-list tier trades that for O(log n) pointer chasing. The
+// crossover measured by BenchmarkTierCrossover sits in the low hundreds
+// of entries; promoteAt stays at the PR 5 setting, where the slice tier
+// still stores an entry in 16 bytes with zero per-entry allocations
+// versus the skip list's ~90 bytes across one node allocation — so the
+// Zipfian long tail of terms stays compact, and only genuinely hot
+// terms pay for pointer structure. demoteAt at ~promoteAt/3 gives
+// enough hysteresis that Unregister/re-Register churn around the
+// boundary cannot thrash promote/demote rebuilds.
 const (
 	promoteAt = 128
 	demoteAt  = 40
 )
 
-// Tree is the threshold tree of one inverted list. The zero value is
-// not usable; call New or NewSkiplistOnly.
+// Tree is the probe index of one inverted list. The zero value is not
+// usable; call New or NewScanAll.
 type Tree struct {
 	seed    uint64
 	entries []key // slice tier, sorted by keyLess; unused once sl != nil
 	sl      *skiplist.List[key, struct{}]
-	pinned  bool // never demote (skiplist-only reference mode)
+	scan    *skiplist.List[Ref, float64] // entry-ordered reference mode
 }
 
-// New returns an empty tiered tree.
+// New returns an empty tiered θ-ordered tree.
 func New(seed uint64) *Tree {
 	return &Tree{seed: seed}
 }
 
-// NewSkiplistOnly returns an empty tree pinned to the skip-list tier.
-// It exists so equivalence suites can run the engine grid against the
-// pre-tiering representation and prove the tiers answer-identical; it
-// is not a production configuration.
-func NewSkiplistOnly(seed uint64) *Tree {
-	t := &Tree{seed: seed, pinned: true}
-	t.sl = skiplist.New[key, struct{}](keyLess, seed)
+// NewScanAll returns an empty tree in entry-ordered reference mode:
+// entries are keyed by ref, probes scan every entry, and MinTheta is a
+// full scan. It exists so equivalence suites can prove the θ-ordered
+// prefix probe visits exactly the same queries; it is not a production
+// configuration.
+func NewScanAll(seed uint64) *Tree {
+	t := &Tree{seed: seed}
+	t.scan = skiplist.New[Ref, float64](refLess, seed)
 	return t
 }
 
-// Len returns the number of registered thresholds.
+// Len returns the number of registered bounds.
 func (t *Tree) Len() int {
-	if t.sl != nil {
+	switch {
+	case t.scan != nil:
+		return t.scan.Len()
+	case t.sl != nil:
 		return t.sl.Len()
 	}
 	return len(t.entries)
 }
 
-// Set registers (or re-registers) query q's local threshold at pos.
-// A previous threshold for q must be removed with Remove first; Set
-// with two different positions for the same query stores both, which
-// corrupts probing.
-func (t *Tree) Set(q Ref, pos invindex.EntryKey) {
-	k := key{pos: pos, ref: q}
+// Set registers (or re-registers) query q's bound for this term. A
+// previous bound for q must be removed with Remove first; Set with two
+// different bounds for the same query stores both, which corrupts
+// probing.
+func (t *Tree) Set(q Ref, theta float64) {
+	if t.scan != nil {
+		t.scan.Insert(q, theta)
+		return
+	}
+	k := key{theta: theta, ref: q}
 	if t.sl != nil {
 		t.sl.Insert(k, struct{}{})
 		return
@@ -119,13 +136,19 @@ func (t *Tree) Set(q Ref, pos invindex.EntryKey) {
 	}
 }
 
-// Remove deletes query q's threshold at pos, reporting whether it was
-// present.
-func (t *Tree) Remove(q Ref, pos invindex.EntryKey) bool {
-	k := key{pos: pos, ref: q}
+// Remove deletes query q's bound theta, reporting whether exactly that
+// (q, theta) pair was present.
+func (t *Tree) Remove(q Ref, theta float64) bool {
+	if t.scan != nil {
+		if got, ok := t.scan.Get(q); !ok || got != theta {
+			return false
+		}
+		return t.scan.Delete(q)
+	}
+	k := key{theta: theta, ref: q}
 	if t.sl != nil {
 		ok := t.sl.Delete(k)
-		if ok && !t.pinned && t.sl.Len() < demoteAt {
+		if ok && t.sl.Len() < demoteAt {
 			t.demote()
 		}
 		return ok
@@ -137,6 +160,66 @@ func (t *Tree) Remove(q Ref, pos invindex.EntryKey) bool {
 	copy(t.entries[i:], t.entries[i+1:])
 	t.entries = t.entries[:len(t.entries)-1]
 	return true
+}
+
+// MinTheta returns the smallest bound registered in the tree, or
+// (0, false) when the tree is empty. In both production tiers this is
+// O(1) — the head of the θ-ordering — which is what makes the engine's
+// whole-term skip free. In scan-all reference mode it is an O(n) scan.
+func (t *Tree) MinTheta() (float64, bool) {
+	switch {
+	case t.scan != nil:
+		it := t.scan.First()
+		if !it.Valid() {
+			return 0, false
+		}
+		min := it.Value()
+		for it.Next(); it.Valid(); it.Next() {
+			if v := it.Value(); v < min {
+				min = v
+			}
+		}
+		return min, true
+	case t.sl != nil:
+		k, _, ok := t.sl.Min()
+		return k.theta, ok
+	case len(t.entries) > 0:
+		return t.entries[0].theta, true
+	}
+	return 0, false
+}
+
+// ProbeBeatable calls fn for every query whose bound is beatable by the
+// given term contribution c — every entry with θ ≤ c. In the θ-ordered
+// tiers this is a prefix walk that exits at the first entry past c, so
+// its cost is proportional to the number of queries visited, not the
+// number registered on the term; iteration is in ascending (θ, ref)
+// order. In scan-all reference mode every entry is tested in ref order.
+// fn must not modify the tree.
+func (t *Tree) ProbeBeatable(c float64, fn func(q Ref)) {
+	switch {
+	case t.scan != nil:
+		for it := t.scan.First(); it.Valid(); it.Next() {
+			if it.Value() <= c {
+				fn(it.Key())
+			}
+		}
+	case t.sl != nil:
+		for it := t.sl.First(); it.Valid(); it.Next() {
+			k := it.Key()
+			if k.theta > c {
+				return
+			}
+			fn(k.ref)
+		}
+	default:
+		for i := range t.entries {
+			if t.entries[i].theta > c {
+				return
+			}
+			fn(t.entries[i].ref)
+		}
+	}
 }
 
 // promote rebuilds the slice tier into a skip list. Tower heights come
@@ -161,35 +244,15 @@ func (t *Tree) demote() {
 	t.sl = nil
 }
 
-// Probe calls fn for every query whose local threshold lies strictly
-// after entry e in list order — exactly the queries for which e falls
-// inside the consumed region and may therefore affect the result. The
-// iteration is in ascending (position, ref) order in both tiers. fn
-// must not modify the tree.
-func (t *Tree) Probe(e invindex.EntryKey, fn func(q Ref)) {
-	// Thresholds equal to e (same position) mean e itself is the first
-	// unconsumed entry, so they must not match: start strictly after
-	// every (e, *) key.
-	after := key{pos: e, ref: ^Ref(0)}
-	if t.sl != nil {
-		it := t.sl.SeekGT(after)
-		for ; it.Valid(); it.Next() {
-			fn(it.Key().ref)
-		}
-		return
-	}
-	i := sort.Search(len(t.entries), func(i int) bool { return keyLess(after, t.entries[i]) })
-	for ; i < len(t.entries); i++ {
-		fn(t.entries[i].ref)
-	}
-}
-
 // MemoryBytes estimates the tree's heap footprint: entry storage plus
-// per-tier overhead (skip-list nodes and towers in the upper tier).
+// per-tier overhead (skip-list nodes and towers in the upper tiers).
 func (t *Tree) MemoryBytes() uint64 {
 	const treeFixed = 64
-	if t.sl != nil {
+	switch {
+	case t.scan != nil:
+		return treeFixed + t.scan.MemoryBytes()
+	case t.sl != nil:
 		return treeFixed + t.sl.MemoryBytes()
 	}
-	return treeFixed + uint64(cap(t.entries))*24
+	return treeFixed + uint64(cap(t.entries))*16
 }

@@ -3,14 +3,11 @@ package threshtree
 import (
 	"sort"
 	"testing"
-
-	"ita/internal/invindex"
-	"ita/internal/model"
 )
 
-func probeAll(t *Tree, e invindex.EntryKey) []Ref {
+func probeAll(t *Tree, c float64) []Ref {
 	var out []Ref
-	t.Probe(e, func(q Ref) { out = append(out, q) })
+	t.ProbeBeatable(c, func(q Ref) { out = append(out, q) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -27,70 +24,61 @@ func eq(a, b []Ref) bool {
 	return true
 }
 
-func TestProbeReturnsSuffixBelowEntry(t *testing.T) {
+func TestProbeBeatableReturnsPrefix(t *testing.T) {
 	tr := New(1)
-	// Query 1 has consumed down to weight 0.5; query 2 down to 0.2;
-	// query 3 has consumed the whole list.
-	tr.Set(1, invindex.EntryKey{W: 0.5, Doc: 10})
-	tr.Set(2, invindex.EntryKey{W: 0.2, Doc: 20})
-	tr.Set(3, invindex.Bottom())
+	// Query 1 needs at least 0.5 from this term to matter; query 2 needs
+	// 0.2; query 3 matches on any contribution (bound 0).
+	tr.Set(1, 0.5)
+	tr.Set(2, 0.2)
+	tr.Set(3, 0)
 
-	// An arrival with weight 0.9 lands ahead of every threshold.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 99}); !eq(got, []Ref{1, 2, 3}) {
+	// A contribution of 0.9 beats every bound.
+	if got := probeAll(tr, 0.9); !eq(got, []Ref{1, 2, 3}) {
 		t.Fatalf("probe(0.9) = %v", got)
 	}
-	// Weight 0.3 lands ahead of queries 2 and 3 only.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.3, Doc: 99}); !eq(got, []Ref{2, 3}) {
+	// 0.3 beats queries 2 and 3 only.
+	if got := probeAll(tr, 0.3); !eq(got, []Ref{2, 3}) {
 		t.Fatalf("probe(0.3) = %v", got)
 	}
-	// Weight 0.1 only beats the fully-consumed query 3.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.1, Doc: 99}); !eq(got, []Ref{3}) {
+	// 0.1 only beats the zero bound.
+	if got := probeAll(tr, 0.1); !eq(got, []Ref{3}) {
 		t.Fatalf("probe(0.1) = %v", got)
 	}
 }
 
-func TestProbeExcludesThresholdPositionItself(t *testing.T) {
+func TestProbeBeatableIncludesExactBound(t *testing.T) {
+	// A contribution exactly equal to a bound can still meet it, so the
+	// probe must be inclusive: θ ≤ c matches, only θ > c is skipped.
 	tr := New(1)
-	// Query 1's threshold sits exactly at entry (0.5, doc 10): that
-	// entry is the first *unconsumed* one, so probing with it must not
-	// return the query.
-	tr.Set(1, invindex.EntryKey{W: 0.5, Doc: 10})
-	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 10}); len(got) != 0 {
-		t.Fatalf("probe at threshold position = %v, want empty", got)
+	tr.Set(1, 0.5)
+	if got := probeAll(tr, 0.5); !eq(got, []Ref{1}) {
+		t.Fatalf("probe at exact bound = %v, want [1]", got)
 	}
-	// A different document with the same weight and a smaller id sits
-	// ahead of the threshold in list order, so it does match.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 9}); !eq(got, []Ref{1}) {
-		t.Fatalf("probe at earlier tie = %v", got)
-	}
-	// A larger id at the same weight is behind the threshold: no match.
-	if got := probeAll(tr, invindex.EntryKey{W: 0.5, Doc: 11}); len(got) != 0 {
-		t.Fatalf("probe at later tie = %v, want empty", got)
+	if got := probeAll(tr, 0.49999); len(got) != 0 {
+		t.Fatalf("probe below bound = %v, want empty", got)
 	}
 }
 
 func TestRemoveAndLen(t *testing.T) {
 	tr := New(1)
-	pos1 := invindex.EntryKey{W: 0.5, Doc: 1}
-	pos2 := invindex.EntryKey{W: 0.4, Doc: 2}
-	tr.Set(1, pos1)
-	tr.Set(2, pos2)
+	tr.Set(1, 0.5)
+	tr.Set(2, 0.4)
 	if tr.Len() != 2 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
-	if !tr.Remove(1, pos1) {
+	if !tr.Remove(1, 0.5) {
 		t.Fatal("Remove existing failed")
 	}
-	if tr.Remove(1, pos1) {
+	if tr.Remove(1, 0.5) {
 		t.Fatal("Remove twice succeeded")
 	}
-	if tr.Remove(2, pos1) {
-		t.Fatal("Remove with wrong position succeeded")
+	if tr.Remove(2, 0.5) {
+		t.Fatal("Remove with wrong bound succeeded")
 	}
 	if tr.Len() != 1 {
 		t.Fatalf("Len = %d", tr.Len())
 	}
-	if got := probeAll(tr, invindex.EntryKey{W: 0.9, Doc: 9}); !eq(got, []Ref{2}) {
+	if got := probeAll(tr, 0.9); !eq(got, []Ref{2}) {
 		t.Fatalf("probe after removal = %v", got)
 	}
 }
@@ -98,20 +86,61 @@ func TestRemoveAndLen(t *testing.T) {
 func TestManyQueriesSameTerm(t *testing.T) {
 	tr := New(1)
 	for q := Ref(1); q <= 100; q++ {
-		tr.Set(q, invindex.EntryKey{W: float64(q) / 100, Doc: model.DocID(q)})
+		tr.Set(q, float64(q)/100)
 	}
-	// Weight 0.505 beats thresholds 0.01 .. 0.50 → queries 1..50.
-	got := probeAll(tr, invindex.EntryKey{W: 0.505, Doc: 1000})
+	// A contribution of 0.505 beats bounds 0.01 .. 0.50 → queries 1..50.
+	got := probeAll(tr, 0.505)
 	if len(got) != 50 || got[0] != 1 || got[49] != 50 {
 		t.Fatalf("probe returned %d queries, first %v last %v", len(got), got[0], got[len(got)-1])
 	}
 }
 
-func TestBottomThresholdAlwaysProbed(t *testing.T) {
+func TestMinTheta(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func() *Tree
+	}{
+		{"tiered", func() *Tree { return New(1) }},
+		{"scan-all", func() *Tree { return NewScanAll(1) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			tr := mk.new()
+			if _, ok := tr.MinTheta(); ok {
+				t.Fatal("MinTheta on empty tree reported a value")
+			}
+			tr.Set(1, 0.5)
+			tr.Set(2, 0.2)
+			tr.Set(3, 0.8)
+			if min, ok := tr.MinTheta(); !ok || min != 0.2 {
+				t.Fatalf("MinTheta = %v,%v, want 0.2,true", min, ok)
+			}
+			tr.Remove(2, 0.2)
+			if min, ok := tr.MinTheta(); !ok || min != 0.5 {
+				t.Fatalf("MinTheta after remove = %v,%v, want 0.5,true", min, ok)
+			}
+		})
+	}
+}
+
+func TestZeroBoundAlwaysProbed(t *testing.T) {
 	tr := New(1)
-	tr.Set(1, invindex.Bottom())
-	got := probeAll(tr, invindex.EntryKey{W: 1e-9, Doc: ^model.DocID(0) - 1})
+	tr.Set(1, 0)
+	got := probeAll(tr, 1e-12)
 	if !eq(got, []Ref{1}) {
-		t.Fatalf("probe = %v: Bottom thresholds must match every positive-weight entry", got)
+		t.Fatalf("probe = %v: zero bounds must match every positive contribution", got)
+	}
+}
+
+func TestProbeOrderIsThetaThenRef(t *testing.T) {
+	tr := New(7)
+	tr.Set(5, 0.3)
+	tr.Set(2, 0.1)
+	tr.Set(9, 0.3)
+	tr.Set(1, 0.2)
+	var got []Ref
+	tr.ProbeBeatable(1, func(q Ref) { got = append(got, q) })
+	want := []Ref{2, 1, 5, 9}
+	if !eq(got, want) {
+		t.Fatalf("probe order = %v, want %v", got, want)
 	}
 }

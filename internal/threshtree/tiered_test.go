@@ -3,48 +3,51 @@ package threshtree
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
-
-	"ita/internal/invindex"
-	"ita/internal/model"
 )
 
-// TestTieredMatchesSkiplist drives a tiered tree and a skiplist-pinned
-// tree through the same randomized Set/Remove/Probe churn, sized to
-// cross the promote and demote thresholds repeatedly, and asserts every
-// observable — Len, Remove results, and full Probe enumerations
-// including order — is identical.
-func TestTieredMatchesSkiplist(t *testing.T) {
+// TestTieredMatchesScanAll drives a tiered θ-ordered tree and an
+// entry-ordered scan-all tree through the same randomized
+// Set/Remove/Probe churn, sized to cross the promote and demote
+// thresholds repeatedly, and asserts every observable — Len, Remove
+// results, MinTheta, and full ProbeBeatable enumerations as sets — is
+// identical. (Iteration order intentionally differs between the modes:
+// θ-order versus ref-order; the engine is order-independent, so the
+// suite compares visit sets.)
+func TestTieredMatchesScanAll(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			tiered := New(uint64(seed))
-			pure := NewSkiplistOnly(uint64(seed))
+			scan := NewScanAll(uint64(seed))
 
 			type reg struct {
-				ref Ref
-				pos invindex.EntryKey
+				ref   Ref
+				theta float64
 			}
 			var live []reg
 			next := Ref(1)
-			randPos := func() invindex.EntryKey {
-				return invindex.EntryKey{
-					W:   float64(rng.Intn(64)) / 64,
-					Doc: model.DocID(rng.Intn(128)),
-				}
-			}
+			randTheta := func() float64 { return float64(rng.Intn(64)) / 64 }
 			probeBoth := func() {
-				e := randPos()
+				c := randTheta()
 				var a, b []Ref
-				tiered.Probe(e, func(q Ref) { a = append(a, q) })
-				pure.Probe(e, func(q Ref) { b = append(b, q) })
+				tiered.ProbeBeatable(c, func(q Ref) { a = append(a, q) })
+				scan.ProbeBeatable(c, func(q Ref) { b = append(b, q) })
+				sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+				sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
 				if len(a) != len(b) {
-					t.Fatalf("probe(%v): tiered %d refs, skiplist %d", e, len(a), len(b))
+					t.Fatalf("probe(%v): tiered %d refs, scan-all %d", c, len(a), len(b))
 				}
 				for i := range a {
 					if a[i] != b[i] {
-						t.Fatalf("probe(%v): position %d: tiered %d, skiplist %d", e, i, a[i], b[i])
+						t.Fatalf("probe(%v): position %d: tiered %d, scan-all %d", c, i, a[i], b[i])
 					}
+				}
+				m1, ok1 := tiered.MinTheta()
+				m2, ok2 := scan.MinTheta()
+				if m1 != m2 || ok1 != ok2 {
+					t.Fatalf("MinTheta: tiered %v,%v, scan-all %v,%v", m1, ok1, m2, ok2)
 				}
 			}
 
@@ -57,31 +60,31 @@ func TestTieredMatchesSkiplist(t *testing.T) {
 				}
 				switch r := rng.Intn(6 + growBias); {
 				case r < 2+growBias: // Set
-					e := reg{ref: next, pos: randPos()}
+					e := reg{ref: next, theta: randTheta()}
 					next++
-					tiered.Set(e.ref, e.pos)
-					pure.Set(e.ref, e.pos)
+					tiered.Set(e.ref, e.theta)
+					scan.Set(e.ref, e.theta)
 					live = append(live, e)
 				case r < 4+growBias && len(live) > 0: // Remove existing
 					i := rng.Intn(len(live))
 					e := live[i]
 					live[i] = live[len(live)-1]
 					live = live[:len(live)-1]
-					ok1 := tiered.Remove(e.ref, e.pos)
-					ok2 := pure.Remove(e.ref, e.pos)
+					ok1 := tiered.Remove(e.ref, e.theta)
+					ok2 := scan.Remove(e.ref, e.theta)
 					if !ok1 || !ok2 {
-						t.Fatalf("remove(%d,%v): tiered %v, skiplist %v", e.ref, e.pos, ok1, ok2)
+						t.Fatalf("remove(%d,%v): tiered %v, scan-all %v", e.ref, e.theta, ok1, ok2)
 					}
 				case r < 5+growBias: // Remove missing
-					e := reg{ref: next + 1000000, pos: randPos()}
-					if ok1, ok2 := tiered.Remove(e.ref, e.pos), pure.Remove(e.ref, e.pos); ok1 || ok2 {
-						t.Fatalf("remove missing: tiered %v, skiplist %v", ok1, ok2)
+					e := reg{ref: next + 1000000, theta: randTheta()}
+					if ok1, ok2 := tiered.Remove(e.ref, e.theta), scan.Remove(e.ref, e.theta); ok1 || ok2 {
+						t.Fatalf("remove missing: tiered %v, scan-all %v", ok1, ok2)
 					}
 				default:
 					probeBoth()
 				}
-				if tiered.Len() != pure.Len() {
-					t.Fatalf("op %d: Len: tiered %d, skiplist %d", op, tiered.Len(), pure.Len())
+				if tiered.Len() != scan.Len() {
+					t.Fatalf("op %d: Len: tiered %d, scan-all %d", op, tiered.Len(), scan.Len())
 				}
 			}
 			for i := 0; i < 64; i++ {
@@ -89,12 +92,12 @@ func TestTieredMatchesSkiplist(t *testing.T) {
 			}
 			// Drain fully: exercises demote down to empty.
 			for _, e := range live {
-				if !tiered.Remove(e.ref, e.pos) || !pure.Remove(e.ref, e.pos) {
-					t.Fatalf("drain remove(%d,%v) failed", e.ref, e.pos)
+				if !tiered.Remove(e.ref, e.theta) || !scan.Remove(e.ref, e.theta) {
+					t.Fatalf("drain remove(%d,%v) failed", e.ref, e.theta)
 				}
 			}
-			if tiered.Len() != 0 || pure.Len() != 0 {
-				t.Fatalf("drained: tiered %d, skiplist %d", tiered.Len(), pure.Len())
+			if tiered.Len() != 0 || scan.Len() != 0 {
+				t.Fatalf("drained: tiered %d, scan-all %d", tiered.Len(), scan.Len())
 			}
 		})
 	}
@@ -105,22 +108,20 @@ func TestTieredMatchesSkiplist(t *testing.T) {
 // below demoteAt, and answers identically throughout.
 func TestPromoteDemoteHysteresis(t *testing.T) {
 	tr := New(9)
-	pos := func(i int) invindex.EntryKey {
-		return invindex.EntryKey{W: float64(i%97) / 97, Doc: model.DocID(i)}
-	}
+	theta := func(i int) float64 { return float64(i%97) / 97 }
 	for i := 0; i < promoteAt; i++ {
-		tr.Set(Ref(i), pos(i))
+		tr.Set(Ref(i), theta(i))
 	}
 	if tr.sl != nil {
 		t.Fatalf("tree promoted at %d entries, promoteAt is %d", tr.Len(), promoteAt)
 	}
-	tr.Set(Ref(promoteAt), pos(promoteAt))
+	tr.Set(Ref(promoteAt), theta(promoteAt))
 	if tr.sl == nil {
 		t.Fatalf("tree not promoted past promoteAt (%d entries)", tr.Len())
 	}
 	// Shrink to demoteAt: still promoted (hysteresis).
 	for i := tr.Len(); i > demoteAt; i-- {
-		if !tr.Remove(Ref(i-1), pos(i-1)) {
+		if !tr.Remove(Ref(i-1), theta(i-1)) {
 			t.Fatalf("remove %d failed", i-1)
 		}
 	}
@@ -128,7 +129,7 @@ func TestPromoteDemoteHysteresis(t *testing.T) {
 		t.Fatalf("tree demoted at %d entries, demoteAt is %d", tr.Len(), demoteAt)
 	}
 	// One below: demoted.
-	if !tr.Remove(Ref(demoteAt-1), pos(demoteAt-1)) {
+	if !tr.Remove(Ref(demoteAt-1), theta(demoteAt-1)) {
 		t.Fatal("remove at demote boundary failed")
 	}
 	if tr.sl != nil {
@@ -136,48 +137,50 @@ func TestPromoteDemoteHysteresis(t *testing.T) {
 	}
 	// Contents survived the round trip.
 	seen := 0
-	tr.Probe(invindex.EntryKey{W: 2, Doc: 0}, func(Ref) { seen++ })
+	tr.ProbeBeatable(2, func(Ref) { seen++ })
 	if seen != tr.Len() {
-		t.Fatalf("probe from Top saw %d of %d entries after demote", seen, tr.Len())
+		t.Fatalf("probe saw %d of %d entries after demote", seen, tr.Len())
 	}
 }
 
 // BenchmarkTierCrossover measures mixed churn (Set/Remove/Probe) at
 // sizes bracketing the promote threshold, once per tier. This is the
 // measurement behind the promoteAt/demoteAt constants: the slice tier
-// wins below ~100 entries on every operation mix, remains competitive
-// through the low hundreds, and loses past ~500 as memmoves outgrow the
-// skip list's pointer walk.
+// wins below ~100 entries on every operation mix thanks to contiguous
+// 16-byte entries, and loses past the low hundreds as memmoves outgrow
+// the skip list's pointer walk.
 func BenchmarkTierCrossover(b *testing.B) {
 	for _, size := range []int{16, 64, 128, 256, 512, 1024} {
-		for _, mode := range []string{"slice", "skiplist"} {
-			if mode == "slice" && size > promoteAt {
-				continue // the slice tier never holds this many live entries
-			}
-			b.Run(fmt.Sprintf("%s/n=%d", mode, size), func(b *testing.B) {
-				mk := func() *Tree {
-					if mode == "skiplist" {
-						return NewSkiplistOnly(1)
-					}
-					return New(1)
-				}
-				tr := mk()
-				pos := func(i int) invindex.EntryKey {
-					return invindex.EntryKey{W: float64(i%509) / 509, Doc: model.DocID(i)}
-				}
-				for i := 0; i < size; i++ {
-					tr.Set(Ref(i), pos(i))
-				}
-				probeAt := invindex.EntryKey{W: 0.5, Doc: 0}
-				sink := 0
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					v := size + i
-					tr.Set(Ref(v), pos(v))
-					tr.Probe(probeAt, func(Ref) { sink++ })
-					tr.Remove(Ref(v), pos(v))
-				}
-			})
+		if size > promoteAt {
+			continue // the slice tier never holds this many live entries
 		}
+		b.Run(fmt.Sprintf("slice/n=%d", size), func(b *testing.B) {
+			benchTier(b, New(1), size)
+		})
+	}
+	for _, size := range []int{128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("skiplist/n=%d", size), func(b *testing.B) {
+			tr := New(1)
+			for i := 0; i < promoteAt+1; i++ { // force promotion
+				tr.Set(Ref(1000000+i), 2)
+			}
+			benchTier(b, tr, size)
+			_ = tr
+		})
+	}
+}
+
+func benchTier(b *testing.B, tr *Tree, size int) {
+	theta := func(i int) float64 { return float64(i%509) / 509 }
+	for i := 0; i < size; i++ {
+		tr.Set(Ref(i), theta(i))
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := size + i
+		tr.Set(Ref(v), theta(v))
+		tr.ProbeBeatable(0.5, func(Ref) { sink++ })
+		tr.Remove(Ref(v), theta(v))
 	}
 }

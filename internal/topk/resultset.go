@@ -115,10 +115,47 @@ func (r *ResultSet) Len() int {
 }
 
 // docIdx returns the small-tier doc-index position of doc and whether
-// it is present.
+// it is present. Hand-rolled binary search: this sits on the per-event
+// hot path (every R add/remove/membership test at engine scale), where
+// sort.Search's closure call per halving step is measurable.
 func (r *ResultSet) docIdx(doc model.DocID) (int, bool) {
-	i := sort.Search(len(r.docs), func(i int) bool { return r.docs[i].doc >= doc })
-	return i, i < len(r.docs) && r.docs[i].doc == doc
+	// Endpoint fast paths. Sliding-window streams with monotonically
+	// assigned document ids hit these almost always: an expiring
+	// document is the window's oldest (at or below position 0) and an
+	// arriving one its newest (past the end), so both membership tests
+	// touch one cache line instead of a log-width pointer chase through
+	// a cold slice. Non-monotonic id assignment just falls through.
+	if n := len(r.docs); n == 0 || doc <= r.docs[0].doc {
+		return 0, n > 0 && r.docs[0].doc == doc
+	} else if doc > r.docs[n-1].doc {
+		return n, false
+	}
+	lo, hi := 1, len(r.docs)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.docs[mid].doc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(r.docs) && r.docs[lo].doc == doc
+}
+
+// orderIdx returns the small-tier result-order position of e: the first
+// index whose entry does not sort before e (same contract as
+// sort.Search over !entryLess, without the closure calls).
+func (r *ResultSet) orderIdx(e entry) int {
+	lo, hi := 0, len(r.order)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entryLess(r.order[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // promote rebuilds the small tier into the skip list + map.
@@ -165,7 +202,7 @@ func (r *ResultSet) Add(doc model.DocID, score float64) {
 		panic("topk: document added twice")
 	}
 	e := entry{score: score, doc: doc}
-	oi := sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) })
+	oi := r.orderIdx(e)
 	r.order = append(r.order, entry{})
 	copy(r.order[oi+1:], r.order[oi:])
 	r.order[oi] = e
@@ -198,10 +235,19 @@ func (r *ResultSet) Remove(doc model.DocID) bool {
 	}
 	r.frozen = nil
 	score := r.docs[di].score
-	copy(r.docs[di:], r.docs[di+1:])
-	r.docs = r.docs[:len(r.docs)-1]
+	if di == 0 {
+		// FIFO fast path: under monotonic doc ids the expiring window
+		// document is the oldest, which sorts first. Slicing the front
+		// off instead of shifting every entry leaves the vacated slot
+		// pinned until a later append outgrows the backing array, a
+		// bounded overhead traded for O(1) expiry.
+		r.docs = r.docs[1:]
+	} else {
+		copy(r.docs[di:], r.docs[di+1:])
+		r.docs = r.docs[:len(r.docs)-1]
+	}
 	e := entry{score: score, doc: doc}
-	oi := sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) })
+	oi := r.orderIdx(e)
 	copy(r.order[oi:], r.order[oi+1:])
 	r.order = r.order[:len(r.order)-1]
 	return true
@@ -250,7 +296,7 @@ func (r *ResultSet) Rank(doc model.DocID) (int, bool) {
 	if r.sl != nil {
 		return r.sl.Rank(e), true
 	}
-	return sort.Search(len(r.order), func(i int) bool { return !entryLess(r.order[i], e) }), true
+	return r.orderIdx(e), true
 }
 
 // Top returns the best min(k, Len) documents in result order.

@@ -43,9 +43,10 @@ const (
 	opUnregister
 	opAdvance
 	opFlush
-	opResults    // flush-to-boundary + full cross-engine comparison
-	opCrash      // durable engines: crash, reopen, assert byte-identical recovery
-	opCheckpoint // durable engines: force a checkpoint + log rotation
+	opResults     // flush-to-boundary + full cross-engine comparison
+	opCrash       // durable engines: crash, reopen, assert byte-identical recovery
+	opCheckpoint  // durable engines: force a checkpoint + log rotation
+	opWatchToggle // un/re-watch a live query mid-stream (often mid-epoch)
 	opKinds
 )
 
@@ -58,13 +59,14 @@ const (
 var opWeights = [opKinds]int{
 	opIngest:      41,
 	opIngestBatch: 31,
-	opRegister:    56,
-	opUnregister:  56,
+	opRegister:    48,
+	opUnregister:  48,
 	opAdvance:     15,
 	opFlush:       15,
 	opResults:     26,
 	opCrash:       8,
 	opCheckpoint:  8,
+	opWatchToggle: 16,
 }
 
 // pickOp maps one generator byte to an op kind through the weight
@@ -145,6 +147,8 @@ func decodeOps(data []byte) []facadeOp {
 			op.qsel = int(next())
 		case opAdvance:
 			op.dtMs = 1 + int(next())%200
+		case opWatchToggle:
+			op.qsel = int(next())
 		}
 		ops = append(ops, op)
 	}
@@ -159,7 +163,47 @@ type eqEngine struct {
 	name   string
 	e      *Engine
 	walDir string
-	pure   bool // threshold trees pinned to the skip-list tier
+	scan   bool // probe trees pinned to the scan-all representation
+	// watched is the delta-reconstruction oracle: per watched query, the
+	// top-k document set rebuilt purely from delivered watch deltas
+	// (seeded from the published result at Watch time). The engine's
+	// boundary result must equal the reconstruction at every compare —
+	// which fails on any lost, duplicated or mis-baselined delta,
+	// however batching coalesced the epochs that produced it.
+	watched map[QueryID]map[DocID]bool
+}
+
+// watchQuery (re)subscribes one engine to a query and resets its
+// reconstruction to the engine's published boundary result — the same
+// baseline Watch itself stores, so the delta stream and the
+// reconstruction advance in lockstep from here.
+func watchQuery(t *testing.T, g *eqEngine, id QueryID, forbidden map[QueryID]bool) {
+	t.Helper()
+	set := make(map[DocID]bool)
+	for _, m := range g.e.Results(id) {
+		set[m.Doc] = true
+	}
+	g.watched[id] = set
+	name := g.name
+	if err := g.e.Watch(id, func(d Delta) {
+		if forbidden[d.Query] {
+			t.Errorf("%s: watch delta delivered for dead query %d: %+v", name, d.Query, d)
+		}
+		for _, doc := range d.Exited {
+			if !set[doc] {
+				t.Errorf("%s: query %d: delta exits doc %d the watcher was never shown", name, d.Query, doc)
+			}
+			delete(set, doc)
+		}
+		for _, m := range d.Entered {
+			if set[m.Doc] {
+				t.Errorf("%s: query %d: delta re-enters doc %d already shown", name, d.Query, m.Doc)
+			}
+			set[m.Doc] = true
+		}
+	}); err != nil {
+		t.Fatalf("%s: watch %d: %v", name, id, err)
+	}
 }
 
 // runOpSequence replays one decoded op sequence across the engine grid
@@ -183,57 +227,63 @@ func runOpSequence(t *testing.T, data []byte) {
 		pol = WithCountWindow(10)
 	}
 
+	// Every ITA engine in the grid runs with tiny floor margins so the
+	// 10-document windows actually exercise floor raises, purges and
+	// refill rebuilds; the production defaults would keep every floor at
+	// zero in windows this small.
 	mk := func(opts ...Option) *Engine {
-		e, err := New(append([]Option{pol}, opts...)...)
+		e, err := New(append([]Option{pol, withFloorMargins(1, 1)}, opts...)...)
 		if err != nil {
 			t.Fatalf("policy %s: %v", polName, err)
 		}
 		return e
 	}
-	serial := eqEngine{name: "serial", e: mk()}
-	// skiplist-trees pins the threshold trees to the pre-tiering
-	// skip-list representation on an otherwise identical serial engine:
-	// the tiered trees must be byte-identical to it in results AND in
-	// every operation counter at every boundary (the tiers change the
-	// representation, never a decision).
-	skTrees := eqEngine{name: "skiplist-trees", e: mk(withSkiplistOnlyTrees())}
+	serial := eqEngine{name: "serial", e: mk(), watched: map[QueryID]map[DocID]bool{}}
+	// scan-all-trees pins the probe trees to the entry-ordered scan-all
+	// representation on an otherwise identical serial engine: the
+	// θ-ordered probe index must be byte-identical to it in results AND
+	// in every operation counter at every boundary (θ-ordering changes
+	// which queries a probe visits first, never which it visits).
+	scanTrees := eqEngine{name: "scan-all-trees", e: mk(withScanAllTrees()), watched: map[QueryID]map[DocID]bool{}}
 	grid := []eqEngine{
 		serial,
-		skTrees,
-		{name: "naive-oracle", e: mk(WithAlgorithm(NaivePlain))},
+		scanTrees,
+		{name: "naive-oracle", e: mk(WithAlgorithm(NaivePlain)), watched: map[QueryID]map[DocID]bool{}},
 	}
-	// Every S×B cell exists twice: once with the tiered threshold trees
-	// and once pinned to the skip-list tier. twins pairs their grid
-	// indexes; compare() requires the pair byte-identical (results AND
-	// stats), including across crash/reopen — the grid-wide proof that
-	// the tiers change the representation, never a decision.
+	// Every S×B cell exists twice: once with the θ-ordered probe trees
+	// and once pinned to scan-all. twins pairs their grid indexes;
+	// compare() requires the pair byte-identical (results AND stats),
+	// including across crash/reopen — the grid-wide proof that the
+	// θ-ordered index changes the probe representation, never a
+	// decision.
 	var twins [][2]int
 	for _, s := range []int{1, 2, 8} {
 		for _, b := range []int{1, 64} {
 			pair := [2]int{}
-			for i, pure := range []bool{false, true} {
+			for i, scan := range []bool{false, true} {
 				// Durable: DurabilityOff skips fsyncs (an in-process crash
 				// loses no written bytes; fsync-loss is modelled by the
 				// byte-truncation sweeps in crash_test.go) and a small
 				// checkpoint interval makes generated runs cross several log
 				// rotations.
 				dir := t.TempDir()
-				opts := []Option{WithShards(s),
+				opts := []Option{WithShards(s), withFloorMargins(1, 1),
 					WithDurability(DurabilityOff), WithCheckpointEvery(24)}
 				if b > 1 {
 					opts = append(opts, WithBatchSize(b))
 				}
 				name := fmt.Sprintf("s%d_b%d", s, b)
-				if pure {
-					opts = append(opts, withSkiplistOnlyTrees())
-					name += "_sk"
+				if scan {
+					opts = append(opts, withScanAllTrees())
+					name += "_scan"
 				}
 				e, err := Open(dir, append([]Option{pol}, opts...)...)
 				if err != nil {
 					t.Fatalf("policy %s: %v", polName, err)
 				}
 				pair[i] = len(grid)
-				grid = append(grid, eqEngine{name: name, e: e, walDir: dir, pure: pure})
+				grid = append(grid, eqEngine{name: name, e: e, walDir: dir, scan: scan,
+					watched: map[QueryID]map[DocID]bool{}})
 			}
 			twins = append(twins, pair)
 		}
@@ -273,10 +323,10 @@ func runOpSequence(t *testing.T, data []byte) {
 					t.Fatalf("op %d: %s vs serial, query %d: %v", step, g.name, id, err)
 				}
 			}
-			// The tiered threshold trees must be byte-identical to the
-			// skip-list-only reference, not merely top-k-equivalent.
-			if got := skTrees.e.Results(id); !reflect.DeepEqual(got, want) {
-				t.Fatalf("op %d: skiplist-trees vs serial, query %d: %v vs %v", step, id, got, want)
+			// The θ-ordered probe trees must be byte-identical to the
+			// scan-all reference, not merely top-k-equivalent.
+			if got := scanTrees.e.Results(id); !reflect.DeepEqual(got, want) {
+				t.Fatalf("op %d: scan-all-trees vs serial, query %d: %v vs %v", step, id, got, want)
 			}
 			// The wait-free published read must be byte-identical to the
 			// same engine's locked read at the boundary.
@@ -288,20 +338,41 @@ func runOpSequence(t *testing.T, data []byte) {
 				}
 			}
 		}
-		// ...and counter-identical: the tiers may never change a
+		// ...and counter-identical: θ-ordering may never change a
 		// maintenance decision, so every Stats field matches the serial
 		// engine at every boundary.
-		if gs, ws := skTrees.e.Stats(), serial.e.Stats(); gs != ws {
-			t.Fatalf("op %d: skiplist-trees stats %+v, serial %+v", step, gs, ws)
+		if gs, ws := scanTrees.e.Stats(), serial.e.Stats(); gs != ws {
+			t.Fatalf("op %d: scan-all-trees stats %+v, serial %+v", step, gs, ws)
 		}
-		// Grid-wide tier proof: every S×B cell must be byte-identical —
-		// full state, results and counters — to its skiplist-pinned twin,
-		// whatever mixture of batching, sharding and crash/reopen the run
-		// has been through.
+		// Grid-wide probe-order proof: every S×B cell must be
+		// byte-identical — full state, results and counters — to its
+		// scan-all twin, whatever mixture of batching, sharding and
+		// crash/reopen the run has been through.
 		for _, pair := range twins {
-			tiered, pure := &grid[pair[0]], &grid[pair[1]]
-			requireSameState(t, captureState(pure.e), captureState(tiered.e),
-				fmt.Sprintf("op %d: %s vs %s (tier twin)", step, pure.name, tiered.name))
+			ordered, scan := &grid[pair[0]], &grid[pair[1]]
+			requireSameState(t, captureState(scan.e), captureState(ordered.e),
+				fmt.Sprintf("op %d: %s vs %s (probe twin)", step, scan.name, ordered.name))
+		}
+		// The delta-reconstruction oracle: each watcher's view of a
+		// query, rebuilt purely from the deltas it was delivered, must
+		// equal the engine's boundary result. A delta lost to a panicking
+		// sibling, a baseline taken off-boundary, or a duplicate delivery
+		// all surface here as a set mismatch.
+		for gi := range grid {
+			g := &grid[gi]
+			for id, set := range g.watched {
+				res := g.e.Results(id)
+				if len(res) != len(set) {
+					t.Fatalf("op %d: %s: query %d: watch reconstruction %v, boundary result %v",
+						step, g.name, id, set, res)
+				}
+				for _, m := range res {
+					if !set[m.Doc] {
+						t.Fatalf("op %d: %s: query %d: boundary doc %d missing from watch reconstruction %v",
+							step, g.name, id, m.Doc, set)
+					}
+				}
+			}
 		}
 		// Unregistered ids must stay dead on every engine: a dense slot
 		// recycled to a newer query must never leak a view, a result or
@@ -369,16 +440,8 @@ func runOpSequence(t *testing.T, data []byte) {
 				}
 			}
 			live = append(live, want)
-			for _, g := range grid {
-				g := g
-				if err := g.e.Watch(want, func(d Delta) {
-					if forbidden[d.Query] {
-						t.Errorf("op %d+: %s: watch delta delivered for dead query %d: %+v",
-							step, g.name, d.Query, d)
-					}
-				}); err != nil {
-					t.Fatalf("op %d: %s: watch %d: %v", step, g.name, want, err)
-				}
+			for gi := range grid {
+				watchQuery(t, &grid[gi], want, forbidden)
 			}
 		case opUnregister:
 			if len(live) == 0 {
@@ -393,10 +456,11 @@ func runOpSequence(t *testing.T, data []byte) {
 					t.Fatalf("op %d: %s: unregister %d reported unknown", step, g.name, id)
 				}
 			}
-			for _, g := range grid {
-				if got := g.e.Results(id); got != nil {
-					t.Fatalf("op %d: %s: unregistered query %d still served %v", step, g.name, id, got)
+			for gi := range grid {
+				if got := grid[gi].e.Results(id); got != nil {
+					t.Fatalf("op %d: %s: unregistered query %d still served %v", step, grid[gi].name, id, got)
 				}
+				delete(grid[gi].watched, id)
 			}
 			forbidden[id] = true
 		case opAdvance:
@@ -414,9 +478,30 @@ func runOpSequence(t *testing.T, data []byte) {
 			}
 		case opResults:
 			compare(step)
+		case opWatchToggle:
+			if len(live) == 0 {
+				continue
+			}
+			id := live[op.qsel%len(live)]
+			if _, on := grid[0].watched[id]; on {
+				for gi := range grid {
+					if !grid[gi].e.Unwatch(id) {
+						t.Fatalf("op %d: %s: unwatch %d reported no watcher", step, grid[gi].name, id)
+					}
+					delete(grid[gi].watched, id)
+				}
+			} else {
+				// Re-watching lands at whatever point the engine happens to
+				// be — for batched cells, typically mid-epoch with documents
+				// buffered — so the stored baseline must be the published
+				// boundary for the reconstruction to stay exact.
+				for gi := range grid {
+					watchQuery(t, &grid[gi], id, forbidden)
+				}
+			}
 		case opCrash:
 			for gi := range grid {
-				crashAndReopen(t, &grid[gi], fmt.Sprintf("op %d", step))
+				crashAndReopen(t, &grid[gi], fmt.Sprintf("op %d", step), forbidden)
 			}
 		case opCheckpoint:
 			for _, g := range grid {
@@ -434,15 +519,18 @@ func runOpSequence(t *testing.T, data []byte) {
 	// byte-identically one last time, whatever state the sequence left
 	// it in.
 	for gi := range grid {
-		crashAndReopen(t, &grid[gi], "end of run")
+		crashAndReopen(t, &grid[gi], "end of run", forbidden)
 	}
 }
 
 // crashAndReopen crashes one durable grid engine, recovers it from its
 // log, asserts the recovered engine is byte-identical to the crashed
 // one, and swaps it into the grid. In-memory engines (empty walDir) are
-// left alone.
-func crashAndReopen(t *testing.T, g *eqEngine, context string) {
+// left alone. Watch subscriptions do not survive a crash — they live in
+// the process, not the log — so every watched query is re-subscribed on
+// the recovered engine and its reconstruction re-baselined, exactly
+// what a real client does after a failover.
+func crashAndReopen(t *testing.T, g *eqEngine, context string, forbidden map[QueryID]bool) {
 	t.Helper()
 	if g.walDir == "" {
 		return
@@ -451,12 +539,13 @@ func crashAndReopen(t *testing.T, g *eqEngine, context string) {
 	g.e.crashForTest()
 	// Durability and checkpoint cadence are runtime policies, not
 	// persisted: re-supply them so the reopened engine keeps the
-	// generator's rotation coverage. The skip-list tree pin is equally a
-	// runtime representation choice and must survive reopen for the
-	// tier-twin comparison to stay meaningful.
-	opts := []Option{WithDurability(DurabilityOff), WithCheckpointEvery(24)}
-	if g.pure {
-		opts = append(opts, withSkiplistOnlyTrees())
+	// generator's rotation coverage. The scan-all pin and the floor
+	// margins are equally runtime choices and must survive reopen for
+	// the probe-twin comparison to stay meaningful.
+	opts := []Option{WithDurability(DurabilityOff), WithCheckpointEvery(24),
+		withFloorMargins(1, 1)}
+	if g.scan {
+		opts = append(opts, withScanAllTrees())
 	}
 	ne, err := Open(g.walDir, opts...)
 	if err != nil {
@@ -465,6 +554,9 @@ func crashAndReopen(t *testing.T, g *eqEngine, context string) {
 	g.e = ne
 	requireSameState(t, captureState(ne), pre,
 		fmt.Sprintf("%s: %s: crash/reopen", context, g.name))
+	for id := range g.watched {
+		watchQuery(t, g, id, forbidden)
+	}
 }
 
 // TestMetamorphicEquivalence runs the generator over a fixed seed set

@@ -58,8 +58,10 @@ type config struct {
 	retainText    bool
 	seed          uint64
 	disableRollup bool
-	pureTrees     bool // skiplist-only threshold trees (equivalence testing)
-	shards        int  // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
+	scanTrees     bool // scan-all probe trees (equivalence testing)
+	floorTarget   int  // floor margin overrides; 0 = engine default
+	floorRaise    int
+	shards        int // ShardedIncrementalThreshold only; 0 = GOMAXPROCS
 	shardsSet     bool
 	batchSize     int // epoch size for auto-coalesced ingestion; <= 1 disables
 
@@ -338,12 +340,25 @@ func WithoutRollup() Option {
 	return func(c *config) error { c.disableRollup = true; return nil }
 }
 
-// withSkiplistOnlyTrees pins the ITA engines' threshold trees to the
-// skip-list tier, the pre-tiering representation. Unexported: it exists
-// for the metamorphic equivalence suite, which proves the tiered trees
-// behavior- and counter-identical against this reference.
-func withSkiplistOnlyTrees() Option {
-	return func(c *config) error { c.pureTrees = true; return nil }
+// withScanAllTrees pins the ITA engines' probe trees to the scan-all
+// representation, where a probe visits every query registered on the
+// term instead of only the θ-ordered beatable prefix. Unexported: it
+// exists for the metamorphic equivalence suite, which proves the
+// θ-ordered probe index behavior- and counter-identical against this
+// reference.
+func withScanAllTrees() Option {
+	return func(c *config) error { c.scanTrees = true; return nil }
+}
+
+// withFloorMargins overrides the ITA engines' floor maintenance margins
+// (see internal/core/floor.go). Unexported: tests use tiny margins so
+// floor raises and rebuilds fire densely inside small windows.
+func withFloorMargins(target, raise int) Option {
+	return func(c *config) error {
+		c.floorTarget = target
+		c.floorRaise = raise
+		return nil
+	}
 }
 
 func (c *config) build() core.Engine {
@@ -358,8 +373,11 @@ func (c *config) build() core.Engine {
 		if c.disableRollup {
 			opts = append(opts, shard.WithoutRollup())
 		}
-		if c.pureTrees {
-			opts = append(opts, shard.WithSkiplistOnlyTrees())
+		if c.scanTrees {
+			opts = append(opts, shard.WithScanAllTrees())
+		}
+		if c.floorTarget != 0 || c.floorRaise != 0 {
+			opts = append(opts, shard.WithFloorMargins(c.floorTarget, c.floorRaise))
 		}
 		return shard.New(c.policy, c.shards, opts...)
 	default:
@@ -367,8 +385,11 @@ func (c *config) build() core.Engine {
 		if c.disableRollup {
 			opts = append(opts, core.WithoutRollup())
 		}
-		if c.pureTrees {
-			opts = append(opts, core.WithSkiplistOnlyTrees())
+		if c.scanTrees {
+			opts = append(opts, core.WithScanAllTrees())
+		}
+		if c.floorTarget != 0 || c.floorRaise != 0 {
+			opts = append(opts, core.WithFloorMargins(c.floorTarget, c.floorRaise))
 		}
 		return core.NewITA(c.policy, opts...)
 	}

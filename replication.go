@@ -464,7 +464,18 @@ func (e *Engine) applySnapshotLocked(seq uint64, data []byte) error {
 	if err := writeCheckpointFile(w.dir, seq, data); err != nil {
 		return err
 	}
-	ne, err := restoreSnapshot(snap, []Option{WithWAL(w.dir), walAttached()})
+	// Thread the runtime-only knobs through like Open's recovery does:
+	// they are not persisted in the primary's checkpoint, and losing
+	// them across a resync would change the rebuilt engine's floor
+	// maintenance schedule mid-stream.
+	extra := []Option{WithWAL(w.dir), walAttached()}
+	if e.cfg.scanTrees {
+		extra = append(extra, withScanAllTrees())
+	}
+	if e.cfg.floorTarget != 0 || e.cfg.floorRaise != 0 {
+		extra = append(extra, withFloorMargins(e.cfg.floorTarget, e.cfg.floorRaise))
+	}
+	ne, err := restoreSnapshot(snap, extra)
 	if err != nil {
 		return err
 	}

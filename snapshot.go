@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"ita/internal/core"
-	"ita/internal/invindex"
 	"ita/internal/model"
 	"ita/internal/vsm"
 	"ita/internal/window"
@@ -25,10 +24,14 @@ import (
 //	    sequence number used by WAL checkpoints. Restoring reconstructs
 //	    the engine byte-identically: results, Stats, and every future
 //	    maintenance decision match an engine that never restarted.
-//
-// Version-1 snapshots still restore (through the replay path); see
-// TestSnapshotV1FixtureRestores.
-const snapshotVersion = 2
+//	3 — the engine's incremental state is now a per-query score floor
+//	    (plus the full result list) instead of per-term positional
+//	    thresholds; snapshotQuery gains Floor and the Theta arrays are
+//	    retained only to decode older snapshots. A version-3 snapshot
+//	    restores exactly; version-2 (and 1) snapshots restore through
+//	    the replay path, which reproduces identical results while
+//	    recomputing floors and counters.
+const snapshotVersion = 3
 
 // snapshot is the serialized engine state. Up to version 1 the
 // incremental structures (inverted lists, thresholds, result sets) were
@@ -88,9 +91,12 @@ type snapshotQuery struct {
 	Text  string
 	Terms []model.QueryTerm
 
-	// Version 2 exact state, parallel arrays: ThetaW/ThetaDoc hold the
-	// local threshold of each query term (parallel to Terms), RDoc and
-	// RScore the full result list R in result order.
+	// Exact state. Version 3 captures the query's score floor and the
+	// full result list R (parallel RDoc/RScore arrays, result order).
+	// ThetaW/ThetaDoc carried version 2's per-term positional thresholds;
+	// they are kept so old snapshots decode, but the floor engine cannot
+	// reconstruct exact state from them (those restore via replay).
+	Floor    float64
 	ThetaW   []float64
 	ThetaDoc []uint64
 	RDoc     []uint64
@@ -189,12 +195,7 @@ func (e *Engine) encodeSnapshotLocked(w io.Writer) error {
 			if !ok {
 				panic("ita: registered query has no exportable state")
 			}
-			sq.ThetaW = make([]float64, len(st.Thetas))
-			sq.ThetaDoc = make([]uint64, len(st.Thetas))
-			for i, th := range st.Thetas {
-				sq.ThetaW[i] = th.W
-				sq.ThetaDoc[i] = uint64(th.Doc)
-			}
+			sq.Floor = st.F
 			sq.RDoc = make([]uint64, len(st.R))
 			sq.RScore = make([]float64, len(st.R))
 			for i, sd := range st.R {
@@ -292,7 +293,9 @@ func restoreSnapshot(s *snapshot, extraOpts []Option) (*Engine, error) {
 	}
 
 	restorer, exact := e.inner.(core.StateSnapshotter)
-	exact = exact && s.ExactState
+	// Version-2 exact state is positional (per-term thresholds); the
+	// floor engine cannot adopt it, so only version 3+ restores exactly.
+	exact = exact && s.ExactState && s.Version >= 3
 
 	docs := make([]*model.Document, len(s.Docs))
 	for i, sd := range s.Docs {
@@ -374,15 +377,12 @@ func (sq *snapshotQuery) decodeState() (*model.Query, core.QueryState, error) {
 	if err != nil {
 		return nil, core.QueryState{}, fmt.Errorf("ita: restore query %d: %w", sq.ID, err)
 	}
-	if len(sq.ThetaW) != len(sq.ThetaDoc) || len(sq.RDoc) != len(sq.RScore) {
+	if len(sq.RDoc) != len(sq.RScore) {
 		return nil, core.QueryState{}, fmt.Errorf("ita: restore query %d: mismatched state arrays", sq.ID)
 	}
 	st := core.QueryState{
-		Thetas: make([]invindex.EntryKey, len(sq.ThetaW)),
-		R:      make([]model.ScoredDoc, len(sq.RDoc)),
-	}
-	for i := range sq.ThetaW {
-		st.Thetas[i] = invindex.EntryKey{W: sq.ThetaW[i], Doc: model.DocID(sq.ThetaDoc[i])}
+		F: sq.Floor,
+		R: make([]model.ScoredDoc, len(sq.RDoc)),
 	}
 	for i := range sq.RDoc {
 		st.R[i] = model.ScoredDoc{Doc: model.DocID(sq.RDoc[i]), Score: sq.RScore[i]}

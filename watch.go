@@ -51,7 +51,13 @@ func (e *Engine) Watch(id QueryID, fn WatchFunc) error {
 	if e.closed {
 		return ErrClosed
 	}
-	cur, ok := e.inner.Result(id)
+	// The baseline is the last published boundary — the same source
+	// collectDeltas diffs against. Reading the live inner result here
+	// would baseline a watcher registered mid-epoch (say, on a follower
+	// whose replicated chunk stopped short of the epoch marker) on an
+	// in-epoch transient, and the transient-to-boundary difference
+	// would be lost from its delta stream.
+	cur, ok := e.boundaryResultLocked(id)
 	if !ok {
 		return fmt.Errorf("ita: watch: unknown query %d", id)
 	}
@@ -166,15 +172,30 @@ func (e *Engine) deliverQueued() {
 // deliverBatch invokes one drained batch's callbacks. The drainer flag
 // is released via defer so a panicking callback (possibly recovered
 // upstream, e.g. by net/http) cannot wedge delivery for the rest of the
-// engine's life; the panic itself still propagates.
+// engine's life; the panic itself still propagates. The deltas after
+// the panicking one are pushed back to the front of the queue first:
+// collectDeltas already advanced their watchers' cursors when it
+// produced them, so dropping them here would silently lose
+// notifications — the next flush would diff against a boundary those
+// watchers never saw.
 func (e *Engine) deliverBatch(batch []pendingDelta) {
+	i := 0
 	defer func() {
 		e.dmu.Lock()
 		e.delivering = false
+		if i < len(batch) {
+			// Panicked at batch[i]: that delta's callback ran (partially);
+			// re-enqueueing it would break at-most-once-per-epoch, so only
+			// the untouched tail goes back. Prepending keeps epoch order
+			// ahead of anything queued during this drain; the full-slice
+			// expression forces a fresh array so the append cannot
+			// scribble over batch's backing storage.
+			e.deliveryQ = append(batch[i+1:len(batch):len(batch)], e.deliveryQ...)
+		}
 		e.dmu.Unlock()
 	}()
-	for _, p := range batch {
-		p.fn(p.delta)
+	for ; i < len(batch); i++ {
+		batch[i].fn(batch[i].delta)
 	}
 }
 

@@ -1,6 +1,8 @@
 package ita
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -279,5 +281,166 @@ func TestWatchDisplacementProducesEnterAndExit(t *testing.T) {
 	}
 	if len(d.Exited) != 1 || d.Exited[0] != weak {
 		t.Fatalf("exited = %+v, want doc %d", d.Exited, weak)
+	}
+}
+
+// TestWatchPanicKeepsBatchTail pins the delivery-loss fix: when one
+// epoch produces deltas for several watchers and an early watcher
+// panics, the deltas after it must survive. collectDeltas has already
+// advanced those watchers' cursors, so if the batch tail were dropped
+// with the panic the later watchers would simply never learn about the
+// epoch — the next delta would silently diff from a boundary they never
+// saw.
+func TestWatchPanicKeepsBatchTail(t *testing.T) {
+	e := newEngine(t, WithCountWindow(5))
+	q1, err := e.Register("solar", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register("turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deltas deliver in ascending query id: q1's panicking watcher runs
+	// before q2's in the same batch.
+	if err := e.Watch(q1, func(Delta) { panic("watcher bug") }); err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q2, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		// The panic unwinds out of IngestText itself (delivery runs
+		// inside the call), so the returned id never lands; the entered
+		// document is read back from the boundary result instead.
+		defer func() {
+			if recover() == nil {
+				t.Fatal("watcher panic did not propagate")
+			}
+		}()
+		_, _ = e.IngestText("solar turbine", at(0))
+	}()
+	res := e.Results(q2)
+	if len(res) != 1 {
+		t.Fatalf("q2 boundary result = %+v", res)
+	}
+	id := res[0].Doc
+	// The tail is re-enqueued, not delivered inside the panicking drain;
+	// the next engine operation drains it, in order, before its own
+	// deltas.
+	if _, err := e.IngestText("entirely unrelated weather words", at(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("q2 deltas = %+v, want the one delta its sibling's panic tried to eat", got)
+	}
+	if got[0].Query != q2 || len(got[0].Entered) != 1 || got[0].Entered[0].Doc != id {
+		t.Fatalf("q2 delta = %+v, want entry of doc %d", got[0], id)
+	}
+}
+
+// TestWatchBaselineIsPublishedBoundary pins the Watch baseline to the
+// published boundary view. For publishing engines the boundary result
+// is the frozen slice collectDeltas itself diffs against, so the stored
+// baseline must alias it — a baseline read from the live inner state is
+// a different allocation, and (on a follower applying a chunk that
+// stopped short of its epoch marker) a different, mid-epoch value.
+func TestWatchBaselineIsPublishedBoundary(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8), WithBatchSize(4))
+	q, err := e.Register("solar turbine", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.IngestText("solar turbine array", at(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A buffered, unflushed document: the engine is mid-epoch.
+	second, err := e.IngestText("solar panel field", at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Delta
+	if err := e.Watch(q, func(d Delta) { got = append(got, d) }); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	ws := e.watches[q]
+	bound, ok := e.boundaryResultLocked(q)
+	e.mu.Unlock()
+	if !ok || len(bound) == 0 {
+		t.Fatalf("published boundary result missing: %v %v", bound, ok)
+	}
+	if len(ws.last) != len(bound) || &ws.last[0] != &bound[0] {
+		t.Fatalf("watch baseline is not the published boundary slice: %v vs %v", ws.last, bound)
+	}
+	if ws.last[0].Doc != first {
+		t.Fatalf("baseline = %+v, want the flushed boundary {doc %d}", ws.last, first)
+	}
+	// Flushing the buffered epoch must deliver exactly the
+	// boundary-to-boundary difference.
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Entered) != 1 || got[0].Entered[0].Doc != second || len(got[0].Exited) != 0 {
+		t.Fatalf("deltas = %+v, want a single entry of doc %d", got, second)
+	}
+}
+
+// TestWatchChurnRacesFlushes hammers Watch/Unwatch from several
+// goroutines while ingests flush batched epochs and deliver deltas.
+// Run under -race; the assertions are the race detector's plus the
+// engine surviving with a consistent final state.
+func TestWatchChurnRacesFlushes(t *testing.T) {
+	e := newEngine(t, WithCountWindow(32), WithBatchSize(8))
+	var ids []QueryID
+	for _, text := range []string{"solar turbine", "oil tanker", "grid storage", "crude futures"} {
+		id, err := e.Register(text, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := ids[w%len(ids)]
+			var n atomic.Int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := e.Watch(id, func(Delta) { n.Add(1) }); err != nil {
+					t.Errorf("watch %d: %v", id, err)
+					return
+				}
+				e.Unwatch(id)
+			}
+		}(w)
+	}
+	texts := []string{"solar turbine output", "oil tanker docked", "grid storage demand", "crude futures price"}
+	for i := 0; i < 400; i++ {
+		if _, err := e.IngestText(texts[i%len(texts)], at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if res := e.Results(id); len(res) == 0 {
+			t.Fatalf("query %d lost its results under churn", id)
+		}
 	}
 }
