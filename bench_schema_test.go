@@ -23,8 +23,8 @@ func TestBenchJSONSchemas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 6 {
-		t.Fatalf("found %d BENCH_*.json files, want at least 6 (sharded, batch, reads, recovery, scale, failover)", len(files))
+	if len(files) < 7 {
+		t.Fatalf("found %d BENCH_*.json files, want at least 7 (sharded, batch, reads, recovery, scale, failover, cluster)", len(files))
 	}
 	for _, f := range files {
 		f := f
@@ -76,6 +76,40 @@ func TestBenchJSONSchemas(t *testing.T) {
 				}
 				if phases["steady"] == 0 || phases["catchup"] == 0 || phases["promote"] != 1 {
 					t.Fatalf("failover report phase coverage %v, want steady, catchup cells and exactly one promote", phases)
+				}
+			}
+
+			if f == "BENCH_CLUSTER.json" {
+				var rep harness.ClusterReport
+				if err := json.Unmarshal(data, &rep); err != nil {
+					t.Fatal(err)
+				}
+				phases := map[string]int{}
+				maxNodes := 0
+				for _, pt := range rep.Points {
+					phases[pt.Phase]++
+					if !pt.EquivalentOK {
+						t.Fatalf("cluster cell served diverged results: %+v", pt)
+					}
+					if pt.Nodes > maxNodes {
+						maxNodes = pt.Nodes
+					}
+					switch pt.Phase {
+					case "ingest":
+						if pt.IngestPerSec <= 0 || pt.RelBaseline <= 0 {
+							t.Fatalf("malformed ingest point %+v", pt)
+						}
+					case "read":
+						if pt.MergedReadUs <= 0 || pt.OwnerReadUs <= 0 || pt.ReadIters <= 0 {
+							t.Fatalf("malformed read point %+v", pt)
+						}
+					default:
+						t.Fatalf("unknown cluster phase %q", pt.Phase)
+					}
+				}
+				if phases["ingest"] < 2 || phases["read"] < 2 || maxNodes < 2 {
+					t.Fatalf("cluster report phase coverage %v (max %d nodes), want ingest and read cells for a multi-node count",
+						phases, maxNodes)
 				}
 			}
 

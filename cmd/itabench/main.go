@@ -12,6 +12,7 @@
 //	itabench -exp reads -queries 2000 -readers 1,4,16 -json BENCH_READS.json
 //	itabench -exp recovery -queries 2000 -ckpts 0,64,512 -json BENCH_RECOVERY.json
 //	itabench -exp failover -queries 2000 -behind 4,16,64 -json BENCH_FAILOVER.json
+//	itabench -exp cluster -queries 2000 -nodes 1,2,3 -json BENCH_CLUSTER.json
 //
 // The paper profile reproduces the published configuration (1,000
 // queries, 181,978-term dictionary, windows up to 100,000 documents) and
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|scale|failover|all")
+		exp     = flag.String("exp", "all", "experiment: setup|validate|explain|fig3a|fig3b|fig3a-time|headline|ablations|throughput|batch|reads|recovery|scale|failover|cluster|all")
 		profile = flag.String("profile", "quick", "workload profile: quick|paper")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		quiet   = flag.Bool("q", false, "suppress progress lines")
@@ -59,6 +60,10 @@ func main() {
 		// steady-state replication lag, catch-up time from each epoch
 		// gap in -behind, and promote-to-first-served-read latency.
 		behindSet = flag.String("behind", "4,16,64", "failover: comma-separated epoch gaps for the catch-up cells")
+		// -exp cluster knobs: the multi-node experiment sweeps node
+		// counts, measuring ingest fan-out overhead and merged-read
+		// latency against the single-node baseline cell.
+		nodesSet = flag.String("nodes", "1,2,3", "cluster: comma-separated node counts (first cell is the baseline)")
 		// -exp scale knobs: the query-scale experiment sweeps registered
 		// query counts, measuring engine bytes/query (forced-GC heap
 		// deltas around registration) and ingest throughput.
@@ -161,6 +166,15 @@ func main() {
 	case "failover":
 		rep, err := harness.Failover(p, *queries, 10, 1000, *batch,
 			parseInts(*behindSet, "-behind", 1), *events, progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Format())
+		writeJSON(*jsonOut, rep.JSON, *quiet)
+		return
+	case "cluster":
+		rep, err := harness.Cluster(p, *queries, 10, 1000, *batch,
+			parseInts(*nodesSet, "-nodes", 1), *events, progress)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ita"
+	"ita/internal/cluster"
+)
+
+// Cluster-node endpoints. A node in a multi-node deployment is an
+// ordinary itaserver; these additional routes are what a cluster
+// router needs beyond the public API: registrations with explicit ids,
+// dictionary alignment for queries owned elsewhere, batch ingest and
+// clock advances with the router's shared timestamps, explicit
+// flushes, and the status gauges the router checks for agreement.
+
+type clusterRegisterRequest struct {
+	ID   uint64 `json:"id"`
+	Text string `json:"text"`
+	K    int    `json:"k"`
+}
+
+func (s *server) clusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req clusterRegisterRequest
+	if !decodeBody(w, r, &req, `body must be {"id": 1, "text": "...", "k": 10}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"id": 1, "text": "...", "k": 10}`, http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if err := s.eng.RegisterWithID(ita.QueryID(req.ID), req.Text, req.K); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"query": req.ID})
+}
+
+func (s *server) clusterAlign(w http.ResponseWriter, r *http.Request) {
+	var req clusterRegisterRequest
+	if !decodeBody(w, r, &req, `body must be {"id": 1, "text": "..."}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"id": 1, "text": "..."}`, http.StatusBadRequest)
+		return
+	}
+	if err := s.eng.AlignRegister(ita.QueryID(req.ID), req.Text); err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"aligned": req.ID})
+}
+
+type clusterIngestRequest struct {
+	Items []struct {
+		Text string `json:"text"`
+		At   int64  `json:"at"`
+	} `json:"items"`
+}
+
+func (s *server) clusterIngest(w http.ResponseWriter, r *http.Request) {
+	var req clusterIngestRequest
+	if !decodeBody(w, r, &req, `body must be {"items": [{"text": "...", "at": unixnano}, ...]}`) {
+		return
+	}
+	items := make([]ita.TimedText, 0, len(req.Items))
+	for _, it := range req.Items {
+		items = append(items, ita.TimedText{Text: it.Text, At: time.Unix(0, it.At)})
+	}
+	ids, err := s.eng.IngestBatch(items)
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	docs := make([]uint64, len(ids))
+	for i, id := range ids {
+		docs[i] = uint64(id)
+	}
+	writeJSON(w, http.StatusCreated, map[string][]uint64{"docs": docs})
+}
+
+func (s *server) clusterAdvance(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		At int64 `json:"at"`
+	}
+	if !decodeBody(w, r, &req, `body must be {"at": unixnano}`) {
+		return
+	}
+	if err := s.eng.Advance(time.Unix(0, req.At)); err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) clusterFlush(w http.ResponseWriter, _ *http.Request) {
+	if err := s.eng.Flush(); err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) clusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.Status{
+		NextQuery: s.eng.NextQueryID(),
+		Queries:   s.eng.Queries(),
+		Window:    s.eng.WindowLen(),
+		Dict:      s.eng.DictionarySize(),
+	})
+}
+
+// addClusterRoutes mounts the node-side cluster endpoints on mux.
+func addClusterRoutes(mux *http.ServeMux, s *server) {
+	post := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/cluster/register", post(s.clusterRegister))
+	mux.HandleFunc("/cluster/align", post(s.clusterAlign))
+	mux.HandleFunc("/cluster/ingest", post(s.clusterIngest))
+	mux.HandleFunc("/cluster/advance", post(s.clusterAdvance))
+	mux.HandleFunc("/cluster/flush", post(s.clusterFlush))
+	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.clusterStatus(w, r)
+	})
+}
+
+// routerServer serves the public itaserver API over a cluster.Router —
+// clients talk to it exactly as they would to one node, and it fans
+// writes to every node while merging reads across the partition.
+type routerServer struct {
+	router *cluster.Router
+}
+
+func (s *routerServer) postDocument(w http.ResponseWriter, r *http.Request) {
+	var req documentRequest
+	if !decodeBody(w, r, &req, `body must be {"text": "..."}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"text": "..."}`, http.StatusBadRequest)
+		return
+	}
+	// One timestamp, stamped here: each node applying its own clock
+	// would diverge under time windows.
+	at := time.Now()
+	if req.At != 0 {
+		at = time.Unix(0, req.At)
+	}
+	id, err := s.router.IngestText(req.Text, at)
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"doc": uint64(id)})
+}
+
+func (s *routerServer) postQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req, `body must be {"text": "...", "k": 10}`) {
+		return
+	}
+	if strings.TrimSpace(req.Text) == "" {
+		http.Error(w, `body must be {"text": "...", "k": 10}`, http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	id, err := s.router.Register(req.Text, req.K)
+	if err != nil {
+		httpError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]uint64{"query": uint64(id)})
+}
+
+func (s *routerServer) queryByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/queries/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		ok, err := s.router.Unregister(ita.QueryID(id))
+		if err != nil {
+			httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "unknown query", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		matches, text, ok, err := s.router.Results(ita.QueryID(id))
+		if err != nil {
+			httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "unknown query", http.StatusNotFound)
+			return
+		}
+		out := struct {
+			Query   string          `json:"query"`
+			Matches []matchResponse `json:"matches"`
+		}{Query: text, Matches: make([]matchResponse, 0, len(matches))}
+		for _, m := range matches {
+			out.Matches = append(out.Matches, matchResponse{Doc: uint64(m.Doc), Score: m.Score, Text: m.Text})
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *routerServer) listQueries(w http.ResponseWriter, _ *http.Request) {
+	all, err := s.router.ResultsAll()
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	out := make([]queryResponse, 0, len(all))
+	for _, qr := range all {
+		entry := queryResponse{Query: uint64(qr.Query), Text: qr.Text, Matches: make([]matchResponse, 0, len(qr.Matches))}
+		for _, m := range qr.Matches {
+			entry.Matches = append(entry.Matches, matchResponse{Doc: uint64(m.Doc), Score: m.Score, Text: m.Text})
+		}
+		out = append(out, entry)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *routerServer) stats(w http.ResponseWriter, _ *http.Request) {
+	counters, err := s.router.Stats()
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	st, err := s.router.Status()
+	if err != nil {
+		httpError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"window":     st.Window,
+		"queries":    st.Queries,
+		"dictionary": st.Dict,
+		"counters":   counters,
+		"nodes":      s.router.Size(),
+	})
+}
+
+func (s *routerServer) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": "router"})
+}
+
+// readyz on the router is cluster readiness: every node must answer
+// its status and the answers must agree.
+func (s *routerServer) readyz(w http.ResponseWriter, _ *http.Request) {
+	if _, err := s.router.Status(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "role": "router"})
+}
+
+// newRouterMux wires the public route table onto a router front end.
+func newRouterMux(s *routerServer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.postDocument(w, r)
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			s.postQuery(w, r)
+		case http.MethodGet:
+			s.listQueries(w, r)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/queries/", s.queryByID)
+	mux.HandleFunc("/stats", s.stats)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.router.Flush(); err != nil {
+			httpError(w, err, http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// buildRouter connects to the comma-separated node base URLs and
+// fronts them with a merge router.
+func buildRouter(nodeList string) (*cluster.Router, error) {
+	var nodes []cluster.Node
+	for _, raw := range strings.Split(nodeList, ",") {
+		u := strings.TrimSpace(raw)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		nodes = append(nodes, cluster.NewHTTPNode(u, nil))
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("-nodes given but no node URLs parsed")
+	}
+	return cluster.NewRouter(nodes)
+}

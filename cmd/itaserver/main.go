@@ -57,6 +57,26 @@
 //
 // /readyz gates load-balancer traffic: a follower reports 503 until it
 // is connected and within -ready-lag epochs of the primary's head.
+//
+// # Cluster mode
+//
+// -nodes turns the server into a stateless merge router over N
+// independent itaserver nodes: every document fans out to every node
+// (with one shared timestamp), each standing query is registered on
+// exactly one node chosen by a placement hash of its id, and reads
+// merge the per-node partitions back into the single-engine view.
+// Because the paper's threshold maintenance is strictly per-query, the
+// merged results are byte-identical to one engine holding all queries
+// — node count divides the per-query maintenance cost without changing
+// a single score. Each node can keep its own warm standby (-follow);
+// killing a node, promoting its standby and pointing a fresh router at
+// the new address is the failover story, and a crashed node rejoins by
+// replaying its own WAL:
+//
+//	itaserver -addr :9001 -wal /var/lib/ita-1 &
+//	itaserver -addr :9002 -wal /var/lib/ita-2 &
+//	itaserver -addr :9000 -nodes localhost:9001,localhost:9002 &
+//	curl -s -X POST localhost:9000/queries -d '{"text":"crude oil","k":3}'
 package main
 
 import (
@@ -91,6 +111,10 @@ type server struct {
 
 type documentRequest struct {
 	Text string `json:"text"`
+	// At optionally pins the arrival time (Unix nanoseconds). A cluster
+	// router stamps each document once and forwards the same timestamp
+	// to every node, so time windows expire identically cluster-wide.
+	At int64 `json:"at,omitempty"`
 }
 
 type queryRequest struct {
@@ -147,7 +171,11 @@ func (s *server) postDocument(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `body must be {"text": "..."}`, http.StatusBadRequest)
 		return
 	}
-	id, err := s.eng.IngestText(req.Text, time.Now())
+	at := time.Now()
+	if req.At != 0 {
+		at = time.Unix(0, req.At)
+	}
+	id, err := s.eng.IngestText(req.Text, at)
 	if err != nil {
 		httpError(w, err, http.StatusInternalServerError)
 		return
@@ -336,6 +364,7 @@ func newMux(s *server) *http.ServeMux {
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/readyz", s.readyz)
 	mux.HandleFunc("/promote", s.promote)
+	addClusterRoutes(mux, s)
 	return mux
 }
 
@@ -367,8 +396,44 @@ func main() {
 		replOn  = flag.String("replicate-addr", "", "with -wal: stream the WAL to followers on this address (host:port)")
 		follow  = flag.String("follow", "", "with -wal: run as a read-only warm standby of the primary replicating at this address")
 		readyLg = flag.Uint64("ready-lag", 16, "with -follow: /readyz reports ready while within this many epochs of the primary's head")
+		nodeLst = flag.String("nodes", "", "router mode: comma-separated node base URLs; this server fans writes to every node and merges reads instead of running an engine")
 	)
 	flag.Parse()
+
+	if *nodeLst != "" {
+		router, err := buildRouter(*nodeLst)
+		if err != nil {
+			log.Fatalf("itaserver: %v", err)
+		}
+		log.Printf("cluster router over %d nodes listening on %s", router.Size(), *addr)
+		srv := &http.Server{
+			Addr:              *addr,
+			Handler:           limitBodies(newRouterMux(&routerServer{router: router})),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      60 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- srv.ListenAndServe() }()
+		select {
+		case err := <-done:
+			log.Fatal(err)
+		case sig := <-stop:
+			log.Printf("received %s, shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("itaserver: drain: %v", err)
+			}
+			if err := router.Close(); err != nil {
+				log.Printf("itaserver: close: %v", err)
+			}
+		}
+		return
+	}
 
 	if *follow != "" {
 		if *walDir == "" {

@@ -234,6 +234,32 @@
 // acknowledged boundary — including promotion under a network
 // partition.
 //
+// # Cluster mode
+//
+// ITA's per-query threshold maintenance never couples two queries, so
+// the standing query set partitions exactly: internal/cluster runs N
+// nodes that each ingest the full document stream but own only the
+// placement-hash slice of the queries (the same hash the in-process
+// sharded engine uses), behind a router that fans writes to every node
+// and merges reads. Results are byte-identical to one process, not
+// approximately so, because the router keeps every node's term
+// dictionary id-identical: a registration is applied on its owner with
+// an explicit id (RegisterWithID) and interned everywhere else without
+// maintenance state (AlignRegister, WAL-logged so a node's own warm
+// standby inherits the alignment), which pins the term-id order that
+// float score accumulation depends on. The router stamps one arrival
+// time per document so time windows expire identically, routes
+// Results to the placement owner, concatenates and re-sorts
+// ResultsAll, and cross-checks merged Stats — stream counters must be
+// equal on every node, per-query counters sum. Each node can run its
+// own replication standby; a promoted standby swaps into the router
+// slot-for-slot, invisible to placement. The cluster metamorphic
+// suite drives 2- and 3-node clusters (each node with a live standby
+// under fault injection) against the single-process oracle and
+// requires byte-identity at every quiesced boundary, through node
+// kill/rejoin and promote-under-partition (TestMetamorphicCluster,
+// replayable via ITA_CLUSTER_SEED).
+//
 // # Scaling to millions of queries
 //
 // Internally the engine never keys per-query state by the public

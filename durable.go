@@ -304,7 +304,12 @@ func (e *Engine) replayRecord(rec *wal.Record) error {
 			return fmt.Errorf("replayed batch start id %d, logged %d", ids[0], rec.Doc)
 		}
 	case wal.KindRegister:
-		id, deltas, err := e.registerLocked(rec.Text, rec.K)
+		// The record's id is applied verbatim: cluster nodes register
+		// sparse slices of the global id space, so the replayed id may
+		// skip ahead of a dense sequence. registerAtLocked still rejects
+		// an id behind nextQuery, which is what a corrupt or reordered
+		// log looks like.
+		id, deltas, err := e.registerAtLocked(QueryID(rec.Query), rec.Text, rec.K)
 		if err != nil {
 			return err
 		}
@@ -312,6 +317,12 @@ func (e *Engine) replayRecord(rec *wal.Record) error {
 		if uint64(id) != rec.Query {
 			return fmt.Errorf("replayed query id %d, logged %d", id, rec.Query)
 		}
+	case wal.KindAlign:
+		deltas, err := e.alignRegisterLocked(QueryID(rec.Query), rec.Text)
+		if err != nil {
+			return err
+		}
+		e.queueDeltasLocked(deltas)
 	case wal.KindUnregister:
 		e.unregisterLocked(QueryID(rec.Query))
 	case wal.KindAdvance:

@@ -27,16 +27,15 @@ type (
 	Stats = core.Stats
 	// Memory exposes the engine's per-component memory estimate.
 	Memory = core.Memory
+	// Match is one result entry of a continuous query. Text is the
+	// document's original text when the engine was built with
+	// WithTextRetention, empty otherwise.
+	Match = model.Match
+	// QueryResult pairs a query with its current top-k.
+	QueryResult = model.QueryResult
+	// TimedText is one element of an IngestBatch call.
+	TimedText = model.TimedText
 )
-
-// Match is one result entry of a continuous query.
-type Match struct {
-	Doc   DocID
-	Score float64
-	// Text is the document's original text when the engine was built
-	// with WithTextRetention, empty otherwise.
-	Text string
-}
 
 // Errors returned by the public API.
 var (
@@ -284,12 +283,6 @@ func (e *Engine) ingestLocked(text string, at time.Time) (DocID, []pendingDelta,
 		return doc.ID, e.collectDeltas(), err
 	}
 	return doc.ID, e.collectDeltas(), nil
-}
-
-// TimedText is one element of an IngestBatch call.
-type TimedText struct {
-	Text string
-	At   time.Time
 }
 
 // epochProcessor is implemented by engines (ITA and the sharded ITA)
@@ -586,6 +579,19 @@ func (e *Engine) Register(queryText string, k int) (QueryID, error) {
 }
 
 func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelta, error) {
+	return e.registerAtLocked(e.nextQuery, queryText, k)
+}
+
+// registerAtLocked registers a query under an explicit id. Ordinary
+// registrations pass e.nextQuery; the cluster path (RegisterWithID) and
+// WAL replay pass ids that may skip ahead of it — a node that owns only
+// its hash slice of the global id space consumes the skipped ids via
+// AlignRegister. An id behind e.nextQuery is always an error: those ids
+// are spent, and during replay a regressing id means a corrupt log.
+func (e *Engine) registerAtLocked(id QueryID, queryText string, k int) (QueryID, []pendingDelta, error) {
+	if id < e.nextQuery {
+		return 0, nil, fmt.Errorf("ita: register id %d already consumed (next is %d)", id, e.nextQuery)
+	}
 	freqs := e.pipeline.TermFreqs(queryText)
 	if len(freqs) == 0 {
 		return 0, nil, ErrNoQueryTerms
@@ -594,14 +600,14 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	if terms == nil {
 		terms = e.cfg.weighter.QueryTerms(freqs)
 	}
-	q, err := model.NewQuery(e.nextQuery, k, terms)
+	q, err := model.NewQuery(id, k, terms)
 	if err != nil {
 		return 0, nil, fmt.Errorf("ita: analyze query: %w", err)
 	}
 	// Log before apply; the record carries the id the apply will assign
 	// so recovery can verify replay determinism.
 	if err := e.walAppendLocked(&wal.Record{
-		Kind: wal.KindRegister, Query: uint64(e.nextQuery), K: k, Text: queryText,
+		Kind: wal.KindRegister, Query: uint64(id), K: k, Text: queryText,
 	}); err != nil {
 		return 0, nil, err
 	}
@@ -612,8 +618,7 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	if err := e.inner.Register(q); err != nil {
 		return 0, deltas, err
 	}
-	id := e.nextQuery
-	e.nextQuery++
+	e.nextQuery = id + 1
 	e.queryText.Store(id, queryText)
 	e.internStoreLocked(queryText, q.Terms)
 	// Second publication of the op: the flush above published the
@@ -621,6 +626,89 @@ func (e *Engine) registerLocked(queryText string, k int) (QueryID, []pendingDelt
 	// query's initial result visible to wait-free readers.
 	e.publishLocked()
 	return id, deltas, e.walBoundaryLocked()
+}
+
+// RegisterWithID registers a continuous query under a caller-chosen id,
+// which must not be behind the engine's next id (ids at or ahead of it
+// are fine; the gap is consumed). It is the cluster building block: a
+// node that owns only its placement-hash slice of the global query
+// space registers exactly the ids the router assigns it, while
+// AlignRegister consumes the others — keeping every node's id sequence,
+// dictionary and epoch boundaries byte-identical to a single process
+// running the full query set. Single-process callers should use
+// Register, which assigns ids densely.
+func (e *Engine) RegisterWithID(id QueryID, queryText string, k int) error {
+	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	_, deltas, err := e.registerAtLocked(id, queryText, k)
+	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
+	e.mu.Unlock()
+	e.deliverQueued()
+	return err
+}
+
+// AlignRegister is the non-owning side of a cluster registration: the
+// node does not install query id (another node owns it), but replays
+// everything else a registration does to the shared stream state — the
+// query text is analyzed so dictionary interning order stays identical
+// across nodes (term ids order the score summation, so a diverged
+// dictionary diverges result bytes), any buffered epoch is flushed at
+// the same stream position the owning node flushes it, and the id is
+// consumed. The operation is WAL-logged and replays through recovery
+// and replication like any other.
+func (e *Engine) AlignRegister(id QueryID, queryText string) error {
+	e.mu.Lock()
+	if err := e.gateWriteLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	deltas, err := e.alignRegisterLocked(id, queryText)
+	e.queueDeltasLocked(deltas)
+	if err == nil {
+		e.maybeCheckpointLocked()
+	}
+	e.mu.Unlock()
+	e.deliverQueued()
+	return err
+}
+
+func (e *Engine) alignRegisterLocked(id QueryID, queryText string) ([]pendingDelta, error) {
+	if id < e.nextQuery {
+		return nil, fmt.Errorf("ita: align register id %d already consumed (next is %d)", id, e.nextQuery)
+	}
+	// Intern before the flush, exactly where registerAtLocked interns:
+	// buffered documents took their term ids at ingest time, so the
+	// query text's terms land in the same dictionary order either way.
+	if freqs := e.pipeline.TermFreqs(queryText); len(freqs) == 0 {
+		return nil, ErrNoQueryTerms
+	}
+	if err := e.walAppendLocked(&wal.Record{
+		Kind: wal.KindAlign, Query: uint64(id), Text: queryText,
+	}); err != nil {
+		return nil, err
+	}
+	if err := e.flushLocked(); err != nil {
+		return nil, err
+	}
+	deltas := e.collectDeltas()
+	e.nextQuery = id + 1
+	e.publishLocked()
+	return deltas, e.walBoundaryLocked()
+}
+
+// NextQueryID returns the id the next Register call would assign. A
+// cluster router reads it at startup to resume the global id sequence
+// from recovered nodes.
+func (e *Engine) NextQueryID() QueryID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nextQuery
 }
 
 type internEntry struct {
@@ -711,7 +799,7 @@ func (e *Engine) unregisterLocked(id QueryID) bool {
 		e.internReleaseLocked(text.(string))
 	}
 	e.queryText.Delete(id)
-	delete(e.watches, id)
+	e.dropWatchLocked(id)
 	ok := e.inner.Unregister(id)
 	// Make the removal visible to wait-free readers: until this publish,
 	// readers still see the query at its last pre-unregister boundary.
@@ -747,12 +835,6 @@ func (e *Engine) Results(id QueryID) []Match {
 		return nil
 	}
 	return e.matchesLocked(docs)
-}
-
-// QueryResult pairs a query with its current top-k.
-type QueryResult struct {
-	Query   QueryID
-	Matches []Match
 }
 
 // ResultsAll returns the current top-k of every registered query, in

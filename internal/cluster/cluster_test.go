@@ -1,0 +1,281 @@
+package cluster_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ita"
+	"ita/internal/cluster"
+	"ita/internal/core"
+	"ita/internal/model"
+)
+
+var (
+	_ cluster.Node = (*cluster.HTTPNode)(nil)
+	// *ita.Engine satisfies the structural LocalEngine contract; this
+	// breaks loudly if a facade signature drifts.
+	_ cluster.LocalEngine = (*ita.Engine)(nil)
+)
+
+func at(ms int) time.Time {
+	return time.Unix(0, int64(ms)*int64(time.Millisecond))
+}
+
+func newLocalCluster(t *testing.T, k int, opts ...ita.Option) (*cluster.Router, []*ita.Engine) {
+	t.Helper()
+	engines := make([]*ita.Engine, k)
+	nodes := make([]cluster.Node, k)
+	for i := range engines {
+		e, err := ita.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		engines[i] = e
+		nodes[i] = cluster.Local(e)
+	}
+	r, err := cluster.NewRouter(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, engines
+}
+
+// TestRouterMergesEqualSingleProcess drives the same workload through
+// a 3-node local cluster and one engine: merged stats must be equal
+// field for field, merged results identical, and the status totals
+// must match — the unit-scale version of the metamorphic oracle.
+func TestRouterMergesEqualSingleProcess(t *testing.T) {
+	router, _ := newLocalCluster(t, 3, ita.WithCountWindow(16))
+	ref, err := ita.New(ita.WithCountWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	for i, text := range []string{"crude oil production", "solar turbine output", "tanker export pipeline", "grid storage demand"} {
+		id, err := router.Register(text, 2+i%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Register(text, 2+i%2)
+		if err != nil || id != want {
+			t.Fatalf("register %q: cluster id %d, reference id %d (%v)", text, id, want, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		text := fmt.Sprintf("oil solar tanker grid report %d demand %d", i%5, i%3)
+		id, err := router.IngestText(text, at(i*10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.IngestText(text, at(i*10))
+		if err != nil || id != want {
+			t.Fatalf("ingest %d: cluster doc %d, reference doc %d (%v)", i, id, want, err)
+		}
+	}
+
+	got, err := router.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Stats(); got != want {
+		t.Fatalf("merged stats diverge:\n got: %+v\nwant: %+v", got, want)
+	}
+
+	merged, err := router.ResultsAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := ref.ResultsAll()
+	if len(merged) != len(single) {
+		t.Fatalf("merged %d queries, reference %d", len(merged), len(single))
+	}
+	for i, q := range merged {
+		if q.Query != single[i].Query {
+			t.Fatalf("merged order: entry %d is query %d, want %d", i, q.Query, single[i].Query)
+		}
+		if len(q.Matches) != len(single[i].Matches) {
+			t.Fatalf("query %d: %d matches vs %d", q.Query, len(q.Matches), len(single[i].Matches))
+		}
+		for j, m := range q.Matches {
+			if m != single[i].Matches[j] {
+				t.Fatalf("query %d match %d: %+v vs %+v", q.Query, j, m, single[i].Matches[j])
+			}
+		}
+		text, ok := ref.QueryText(q.Query)
+		if !ok || q.Text != text {
+			t.Fatalf("query %d text %q, want %q", q.Query, q.Text, text)
+		}
+	}
+
+	st, err := router.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != ref.Queries() || st.Window != ref.WindowLen() || st.Dict != ref.DictionarySize() {
+		t.Fatalf("status %+v, want queries=%d window=%d dict=%d", st, ref.Queries(), ref.WindowLen(), ref.DictionarySize())
+	}
+
+	// Per-id reads route to the owner and agree too.
+	for _, q := range single {
+		matches, _, ok, err := router.Results(q.Query)
+		if err != nil || !ok {
+			t.Fatalf("cluster results %d: ok=%v err=%v", q.Query, ok, err)
+		}
+		want := ref.Results(q.Query)
+		if len(matches) != len(want) {
+			t.Fatalf("query %d: cluster %d matches, reference %d", q.Query, len(matches), len(want))
+		}
+		for j := range matches {
+			if matches[j] != want[j] {
+				t.Fatalf("query %d match %d: %+v vs %+v", q.Query, j, matches[j], want[j])
+			}
+		}
+	}
+}
+
+// alignRefuser wraps a node and fails AlignRegister on demand — the
+// deterministic stand-in for a node that is down or read-only during
+// the registration fan-out.
+type alignRefuser struct {
+	cluster.Node
+	refuse bool
+	err    error
+}
+
+func (n *alignRefuser) AlignRegister(id model.QueryID, text string) error {
+	if n.refuse {
+		return n.err
+	}
+	return n.Node.AlignRegister(id, text)
+}
+
+// TestRouterRegisterRollbackOnAlignFailure: a partial fan-out failure
+// must roll the registration back on the owner — the query cannot be
+// half-registered — surface the failing node's error unwrapped, and
+// leave the cluster able to register again (with a fresh id: the
+// failed one is consumed).
+func TestRouterRegisterRollbackOnAlignFailure(t *testing.T) {
+	engines := make([]*ita.Engine, 2)
+	nodes := make([]cluster.Node, 2)
+	for i := range engines {
+		e, err := ita.New(ita.WithCountWindow(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		engines[i] = e
+		nodes[i] = cluster.Local(e)
+	}
+	// Query id 1 is owned by slot 1, so slot 0 is the aligning side.
+	refuser := &alignRefuser{Node: nodes[0], refuse: true, err: errors.New("node down")}
+	nodes[0] = refuser
+	router, err := cluster.NewRouter(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = router.Register("crude oil production", 3)
+	if err == nil {
+		t.Fatal("register with refusing aligner succeeded")
+	}
+	if !errors.Is(err, refuser.err) {
+		t.Fatalf("align error not preserved: %v", err)
+	}
+	for i, e := range engines {
+		if n := e.Queries(); n != 0 {
+			t.Fatalf("node %d serves %d queries after rollback, want 0", i, n)
+		}
+	}
+	if res := engines[1].Results(1); res != nil {
+		t.Fatalf("owner still serves rolled-back query: %+v", res)
+	}
+
+	// The cluster keeps working once the node recovers; the burned id is
+	// skipped, not reused.
+	refuser.refuse = false
+	id, err := router.Register("solar turbine output", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("post-rollback register got id %d, want 2 (id 1 consumed by the failed attempt)", id)
+	}
+	matches, text, ok, err := router.Results(id)
+	if err != nil || !ok || text != "solar turbine output" {
+		t.Fatalf("post-rollback results: ok=%v text=%q err=%v", ok, text, err)
+	}
+	_ = matches
+}
+
+// TestRouterFollowerNodeReadOnly: a read-only replication follower
+// accidentally placed behind the router refuses the write fan-out, and
+// the engine's refusal keeps its identity — errors.Is(err,
+// core.ErrReadOnly) — through the router's wrapping. The attempted
+// registration rolls back on the healthy owner.
+func TestRouterFollowerNodeReadOnly(t *testing.T) {
+	p, err := ita.Open(t.TempDir(), ita.WithCountWindow(8), ita.WithDurability(ita.DurabilityOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	addr, err := p.StartReplication("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ita.OpenFollower(t.TempDir(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Slot 0: the follower (aligning side for id 1). Slot 1: its own
+	// primary (owner of id 1).
+	router, err := cluster.NewRouter([]cluster.Node{cluster.Local(f), cluster.Local(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = router.Register("crude oil production", 3)
+	if err == nil {
+		t.Fatal("register through a follower node succeeded")
+	}
+	if !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("follower refusal lost its identity: %v", err)
+	}
+	if !errors.Is(err, ita.ErrReadOnly) {
+		t.Fatalf("facade alias no longer matches the core refusal: %v", err)
+	}
+	if n := p.Queries(); n != 0 {
+		t.Fatalf("owner serves %d queries after follower-refused fan-out, want 0 (rollback)", n)
+	}
+
+	if _, err := router.IngestText("crude oil production rose", at(0)); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("ingest through follower node: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestMergeStatsDivergence: stream counters are identical across nodes
+// by construction, so a mismatch is corruption and must error, not
+// average out.
+func TestMergeStatsDivergence(t *testing.T) {
+	a := core.Stats{Arrivals: 10, Epochs: 2, ProbeHits: 5}
+	b := core.Stats{Arrivals: 10, Epochs: 2, ProbeHits: 7}
+	m, err := cluster.MergeStats([]core.Stats{a, b})
+	if err != nil {
+		t.Fatalf("merge of consistent stats failed: %v", err)
+	}
+	if m.Arrivals != 10 || m.ProbeHits != 12 {
+		t.Fatalf("merged = %+v, want arrivals kept at 10, probe hits summed to 12", m)
+	}
+	b.Arrivals = 11
+	if _, err := cluster.MergeStats([]core.Stats{a, b}); err == nil {
+		t.Fatal("diverged arrival counters merged without error")
+	}
+	if _, err := cluster.MergeStats(nil); err == nil {
+		t.Fatal("empty merge succeeded")
+	}
+}

@@ -10,9 +10,23 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"ita/internal/model"
+)
+
+// Lifecycle errors shared between the engine facade and the layers
+// built on top of it (replication followers, the cluster router). They
+// are defined here — below the facade — so that infrastructure packages
+// can match them with errors.Is without importing the facade; the ita
+// package re-exports them under the same names.
+var (
+	// ErrReadOnly is returned by mutating operations on a follower;
+	// Promote makes it writable.
+	ErrReadOnly = errors.New("ita: engine is a read-only replication follower (call Promote to make it writable)")
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("ita: engine is closed")
 )
 
 // Engine is the contract every continuous top-k engine satisfies.

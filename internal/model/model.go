@@ -152,6 +152,30 @@ func Score(q *Query, d *Document) float64 {
 	return s
 }
 
+// Match is one result entry of a continuous query as served by the
+// engine facade: the document, its score, and (when the engine retains
+// texts) the original text.
+type Match struct {
+	Doc   DocID
+	Score float64
+	// Text is the document's original text when the engine was built
+	// with text retention, empty otherwise.
+	Text string
+}
+
+// QueryResult pairs a query with its current top-k.
+type QueryResult struct {
+	Query   QueryID
+	Matches []Match
+}
+
+// TimedText is one element of a batched ingest call: a raw document
+// text with its arrival time.
+type TimedText struct {
+	Text string
+	At   time.Time
+}
+
 // ScoredDoc pairs a document id with its similarity score for one query.
 type ScoredDoc struct {
 	Doc   DocID

@@ -201,6 +201,15 @@ func (c *Client) Stats() ClientStats {
 func (c *Client) run() {
 	rng := rand.New(rand.NewSource(c.cfg.Seed))
 	backoff := c.cfg.MinBackoff
+	// One reusable timer for the backoff sleeps. time.After leaks its
+	// timer until expiry when the select exits via c.done, which on a
+	// shutdown during a long backoff (or a tight reconnect churn) piles
+	// up allocated timers the runtime must keep until they fire.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		select {
 		case <-c.done:
@@ -246,10 +255,21 @@ func (c *Client) run() {
 		if backoff > c.cfg.MaxBackoff {
 			backoff = c.cfg.MaxBackoff
 		}
+		timer.Reset(d)
 		select {
 		case <-c.done:
+			// Drain so the next Reset starts from a clean timer: the
+			// return makes this the last use, but a racing fire between
+			// Stop and the read would leave a stale value in the channel
+			// if this loop ever grows another exit path.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 			return
-		case <-time.After(d):
+		case <-timer.C:
 		}
 	}
 }

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math/rand"
@@ -430,6 +431,45 @@ func TestFollowerPastRetention(t *testing.T) {
 		t.Fatalf("resyncs = %d, want 1", m.resyncs)
 	}
 	requireSameSegment(t, p.dir, m.dir, p.seq)
+}
+
+// TestClientStopDuringBackoff pins prompt shutdown: a client parked in
+// a long reconnect backoff (dial keeps failing, MinBackoff measured in
+// minutes) must return from Stop immediately rather than waiting the
+// sleep out. This also covers the reusable backoff timer: the sleep is
+// a stoppable timer now, where time.After left one allocated timer
+// pending per retry until its full duration elapsed.
+func TestClientStopDuringBackoff(t *testing.T) {
+	dials := make(chan struct{}, 16)
+	c := NewClient(ClientConfig{
+		Addr: "127.0.0.1:0",
+		ID:   "backoff-test",
+		Dial: func(string, time.Duration) (net.Conn, error) {
+			select {
+			case dials <- struct{}{}:
+			default:
+			}
+			return nil, errors.New("dial refused")
+		},
+		MinBackoff: 5 * time.Minute,
+		MaxBackoff: 10 * time.Minute,
+		Seed:       1,
+	}, nil)
+	c.Start()
+	select {
+	case <-dials:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never attempted a dial")
+	}
+	// The loop is now inside (or entering) the multi-minute backoff.
+	start := time.Now()
+	c.Stop()
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Stop took %v during backoff, want immediate return", d)
+	}
+	if got := c.Stats(); got.Dials == 0 {
+		t.Fatalf("stats = %+v, want at least one dial recorded", got)
+	}
 }
 
 // TestDefaultBackoffSeedsDistinct pins the reconnect-storm fix: two

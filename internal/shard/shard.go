@@ -256,6 +256,15 @@ func (e *Engine) Stats() *core.Stats {
 // reader resolves a query to its owning shard with it, without touching
 // the coordinator's assignment map.
 func shardIndex(id model.QueryID, n int) int {
+	return Placement(id, n)
+}
+
+// Placement is the cluster-wide query placement function: it maps a
+// query id to one of n partitions with the same multiplicative hash the
+// sharded engine uses internally, so a multi-node deployment and the
+// in-process sharded engine agree on ownership by construction. It is a
+// pure function of (id, n).
+func Placement(id model.QueryID, n int) int {
 	return int((uint64(id) * 0x9e3779b97f4a7c15 >> 32) % uint64(n))
 }
 

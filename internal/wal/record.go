@@ -28,6 +28,10 @@ const (
 	// every boundary from the operation records and uses markers as
 	// integrity checks and (under DurabilityEpochSync) fsync points.
 	KindEpoch Kind = 7
+	// KindAlign is a cluster node's non-owning side of a registration:
+	// Query (the id consumed, owned by another node) and Text (analyzed
+	// for dictionary alignment, but not registered).
+	KindAlign Kind = 8
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +51,8 @@ func (k Kind) String() string {
 		return "flush"
 	case KindEpoch:
 		return "epoch"
+	case KindAlign:
+		return "align"
 	default:
 		return "invalid"
 	}
@@ -67,12 +73,12 @@ type DocEntry struct {
 // the Kind constants; unused fields are zero.
 type Record struct {
 	Kind  Kind
-	Query uint64     // KindRegister, KindUnregister
+	Query uint64     // KindRegister, KindUnregister, KindAlign
 	K     int        // KindRegister
 	Doc   uint64     // KindDoc, KindBatch (first id of the batch)
 	At    int64      // KindDoc, KindAdvance: Unix nanoseconds
 	Seq   uint64     // KindEpoch
-	Text  string     // KindRegister, KindDoc
+	Text  string     // KindRegister, KindDoc, KindAlign
 	Items []DocEntry // KindBatch
 }
 
@@ -104,6 +110,9 @@ func appendPayload(dst []byte, rec *Record) []byte {
 	case KindFlush:
 	case KindEpoch:
 		dst = binary.AppendUvarint(dst, rec.Seq)
+	case KindAlign:
+		dst = binary.AppendUvarint(dst, rec.Query)
+		dst = appendString(dst, rec.Text)
 	}
 	return dst
 }
@@ -151,6 +160,9 @@ func decodePayload(p []byte) (Record, bool) {
 	case KindFlush:
 	case KindEpoch:
 		rec.Seq = d.uvarint()
+	case KindAlign:
+		rec.Query = d.uvarint()
+		rec.Text = d.str()
 	default:
 		return rec, false
 	}

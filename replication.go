@@ -9,6 +9,7 @@ import (
 	"os"
 	"time"
 
+	"ita/internal/core"
 	"ita/internal/repl"
 	"ita/internal/wal"
 )
@@ -28,13 +29,16 @@ import (
 // after a promote, a resume position past the primary's retention cap)
 // falls back to a full checkpoint fetch and tail replay.
 
-// Errors of the replication API.
+// Errors of the replication API. The canonical values live in
+// internal/core so the cluster router can match them without importing
+// this package; these are the same error values, not copies —
+// errors.Is identities hold across both names.
 var (
 	// ErrReadOnly is returned by mutating operations on a follower;
 	// Promote makes it writable.
-	ErrReadOnly = errors.New("ita: engine is a read-only replication follower (call Promote to make it writable)")
+	ErrReadOnly = core.ErrReadOnly
 	// ErrClosed is returned by operations on a closed engine.
-	ErrClosed = errors.New("ita: engine is closed")
+	ErrClosed = core.ErrClosed
 )
 
 // replTuning overrides replication timings and dialing; see

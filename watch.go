@@ -3,6 +3,7 @@ package ita
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"ita/internal/model"
 )
@@ -38,6 +39,51 @@ type WatchFunc func(Delta)
 type watchState struct {
 	fn   WatchFunc
 	last []model.ScoredDoc
+	// gone is set (under e.mu) when the watcher is removed or replaced.
+	// deliverBatch re-checks it immediately before each invocation, so a
+	// delta that was queued while the watcher was live is suppressed once
+	// Unwatch (or a replacing Watch) has returned, instead of invoking a
+	// callback the caller already detached. A callback that had already
+	// begun when the flag flipped still completes — stopping it would
+	// require holding a lock across user code.
+	gone atomic.Bool
+	// prevSet and curSet are diff scratch, reused across epochs so the
+	// steady state (a watched query whose result did not change) performs
+	// zero allocations per boundary. Only collectDeltas touches them,
+	// under e.mu.
+	prevSet, curSet map[model.DocID]bool
+}
+
+// diff computes the boundary-to-boundary delta from ws.last to cur.
+// Must be called with e.mu held (it mutates the watcher's scratch sets).
+func (ws *watchState) diff(id QueryID, cur []model.ScoredDoc, texts *textRing) Delta {
+	if ws.prevSet == nil {
+		ws.prevSet = make(map[model.DocID]bool, len(ws.last)+1)
+		ws.curSet = make(map[model.DocID]bool, len(cur)+1)
+	} else {
+		clear(ws.prevSet)
+		clear(ws.curSet)
+	}
+	for _, d := range ws.last {
+		ws.prevSet[d.Doc] = true
+	}
+	delta := Delta{Query: id}
+	for _, d := range cur {
+		ws.curSet[d.Doc] = true
+		if !ws.prevSet[d.Doc] {
+			m := Match{Doc: d.Doc, Score: d.Score}
+			if texts != nil {
+				m.Text = texts.get(d.Doc)
+			}
+			delta.Entered = append(delta.Entered, m)
+		}
+	}
+	for _, d := range ws.last {
+		if !ws.curSet[d.Doc] {
+			delta.Exited = append(delta.Exited, d.Doc)
+		}
+	}
+	return delta
 }
 
 // Watch subscribes fn to result changes of query id. The continuous
@@ -64,18 +110,35 @@ func (e *Engine) Watch(id QueryID, fn WatchFunc) error {
 	if e.watches == nil {
 		e.watches = make(map[QueryID]*watchState)
 	}
+	// Replacing a watcher tombstones the old state so any of its deltas
+	// still sitting in the delivery queue are dropped rather than invoking
+	// the superseded callback after this call returns.
+	e.dropWatchLocked(id)
 	e.watches[id] = &watchState{fn: fn, last: cur}
 	return nil
 }
 
 // Unwatch removes the watcher of query id, reporting whether one
-// existed.
+// existed. Deltas already queued for the watcher but not yet delivered
+// are discarded; a callback that was already executing when Unwatch was
+// called may still complete concurrently.
 func (e *Engine) Unwatch(id QueryID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, ok := e.watches[id]; !ok {
+	return e.dropWatchLocked(id)
+}
+
+// dropWatchLocked removes and tombstones the watcher of query id,
+// reporting whether one existed. Every removal path (Unwatch, a
+// replacing Watch, unregister, a diff against a vanished query) funnels
+// through here so the delivery queue's identity check stays in force.
+// Must be called with e.mu held.
+func (e *Engine) dropWatchLocked(id QueryID) bool {
+	ws, ok := e.watches[id]
+	if !ok {
 		return false
 	}
+	ws.gone.Store(true)
 	delete(e.watches, id)
 	return true
 }
@@ -98,22 +161,27 @@ func (e *Engine) collectDeltas() []pendingDelta {
 		cur, ok := e.boundaryResultLocked(id)
 		if !ok {
 			// Query unregistered out from under the watch; drop it.
-			delete(e.watches, id)
+			e.dropWatchLocked(id)
 			continue
 		}
-		delta := diffResults(id, ws.last, cur, e.texts)
+		delta := ws.diff(id, cur, e.texts)
 		if len(delta.Entered) == 0 && len(delta.Exited) == 0 {
 			continue
 		}
 		ws.last = cur
-		out = append(out, pendingDelta{fn: ws.fn, delta: delta})
+		out = append(out, pendingDelta{ws: ws, delta: delta})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].delta.Query < out[j].delta.Query })
 	return out
 }
 
+// pendingDelta references the watcher itself rather than capturing its
+// callback: capturing fn at enqueue time is precisely the
+// delivery-after-Unwatch bug — a queued delta would invoke a callback
+// the caller had already detached. Delivery re-resolves liveness through
+// ws.gone at invocation time instead.
 type pendingDelta struct {
-	fn    WatchFunc
+	ws    *watchState
 	delta Delta
 }
 
@@ -195,31 +263,9 @@ func (e *Engine) deliverBatch(batch []pendingDelta) {
 		e.dmu.Unlock()
 	}()
 	for ; i < len(batch); i++ {
-		batch[i].fn(batch[i].delta)
-	}
-}
-
-func diffResults(id QueryID, prev, cur []model.ScoredDoc, texts *textRing) Delta {
-	prevSet := make(map[model.DocID]bool, len(prev))
-	for _, d := range prev {
-		prevSet[d.Doc] = true
-	}
-	curSet := make(map[model.DocID]bool, len(cur))
-	delta := Delta{Query: id}
-	for _, d := range cur {
-		curSet[d.Doc] = true
-		if !prevSet[d.Doc] {
-			m := Match{Doc: d.Doc, Score: d.Score}
-			if texts != nil {
-				m.Text = texts.get(d.Doc)
-			}
-			delta.Entered = append(delta.Entered, m)
+		if batch[i].ws.gone.Load() {
+			continue
 		}
+		batch[i].ws.fn(batch[i].delta)
 	}
-	for _, d := range prev {
-		if !curSet[d.Doc] {
-			delta.Exited = append(delta.Exited, d.Doc)
-		}
-	}
-	return delta
 }

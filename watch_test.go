@@ -1,10 +1,13 @@
 package ita
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ita/internal/model"
 )
 
 func TestWatchUnknownQuery(t *testing.T) {
@@ -442,5 +445,180 @@ func TestWatchChurnRacesFlushes(t *testing.T) {
 		if res := e.Results(id); len(res) == 0 {
 			t.Fatalf("query %d lost its results under churn", id)
 		}
+	}
+}
+
+// quiesceDelivery waits until the delivery queue is drained and no
+// drainer is active. After it returns, every delta enqueued so far has
+// either been delivered or suppressed; nothing is in flight.
+func quiesceDelivery(e *Engine) {
+	for {
+		e.dmu.Lock()
+		idle := !e.delivering && len(e.deliveryQ) == 0
+		e.dmu.Unlock()
+		if idle {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestUnwatchSuppressesQueuedDelta pins the delivery-after-Unwatch fix
+// deterministically. One epoch produces deltas for q1 and q2; they are
+// queued together and delivered in ascending id, so q1's callback runs
+// while q2's delta is still sitting in the batch. Unwatching q2 from
+// inside q1's callback must suppress that queued delta: with the old
+// capture-the-callback queue it fired anyway, after Unwatch returned.
+func TestUnwatchSuppressesQueuedDelta(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8))
+	q1, err := e.Register("solar", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register("turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unwatched := false
+	if err := e.Watch(q1, func(Delta) {
+		if !e.Unwatch(q2) {
+			t.Error("Unwatch(q2) found no watcher")
+		}
+		unwatched = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q2fired := 0
+	if err := e.Watch(q2, func(Delta) { q2fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	// One epoch matching both queries: the batch is [q1 delta, q2 delta].
+	if _, err := e.IngestText("solar turbine", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !unwatched {
+		t.Fatal("q1 watcher never fired")
+	}
+	if q2fired != 0 {
+		t.Fatalf("q2 callback fired %d times after Unwatch returned", q2fired)
+	}
+}
+
+// TestWatchReplaceSuppressesQueuedDelta is the re-Watch flavour: a
+// replacing Watch detaches the previous watcher, so a delta queued for
+// the old callback must not invoke it once Watch has returned. The new
+// watcher's baseline is the already-published boundary, so it receives
+// nothing for the epoch that was in flight either — only for later
+// changes.
+func TestWatchReplaceSuppressesQueuedDelta(t *testing.T) {
+	e := newEngine(t, WithCountWindow(8))
+	q1, err := e.Register("solar", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.Register("turbine", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newDeltas []Delta
+	if err := e.Watch(q1, func(Delta) {
+		if err := e.Watch(q2, func(d Delta) { newDeltas = append(newDeltas, d) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	oldFired := 0
+	if err := e.Watch(q2, func(Delta) { oldFired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestText("solar turbine", at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if oldFired != 0 {
+		t.Fatalf("replaced q2 callback fired %d times after re-Watch returned", oldFired)
+	}
+	if len(newDeltas) != 0 {
+		t.Fatalf("replacement watcher got the in-flight epoch's delta: %+v", newDeltas)
+	}
+	// The replacement watcher is live for subsequent epochs.
+	displacer, err := e.IngestText("turbine turbine turbine", at(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newDeltas) != 1 || len(newDeltas[0].Entered) != 1 || newDeltas[0].Entered[0].Doc != displacer {
+		t.Fatalf("replacement watcher deltas = %+v, want entry of doc %d", newDeltas, displacer)
+	}
+}
+
+// TestWatchQuiescedUnwatchNeverFiresLate churns Watch/Unwatch against a
+// concurrent ingester under -race, asserting the strongest sound form of
+// the Unwatch guarantee: once Unwatch has returned AND in-flight
+// delivery has quiesced, the detached callback can never fire again.
+func TestWatchQuiescedUnwatchNeverFiresLate(t *testing.T) {
+	e := newEngine(t, WithCountWindow(16), WithBatchSize(4))
+	q, err := e.Register("solar turbine", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		texts := []string{
+			"solar turbine output rose", "a quiet day", "turbine blades spin",
+			"solar panel field", "markets were calm", "solar turbine array",
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.IngestText(texts[i%len(texts)], at(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	iters := 300
+	if testing.Short() {
+		iters = 50
+	}
+	for i := 0; i < iters; i++ {
+		var detached atomic.Bool
+		if err := e.Watch(q, func(Delta) {
+			if detached.Load() {
+				t.Error("delta delivered after Unwatch returned and delivery quiesced")
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		runtime.Gosched()
+		e.Unwatch(q)
+		quiesceDelivery(e)
+		detached.Store(true)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWatchDiffReusesScratch asserts the steady state of a watched query
+// — an epoch boundary where the result did not change — performs zero
+// allocations in the diff, by reusing the watcher's scratch sets instead
+// of building two fresh maps per query per epoch.
+func TestWatchDiffReusesScratch(t *testing.T) {
+	prev := []model.ScoredDoc{{Doc: 1, Score: 0.9}, {Doc: 2, Score: 0.5}, {Doc: 3, Score: 0.1}}
+	cur := []model.ScoredDoc{{Doc: 1, Score: 0.9}, {Doc: 2, Score: 0.5}, {Doc: 3, Score: 0.1}}
+	ws := &watchState{last: prev}
+	allocs := testing.AllocsPerRun(200, func() {
+		d := ws.diff(7, cur, nil)
+		if len(d.Entered) != 0 || len(d.Exited) != 0 {
+			t.Fatalf("unexpected delta: %+v", d)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("diff of an unchanged result allocates %.1f times per epoch, want 0", allocs)
 	}
 }
