@@ -102,7 +102,10 @@ func runReplicatedSequence(t *testing.T, data []byte, seed int64, cfg faults.Con
 		pol = WithCountWindow(10)
 	}
 
-	ref, err := New(pol)
+	// The reference runs the slice posting layout while the primary and
+	// standby keep the default blocked layout, making every replication
+	// cell a differential twin for the compressed postings too.
+	ref, err := New(pol, WithPostingLayout(LayoutSlices))
 	if err != nil {
 		t.Fatal(err)
 	}

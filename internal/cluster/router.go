@@ -13,12 +13,14 @@ import (
 )
 
 // Router fronts a fixed set of cluster nodes with the single-engine
-// API. Writes fan out — every node sees every document, so the
-// replicated stream state (window, index, dictionary) stays identical
-// everywhere — while each query's registration and result serving go
-// to the one node the placement hash assigns it. Reads merge: the
-// union of per-node results equals a single-process engine over the
-// same inputs, byte for byte.
+// API. Writes fan out in parallel — every node sees every document, so
+// the replicated stream state (window, index, dictionary) stays
+// identical everywhere, and since the nodes are independent processes
+// behind independent connections, a cluster write costs the slowest
+// node's round-trip rather than their sum — while each query's
+// registration and result serving go to the one node the placement
+// hash assigns it. Reads merge: the union of per-node results equals a
+// single-process engine over the same inputs, byte for byte.
 //
 // The Router serializes mutations internally; it is safe for
 // concurrent use. It does not own node lifecycle beyond Close, and a
@@ -87,6 +89,44 @@ func (r *Router) Owner(id model.QueryID) int {
 	return shard.Placement(id, len(r.nodes))
 }
 
+// fanOut applies fn to every node except skip (-1 to include all)
+// concurrently and waits for all of them; the caller must hold r.mu.
+// Every node sees the call even when a peer fails — the replicated
+// stream must advance on the healthy nodes either way, or the survivors
+// would diverge from each other on top of the failed node — and the
+// returned error is the lowest-indexed node's, exactly what the
+// sequential loop this replaces reported. Nodes are network handles
+// (or local engines with their own locks), so the per-node work is
+// independent; fanning out in parallel turns a cluster write from a
+// sum of node round-trips into the slowest one.
+func (r *Router) fanOut(skip int, fn func(i int, n Node) error) error {
+	if len(r.nodes) == 1 {
+		if skip == 0 {
+			return nil
+		}
+		return fn(0, r.nodes[0])
+	}
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		if i == skip {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(i, n)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Register assigns the next query id, registers on the owning node and
 // aligns the dictionary everywhere else. An owner failure leaves the
 // id unconsumed and the cluster untouched. An alignment failure rolls
@@ -104,17 +144,17 @@ func (r *Router) Register(text string, k int) (model.QueryID, error) {
 		return 0, fmt.Errorf("cluster: register on owner node %d: %w", owner, err)
 	}
 	r.next = id + 1
-	for i, n := range r.nodes {
-		if i == owner {
-			continue
-		}
+	err := r.fanOut(owner, func(i int, n Node) error {
 		if err := n.AlignRegister(id, text); err != nil {
-			if _, uerr := r.nodes[owner].Unregister(id); uerr != nil {
-				return 0, fmt.Errorf("cluster: align on node %d failed (%w) and rollback on owner %d failed too: %v",
-					i, err, owner, uerr)
-			}
-			return 0, fmt.Errorf("cluster: align on node %d: %w", i, err)
+			return fmt.Errorf("cluster: align on node %d: %w", i, err)
 		}
+		return nil
+	})
+	if err != nil {
+		if _, uerr := r.nodes[owner].Unregister(id); uerr != nil {
+			return 0, fmt.Errorf("%w (and rollback on owner %d failed too: %v)", err, owner, uerr)
+		}
+		return 0, err
 	}
 	return id, nil
 }
@@ -131,15 +171,13 @@ func (r *Router) Unregister(id model.QueryID) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("cluster: unregister on owner node %d: %w", owner, err)
 	}
-	for i, n := range r.nodes {
-		if i == owner {
-			continue
-		}
+	err = r.fanOut(owner, func(i int, n Node) error {
 		if err := n.Flush(); err != nil {
-			return ok, fmt.Errorf("cluster: flush on node %d: %w", i, err)
+			return fmt.Errorf("cluster: flush on node %d: %w", i, err)
 		}
-	}
-	return ok, nil
+		return nil
+	})
+	return ok, err
 }
 
 // IngestText fans the document to every node with one shared arrival
@@ -148,35 +186,46 @@ func (r *Router) Unregister(id model.QueryID) (bool, error) {
 func (r *Router) IngestText(text string, at time.Time) (model.DocID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var doc model.DocID
-	for i, n := range r.nodes {
+	ids := make([]model.DocID, len(r.nodes))
+	err := r.fanOut(-1, func(i int, n Node) error {
 		id, err := n.IngestText(text, at)
 		if err != nil {
-			return 0, fmt.Errorf("cluster: ingest on node %d: %w", i, err)
+			return fmt.Errorf("cluster: ingest on node %d: %w", i, err)
 		}
-		if i == 0 {
-			doc = id
-		} else if id != doc {
-			return 0, fmt.Errorf("cluster: node %d assigned doc id %d, node 0 assigned %d (diverged streams)", i, id, doc)
+		ids[i] = id
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i, id := range ids[1:] {
+		if id != ids[0] {
+			return 0, fmt.Errorf("cluster: node %d assigned doc id %d, node 0 assigned %d (diverged streams)", i+1, id, ids[0])
 		}
 	}
-	return doc, nil
+	return ids[0], nil
 }
 
 // IngestBatch fans one epoch's batch to every node.
 func (r *Router) IngestBatch(items []model.TimedText) ([]model.DocID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var ids []model.DocID
-	for i, n := range r.nodes {
-		got, err := n.IngestBatch(items)
+	got := make([][]model.DocID, len(r.nodes))
+	err := r.fanOut(-1, func(i int, n Node) error {
+		ids, err := n.IngestBatch(items)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: ingest batch on node %d: %w", i, err)
+			return fmt.Errorf("cluster: ingest batch on node %d: %w", i, err)
 		}
-		if i == 0 {
-			ids = got
-		} else if len(got) != len(ids) || (len(got) > 0 && got[0] != ids[0]) {
-			return nil, fmt.Errorf("cluster: node %d assigned batch ids %v, node 0 assigned %v (diverged streams)", i, got, ids)
+		got[i] = ids
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ids := got[0]
+	for i, g := range got[1:] {
+		if len(g) != len(ids) || (len(g) > 0 && g[0] != ids[0]) {
+			return nil, fmt.Errorf("cluster: node %d assigned batch ids %v, node 0 assigned %v (diverged streams)", i+1, g, ids)
 		}
 	}
 	return ids, nil
@@ -186,24 +235,24 @@ func (r *Router) IngestBatch(items []model.TimedText) ([]model.DocID, error) {
 func (r *Router) Advance(now time.Time) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i, n := range r.nodes {
+	return r.fanOut(-1, func(i int, n Node) error {
 		if err := n.Advance(now); err != nil {
 			return fmt.Errorf("cluster: advance on node %d: %w", i, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Flush forces every node's partial epoch out.
 func (r *Router) Flush() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i, n := range r.nodes {
+	return r.fanOut(-1, func(i int, n Node) error {
 		if err := n.Flush(); err != nil {
 			return fmt.Errorf("cluster: flush on node %d: %w", i, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Results serves a query's top-k from its owning node.

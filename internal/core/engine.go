@@ -113,6 +113,12 @@ type Memory struct {
 	TreeBytes       uint64 `json:"tree_bytes"`        // threshold trees (both tiers)
 	QueryStateBytes uint64 `json:"query_state_bytes"` // dense arenas, term vectors, result sets
 	ViewBytes       uint64 `json:"view_bytes"`        // published slots + ext→dense lookup
+	// PostingBytes is the inverted-list share of IndexBytes (already
+	// counted there, so Total does not add it), and Postings the entry
+	// count behind it — together the bytes-per-posting gauge of the
+	// window-sweep benchmark.
+	PostingBytes uint64 `json:"posting_bytes"`
+	Postings     uint64 `json:"postings"`
 }
 
 // Total sums the components.
@@ -127,6 +133,8 @@ func (m *Memory) Merge(o Memory) {
 	m.TreeBytes += o.TreeBytes
 	m.QueryStateBytes += o.QueryStateBytes
 	m.ViewBytes += o.ViewBytes
+	m.PostingBytes += o.PostingBytes
+	m.Postings += o.Postings
 }
 
 // MemoryReporter is implemented by engines that can account their heap

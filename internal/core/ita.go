@@ -69,6 +69,13 @@ func WithFloorMargins(target, raise int) ITAOption {
 	}
 }
 
+// WithPostingLayout selects the inverted-index posting layout; the
+// default is the block-compressed layout. The slice layout is the
+// differential-twin reference of the equivalence suites.
+func WithPostingLayout(l invindex.Layout) ITAOption {
+	return func(e *ITA) { e.cfg.PostingLayout = l }
+}
+
 // NewITA returns an empty ITA engine over the given window policy.
 func NewITA(policy window.Policy, opts ...ITAOption) *ITA {
 	e := &ITA{
@@ -78,7 +85,7 @@ func NewITA(policy window.Policy, opts ...ITAOption) *ITA {
 	for _, o := range opts {
 		o(e)
 	}
-	e.index = invindex.NewIndex(e.cfg.Seed)
+	e.index = invindex.NewIndexLayout(e.cfg.Seed, e.cfg.PostingLayout)
 	e.m = NewMaintainer(e.index, &e.stats, e.cfg)
 	return e
 }
@@ -106,6 +113,8 @@ func (e *ITA) Stats() *Stats { return &e.stats }
 func (e *ITA) MemoryUsage() Memory {
 	mem := e.m.MemoryUsage()
 	mem.IndexBytes = e.index.MemoryBytes()
+	mem.PostingBytes = e.index.PostingBytes()
+	mem.Postings = uint64(e.index.PostingCount())
 	return mem
 }
 

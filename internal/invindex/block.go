@@ -1,0 +1,286 @@
+package invindex
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+
+	"ita/internal/model"
+)
+
+// Blocked posting storage: a list is a sequence of flat fixed-capacity
+// blocks, each holding its entries bit-packed instead of as raw 16-byte
+// EntryKeys. Entries inside a block stay in list order (descending
+// weight, ties by ascending doc id), so the block sequence concatenates
+// to exactly the entry sequence of the slice layout — every iterator,
+// seek and predecessor observable is identical; only the bytes behind
+// them shrink.
+//
+// Per block the codec stores:
+//
+//   - doc ids frame-of-reference coded against the block's minimum doc
+//     id at a fixed per-block bit width (doc ids are not monotone in
+//     list order — the list is weight-sorted — so FOR, not deltas);
+//   - weights either frame-of-reference coded over their order-
+//     preserving "sortable bits" (lossless for every float64, so the
+//     differential twin can demand byte-identical scores), or through a
+//     per-block dictionary of the distinct weight values plus a small
+//     per-entry index. Real term lists are full of weight ties — cosine
+//     impacts are f/√Σf² over small integer frequencies — which makes
+//     the dictionary dramatically smaller on natural workloads; the
+//     encoder picks whichever scheme is smaller for the block at hand.
+//
+// Both schemes give O(1) random access to entry i, which keeps seeks,
+// predecessor queries and the iterator's cached-key decode cheap.
+const (
+	// blockTarget is the fill used when a list is (re)built by a merge
+	// rebuild and when a full block splits; blockMax is the occupancy at
+	// which a block splits. Matching the slice layout's chunk geometry
+	// (128/256) keeps mutation amortization behavior aligned.
+	blockTarget = 128
+	blockMax    = 256
+
+	// blockPad is appended to every data buffer so getbits/putbits may
+	// read and write whole unaligned uint64 words near the end.
+	blockPad = 16
+
+	weightFOR  = 0
+	weightDict = 1
+)
+
+// block is one flat posting block plus the summary metadata probe and
+// seek paths use to position without decoding: the last (lowest-impact)
+// entry keys the block directory's binary search, and MaxW/MinW bound
+// the weights inside so traversals know when a whole block cannot beat
+// a threshold.
+//
+// A block is either packed (data holds the bit-packed areas, raw is
+// nil) or decoded (raw holds plain EntryKeys, data is nil). Point
+// mutations decode their target block once and then splice the raw
+// slice with memmoves — the same cost profile as the slice layout —
+// instead of paying a full decode+re-encode per mutation; the next
+// merge rebuild of the list re-encodes everything packed. Batch-built
+// lists therefore stay fully compressed, while point-update churn
+// concentrates in a few transiently decoded blocks.
+type block struct {
+	last   EntryKey   // lowest-impact entry (directory key; MinW == last.W)
+	maxW   float64    // highest weight in the block (its first entry)
+	minDoc uint64     // doc-id FOR base
+	baseW  uint64     // weight FOR base (sortable bits; weightFOR only)
+	data   []byte     // packed: [dict floats][packed doc ids][packed weights][pad]
+	raw    []EntryKey // decoded form; nil while packed
+	count  uint16
+	ndict  uint16 // distinct weights (weightDict only)
+	docBit uint8  // per-entry doc-id width
+	wBit   uint8  // per-entry weight width (FOR delta or dict index)
+	scheme uint8
+}
+
+// rawBlock wraps an already-decoded, list-ordered, non-empty entry
+// slice as a decoded block, taking ownership of es.
+func rawBlock(es []EntryKey) block {
+	return block{
+		last:  es[len(es)-1],
+		maxW:  es[0].W,
+		count: uint16(len(es)),
+		raw:   es,
+	}
+}
+
+// decode materializes the block in its decoded form, releasing the
+// packed bytes. No-op when already decoded. The slack keeps the first
+// few subsequent inserts from regrowing the slice.
+func (b *block) decode() {
+	if b.raw != nil {
+		return
+	}
+	b.raw = b.appendTo(make([]EntryKey, 0, int(b.count)+8))
+	b.data = nil
+}
+
+// refresh re-derives the summary metadata of a decoded block after a
+// splice.
+func (b *block) refresh() {
+	b.count = uint16(len(b.raw))
+	b.last = b.raw[len(b.raw)-1]
+	b.maxW = b.raw[0].W
+}
+
+// sortableW maps a float64 to bits whose unsigned order matches the
+// float order (negatives reversed, -0 before +0). FOR over these bits
+// is a lossless weight encoding with the subtraction well defined.
+func sortableW(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// unsortableW inverts sortableW.
+func unsortableW(u uint64) float64 {
+	if u>>63 != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// getbits extracts w bits at bit offset off. The buffer must carry
+// blockPad trailing bytes so the two word reads stay in bounds.
+func getbits(b []byte, off uint, w uint8) uint64 {
+	if w == 0 {
+		return 0
+	}
+	i := off >> 3
+	rem := off & 7
+	x := binary.LittleEndian.Uint64(b[i:]) >> rem
+	if rem+uint(w) > 64 {
+		x |= binary.LittleEndian.Uint64(b[i+8:]) << (64 - rem)
+	}
+	if w == 64 {
+		return x
+	}
+	return x & (1<<w - 1)
+}
+
+// putbits writes the low w bits of v at bit offset off into a
+// zero-initialized buffer (it ORs, it does not clear).
+func putbits(b []byte, off uint, w uint8, v uint64) {
+	if w == 0 {
+		return
+	}
+	i := off >> 3
+	rem := off & 7
+	x := binary.LittleEndian.Uint64(b[i:])
+	binary.LittleEndian.PutUint64(b[i:], x|v<<rem)
+	if rem+uint(w) > 64 {
+		y := binary.LittleEndian.Uint64(b[i+8:])
+		binary.LittleEndian.PutUint64(b[i+8:], y|v>>(64-rem))
+	}
+}
+
+// encodeBlock packs es (non-empty, in list order) into one block.
+func encodeBlock(es []EntryKey) block {
+	n := len(es)
+	b := block{
+		last:  es[n-1],
+		maxW:  es[0].W,
+		count: uint16(n),
+	}
+
+	minDoc, maxDoc := es[0].Doc, es[0].Doc
+	ndict := 1
+	for i := 1; i < n; i++ {
+		if es[i].Doc < minDoc {
+			minDoc = es[i].Doc
+		} else if es[i].Doc > maxDoc {
+			maxDoc = es[i].Doc
+		}
+		if es[i].W != es[i-1].W {
+			ndict++
+		}
+	}
+	b.minDoc = uint64(minDoc)
+	b.docBit = uint8(bits.Len64(uint64(maxDoc) - uint64(minDoc)))
+
+	// Weights descend in list order, so their sortable bits descend too:
+	// the FOR base is the last entry's bits and the span the first's.
+	hiW, loW := sortableW(es[0].W), sortableW(es[n-1].W)
+	forBit := uint8(bits.Len64(hiW - loW))
+	forBytes := (n*int(forBit) + 7) / 8
+	idxBit := uint8(bits.Len64(uint64(ndict - 1)))
+	dictBytes := ndict*8 + (n*int(idxBit)+7)/8
+	dictOff := 0
+	if dictBytes < forBytes {
+		b.scheme = weightDict
+		b.ndict = uint16(ndict)
+		b.wBit = idxBit
+		dictOff = ndict * 8
+	} else {
+		b.scheme = weightFOR
+		b.baseW = loW
+		b.wBit = forBit
+	}
+
+	docBytes := (n*int(b.docBit) + 7) / 8
+	wBytes := (n*int(b.wBit) + 7) / 8
+	b.data = make([]byte, dictOff+docBytes+wBytes+blockPad)
+
+	if b.scheme == weightDict {
+		di := 0
+		for i := 0; i < n; i++ {
+			if i == 0 || es[i].W != es[i-1].W {
+				binary.LittleEndian.PutUint64(b.data[di*8:], math.Float64bits(es[i].W))
+				di++
+			}
+		}
+	}
+	docOff := uint(dictOff) * 8
+	wOff := uint(dictOff+docBytes) * 8
+	di := -1
+	for i, e := range es {
+		putbits(b.data, docOff+uint(i)*uint(b.docBit), b.docBit, uint64(e.Doc)-b.minDoc)
+		if b.scheme == weightFOR {
+			putbits(b.data, wOff+uint(i)*uint(b.wBit), b.wBit, sortableW(e.W)-b.baseW)
+		} else {
+			if i == 0 || e.W != es[i-1].W {
+				di++
+			}
+			putbits(b.data, wOff+uint(i)*uint(b.wBit), b.wBit, uint64(di))
+		}
+	}
+	return b
+}
+
+// docAreaOff returns the bit offset of the packed doc-id area.
+func (b *block) docAreaOff() uint {
+	if b.scheme == weightDict {
+		return uint(b.ndict) * 64
+	}
+	return 0
+}
+
+// at decodes entry i (0 ≤ i < count) in O(1).
+func (b *block) at(i int) EntryKey {
+	if b.raw != nil {
+		return b.raw[i]
+	}
+	docOff := b.docAreaOff()
+	wOff := docOff + (uint(b.count)*uint(b.docBit)+7)&^7
+	doc := b.minDoc + getbits(b.data, docOff+uint(i)*uint(b.docBit), b.docBit)
+	var w float64
+	if b.scheme == weightFOR {
+		w = unsortableW(b.baseW + getbits(b.data, wOff+uint(i)*uint(b.wBit), b.wBit))
+	} else {
+		idx := getbits(b.data, wOff+uint(i)*uint(b.wBit), b.wBit)
+		w = math.Float64frombits(binary.LittleEndian.Uint64(b.data[idx*8:]))
+	}
+	return EntryKey{W: w, Doc: model.DocID(doc)}
+}
+
+// appendTo decodes the whole block onto dst in list order, with the
+// area offsets hoisted out of the loop (unlike repeated at calls, which
+// re-derive them per entry).
+func (b *block) appendTo(dst []EntryKey) []EntryKey {
+	if b.raw != nil {
+		return append(dst, b.raw...)
+	}
+	docOff := b.docAreaOff()
+	wOff := docOff + (uint(b.count)*uint(b.docBit)+7)&^7
+	for i := uint(0); i < uint(b.count); i++ {
+		doc := b.minDoc + getbits(b.data, docOff+i*uint(b.docBit), b.docBit)
+		var w float64
+		if b.scheme == weightFOR {
+			w = unsortableW(b.baseW + getbits(b.data, wOff+i*uint(b.wBit), b.wBit))
+		} else {
+			idx := getbits(b.data, wOff+i*uint(b.wBit), b.wBit)
+			w = math.Float64frombits(binary.LittleEndian.Uint64(b.data[idx*8:]))
+		}
+		dst = append(dst, EntryKey{W: w, Doc: model.DocID(doc)})
+	}
+	return dst
+}
+
+// bytes is the heap footprint of the block's entry storage, packed or
+// decoded.
+func (b *block) bytes() uint64 { return uint64(cap(b.data)) + uint64(cap(b.raw))*16 }

@@ -1,0 +1,354 @@
+package invindex
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"ita/internal/model"
+)
+
+// sortEntries orders es in list order.
+func sortEntries(es []EntryKey) {
+	sort.Slice(es, func(i, j int) bool { return Before(es[i], es[j]) })
+}
+
+// TestBlockedListAgainstSlices drives the blocked and slice layouts
+// through the same random workload — point inserts, point deletes
+// (present and phantom), and batch applications — and demands every
+// observable agree at every step: lengths, delete outcomes, full
+// iteration order, seeks and predecessors. This is the invindex-level
+// leg of the differential twin; the metamorphic suite extends the same
+// comparison through the whole engine stack.
+func TestBlockedListAgainstSlices(t *testing.T) {
+	bl, sl := newBlockedList(), newList()
+	rng := rand.New(rand.NewSource(7))
+	live := make(map[EntryKey]bool)
+
+	randKey := func() EntryKey {
+		return EntryKey{
+			W:   float64(rng.Intn(400)+1) / 400, // ties likely
+			Doc: model.DocID(rng.Intn(4000)),
+		}
+	}
+	compare := func(step int) {
+		if bl.Len() != sl.Len() {
+			t.Fatalf("step %d: Len %d (blocked) vs %d (slices)", step, bl.Len(), sl.Len())
+		}
+		cb, cs := listContents(bl), listContents(sl)
+		for i := range cs {
+			if cb[i] != cs[i] {
+				t.Fatalf("step %d: entry %d: %v (blocked) vs %v (slices)", step, i, cb[i], cs[i])
+			}
+		}
+	}
+
+	var blScratch, slScratch []EntryKey
+	for step := 0; step < 20000; step++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(live) == 0: // point insert
+			e := randKey()
+			if live[e] {
+				continue
+			}
+			live[e] = true
+			bl.insert(e)
+			sl.insert(e)
+		case r < 8: // point delete, sometimes phantom
+			var victim EntryKey
+			if rng.Intn(4) == 0 {
+				victim = randKey() // likely phantom
+			} else {
+				for e := range live {
+					victim = e
+					break
+				}
+			}
+			delete(live, victim)
+			ob, os := bl.delete(victim), sl.delete(victim)
+			if ob != os {
+				t.Fatalf("step %d: delete(%v) = %v (blocked) vs %v (slices)", step, victim, ob, os)
+			}
+		default: // batch, sized to sometimes cross the rebuild cutoff
+			var ins, del []EntryKey
+			for n := rng.Intn(200); n > 0; n-- {
+				e := randKey()
+				if live[e] {
+					continue
+				}
+				live[e] = true
+				ins = append(ins, e)
+			}
+			for n := rng.Intn(60); n > 0 && len(live) > 0; n-- {
+				for e := range live {
+					delete(live, e)
+					del = append(del, e)
+					break
+				}
+			}
+			sortEntries(ins)
+			sortEntries(del)
+			blScratch = bl.applyBatch(ins, del, blScratch)
+			slScratch = sl.applyBatch(ins, del, slScratch)
+		}
+		if step%1000 == 0 {
+			compare(step)
+		}
+	}
+	compare(-1)
+
+	// Seeks and predecessors at random probes, including phantoms.
+	for probe := 0; probe < 2000; probe++ {
+		pos := EntryKey{W: float64(rng.Intn(410)) / 400, Doc: model.DocID(rng.Intn(4200))}
+		ib, is := bl.SeekGE(pos), sl.SeekGE(pos)
+		if ib.Valid() != is.Valid() || (ib.Valid() && ib.Key() != is.Key()) {
+			t.Fatalf("SeekGE(%v): %v,%v (blocked) vs %v,%v (slices)",
+				pos, ib.Key(), ib.Valid(), is.Key(), is.Valid())
+		}
+		pb, okb := bl.PredBefore(pos)
+		ps, oks := sl.PredBefore(pos)
+		if okb != oks || (okb && pb != ps) {
+			t.Fatalf("PredBefore(%v): %v,%v (blocked) vs %v,%v (slices)", pos, pb, okb, ps, oks)
+		}
+	}
+}
+
+// TestBlockedListSplitBoundaries fills a blocked list far past one
+// block and checks structural invariants: blocks non-empty, within
+// bounds, globally ordered, with summary metadata (last, maxW, count)
+// telling the truth in both packed and decoded form.
+func TestBlockedListSplitBoundaries(t *testing.T) {
+	l := newBlockedList()
+	const n = 4 * blockMax
+	for i := 0; i < n; i++ {
+		l.insert(EntryKey{W: float64(i%97+1) / 97, Doc: model.DocID(i)})
+	}
+	if l.Len() != n {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if len(l.blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(l.blocks))
+	}
+	var prev EntryKey
+	first := true
+	for bi := range l.blocks {
+		b := &l.blocks[bi]
+		if b.count == 0 {
+			t.Fatalf("block %d empty", bi)
+		}
+		if int(b.count) > blockMax {
+			t.Fatalf("block %d oversized: %d", bi, b.count)
+		}
+		if b.last != b.at(int(b.count)-1) {
+			t.Fatalf("block %d: last %v != final entry %v", bi, b.last, b.at(int(b.count)-1))
+		}
+		if b.maxW != b.at(0).W {
+			t.Fatalf("block %d: maxW %v != first weight %v", bi, b.maxW, b.at(0).W)
+		}
+		for i := 0; i < int(b.count); i++ {
+			e := b.at(i)
+			if !first && !Before(prev, e) {
+				t.Fatalf("order violation at block %d: %v then %v", bi, prev, e)
+			}
+			prev, first = e, false
+		}
+	}
+	// A merge rebuild must pack every block (no decoded residue).
+	var all []EntryKey
+	for bi := range l.blocks {
+		all = l.blocks[bi].appendTo(all)
+	}
+	l.applyBatch(nil, all[:n/2], nil)
+	for bi := range l.blocks {
+		if l.blocks[bi].raw != nil {
+			t.Fatalf("block %d still decoded after merge rebuild", bi)
+		}
+	}
+	// Drain completely; the block directory must shrink to nothing.
+	for _, e := range all[n/2:] {
+		if !l.delete(e) {
+			t.Fatalf("delete %v failed", e)
+		}
+	}
+	if l.Len() != 0 || l.blocks != nil {
+		t.Fatalf("drained list: len=%d blocks=%d", l.Len(), len(l.blocks))
+	}
+}
+
+// checkRoundTrip encodes es (sorted, deduplicated, non-empty) and
+// verifies every decode surface reproduces it exactly.
+func checkRoundTrip(t *testing.T, es []EntryKey) {
+	t.Helper()
+	b := encodeBlock(es)
+	if int(b.count) != len(es) {
+		t.Fatalf("count %d != %d", b.count, len(es))
+	}
+	if b.last != es[len(es)-1] || b.maxW != es[0].W {
+		t.Fatalf("metadata last=%v maxW=%v for es[0]=%v es[n-1]=%v", b.last, b.maxW, es[0], es[len(es)-1])
+	}
+	for i, e := range es {
+		if got := b.at(i); got != e {
+			t.Fatalf("at(%d) = %v, want %v (scheme=%d docBit=%d wBit=%d)", i, got, e, b.scheme, b.docBit, b.wBit)
+		}
+	}
+	got := b.appendTo(nil)
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("appendTo[%d] = %v, want %v", i, got[i], es[i])
+		}
+	}
+}
+
+// TestBlockCodecRoundTrip exercises the encoder's edges directly:
+// all-tied weights (dictionary of one), all-distinct weights (FOR wins),
+// extreme doc-id spans forcing 64-bit widths, subnormal and huge
+// weights, and single-entry blocks.
+func TestBlockCodecRoundTrip(t *testing.T) {
+	cases := [][]EntryKey{
+		{{W: 0.5, Doc: 1}},
+		{{W: 0.5, Doc: 0}, {W: 0.5, Doc: math.MaxUint64}},
+		{{W: math.MaxFloat64, Doc: 3}, {W: math.SmallestNonzeroFloat64, Doc: 2}},
+		{{W: 2, Doc: 9}, {W: 1, Doc: 0}, {W: 0.5, Doc: math.MaxUint64}},
+	}
+	// All-tied: dictionary collapses the weight area to one float.
+	tied := make([]EntryKey, blockMax)
+	for i := range tied {
+		tied[i] = EntryKey{W: 1.0 / 3, Doc: model.DocID(i * 1000)}
+	}
+	cases = append(cases, tied)
+	// All-distinct descending: FOR must win and round-trip.
+	distinct := make([]EntryKey, blockTarget)
+	for i := range distinct {
+		distinct[i] = EntryKey{W: float64(blockTarget-i) / blockTarget, Doc: model.DocID(i)}
+	}
+	cases = append(cases, distinct)
+	for _, es := range cases {
+		checkRoundTrip(t, es)
+	}
+}
+
+// TestBlockedCompressionRatio pins the tentpole's memory claim at the
+// unit level: a batch-built list with cosine-shaped weights (many ties
+// per block) must cost less than half the bytes per posting of the
+// slice layout holding the identical entries.
+func TestBlockedCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	es := make([]EntryKey, 0, 20000)
+	seen := make(map[EntryKey]bool)
+	for len(es) < cap(es) {
+		// Weights as f/√Σf² over small integer frequencies, the shape
+		// real cosine impacts take.
+		f := float64(rng.Intn(8) + 1)
+		norm := math.Sqrt(float64(rng.Intn(200) + 25))
+		e := EntryKey{W: f / norm, Doc: model.DocID(rng.Uint64() >> 24)}
+		if e.W <= 0 || seen[e] {
+			continue
+		}
+		seen[e] = true
+		es = append(es, e)
+	}
+	sortEntries(es)
+	bl, sl := newBlockedList(), newList()
+	bl.applyBatch(es, nil, nil)
+	sl.applyBatch(es, nil, nil)
+	bb, sb := listBytes(bl), listBytes(sl)
+	t.Logf("blocked %.2f B/posting, slices %.2f B/posting",
+		float64(bb)/float64(len(es)), float64(sb)/float64(len(es)))
+	if bb*2 > sb {
+		t.Fatalf("blocked %d bytes not under half of slices %d", bb, sb)
+	}
+}
+
+// TestBatchScratchShrink verifies the index releases the hot-list merge
+// scratch after sustained small epochs — one burst must not pin its
+// high-water capacity forever.
+func TestBatchScratchShrink(t *testing.T) {
+	x := NewIndex(1)
+	docAt := func(id int, term model.TermID, n int) []*model.Document {
+		docs := make([]*model.Document, n)
+		for i := range docs {
+			d, err := model.NewDocument(model.DocID(id+i), time.Unix(int64(id+i), 0),
+				[]model.Posting{{Term: term, Weight: float64(id+i) + 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			docs[i] = d
+		}
+		return docs
+	}
+	never := func(*model.Document, int) bool { return false }
+
+	// A burst epoch rebuilds one hot list at several thousand entries.
+	if _, err := x.ApplyBatch(docAt(0, 7, 4096), never); err != nil {
+		t.Fatal(err)
+	}
+	high := cap(x.batchScratch)
+	if high < 4096 {
+		t.Fatalf("burst did not grow scratch: cap=%d", high)
+	}
+	// Sustained small epochs: each rebuilds a tiny fresh hot term (8
+	// mutations clears hotTermMutations; a new term keeps the list size
+	// below the point-op cutoff).
+	id := 1 << 20
+	for epoch := 0; epoch < 40; epoch++ {
+		if _, err := x.ApplyBatch(docAt(id, model.TermID(100+epoch), hotTermMutations), never); err != nil {
+			t.Fatal(err)
+		}
+		id += hotTermMutations
+	}
+	if got := cap(x.batchScratch); got >= high {
+		t.Fatalf("scratch cap %d never shrank from high water %d", got, high)
+	}
+}
+
+// FuzzBlockCodec round-trips arbitrary entry sets through the block
+// codec. The corpus seeds the pathological shapes: weight ties (the
+// dictionary scheme), maximal doc ids (64-bit FOR widths), zero and
+// subnormal weights, sign boundaries of the sortable-bits mapping.
+func FuzzBlockCodec(f *testing.F) {
+	pack := func(es []EntryKey) []byte {
+		out := make([]byte, 0, len(es)*16)
+		var b [16]byte
+		for _, e := range es {
+			binary.LittleEndian.PutUint64(b[:8], uint64(e.Doc))
+			binary.LittleEndian.PutUint64(b[8:], math.Float64bits(e.W))
+			out = append(out, b[:]...)
+		}
+		return out
+	}
+	f.Add(pack([]EntryKey{{W: 0.5, Doc: 1}, {W: 0.5, Doc: 2}, {W: 0.25, Doc: math.MaxUint64}}))
+	f.Add(pack([]EntryKey{{W: math.MaxFloat64, Doc: 0}, {W: math.SmallestNonzeroFloat64, Doc: 1 << 40}}))
+	f.Add(pack([]EntryKey{{W: 1, Doc: 3}, {W: 0, Doc: 3}, {W: math.Copysign(0, -1), Doc: 4}, {W: -1, Doc: 5}}))
+	f.Add(pack(func() []EntryKey {
+		es := make([]EntryKey, 300)
+		for i := range es {
+			es[i] = EntryKey{W: float64(i%3) + 0.125, Doc: model.DocID(i * 1 << 32)}
+		}
+		return es
+	}()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var es []EntryKey
+		seen := make(map[EntryKey]bool)
+		for i := 0; i+16 <= len(data) && len(es) < 2*blockMax; i += 16 {
+			w := math.Float64frombits(binary.LittleEndian.Uint64(data[i+8 : i+16]))
+			if math.IsNaN(w) {
+				continue // NaN has no position in the list order
+			}
+			e := EntryKey{W: w, Doc: model.DocID(binary.LittleEndian.Uint64(data[i : i+8]))}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			es = append(es, e)
+		}
+		if len(es) == 0 {
+			return
+		}
+		sortEntries(es)
+		checkRoundTrip(t, es)
+	})
+}

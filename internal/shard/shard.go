@@ -137,6 +137,12 @@ func WithFloorMargins(target, raise int) Option {
 	}
 }
 
+// WithPostingLayout selects the inverted-index posting layout, matching
+// core.WithPostingLayout (the default is the block-compressed layout).
+func WithPostingLayout(l invindex.Layout) Option {
+	return func(c *core.MaintainerConfig) { c.PostingLayout = l }
+}
+
 // New returns an empty sharded engine with the given shard count;
 // shards <= 0 selects runtime.GOMAXPROCS(0). With one shard the engine
 // runs maintenance inline on the caller's goroutine (no workers, no
@@ -153,7 +159,7 @@ func New(policy window.Policy, shards int, opts ...Option) *Engine {
 	}
 	e := &Engine{
 		policy: policy,
-		index:  invindex.NewIndex(cfg.Seed),
+		index:  invindex.NewIndexLayout(cfg.Seed, cfg.PostingLayout),
 		shards: make([]*shardState, shards),
 	}
 	for i := range e.shards {
@@ -232,6 +238,8 @@ func (e *Engine) EachDoc(fn func(d *model.Document)) { e.index.Docs(fn) }
 func (e *Engine) MemoryUsage() core.Memory {
 	var mem core.Memory
 	mem.IndexBytes = e.index.MemoryBytes()
+	mem.PostingBytes = e.index.PostingBytes()
+	mem.Postings = uint64(e.index.PostingCount())
 	for _, s := range e.shards {
 		mem.Merge(s.m.MemoryUsage())
 	}

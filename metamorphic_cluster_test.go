@@ -106,7 +106,10 @@ func runClusterSequence(t *testing.T, data []byte, seed int64, k int, cfg faults
 		base = append(base, WithBatchSize(4))
 	}
 
-	ref, err := New(base...)
+	// The reference runs the slice posting layout while the cluster nodes
+	// keep the default blocked layout, so every cell of this suite is
+	// also a differential twin for the compressed postings.
+	ref, err := New(append([]Option{WithPostingLayout(LayoutSlices)}, base...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

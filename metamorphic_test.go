@@ -240,11 +240,15 @@ func runOpSequence(t *testing.T, data []byte) {
 	}
 	serial := eqEngine{name: "serial", e: mk(), watched: map[QueryID]map[DocID]bool{}}
 	// scan-all-trees pins the probe trees to the entry-ordered scan-all
-	// representation on an otherwise identical serial engine: the
-	// θ-ordered probe index must be byte-identical to it in results AND
-	// in every operation counter at every boundary (θ-ordering changes
-	// which queries a probe visits first, never which it visits).
-	scanTrees := eqEngine{name: "scan-all-trees", e: mk(withScanAllTrees()), watched: map[QueryID]map[DocID]bool{}}
+	// representation AND the inverted lists to the slice layout on an
+	// otherwise identical serial engine: the θ-ordered probe index and
+	// the block-compressed postings must be byte-identical to it in
+	// results AND in every operation counter at every boundary (both are
+	// physical representation choices — θ-ordering changes which queries
+	// a probe visits first, never which it visits; the blocked codec
+	// changes the bytes behind the lists, never an entry or a counter).
+	scanTrees := eqEngine{name: "scan-all-trees",
+		e: mk(withScanAllTrees(), WithPostingLayout(LayoutSlices)), watched: map[QueryID]map[DocID]bool{}}
 	grid := []eqEngine{
 		serial,
 		scanTrees,
@@ -274,7 +278,7 @@ func runOpSequence(t *testing.T, data []byte) {
 				}
 				name := fmt.Sprintf("s%d_b%d", s, b)
 				if scan {
-					opts = append(opts, withScanAllTrees())
+					opts = append(opts, withScanAllTrees(), WithPostingLayout(LayoutSlices))
 					name += "_scan"
 				}
 				e, err := Open(dir, append([]Option{pol}, opts...)...)
@@ -545,7 +549,10 @@ func crashAndReopen(t *testing.T, g *eqEngine, context string, forbidden map[Que
 	opts := []Option{WithDurability(DurabilityOff), WithCheckpointEvery(24),
 		withFloorMargins(1, 1)}
 	if g.scan {
-		opts = append(opts, withScanAllTrees())
+		// The slice-layout pin rides with the scan pin (snapshots restore
+		// the layout, but a crash before the first checkpoint recovers
+		// from the WAL alone and would silently fall back to blocked).
+		opts = append(opts, withScanAllTrees(), WithPostingLayout(LayoutSlices))
 	}
 	ne, err := Open(g.walDir, opts...)
 	if err != nil {

@@ -60,6 +60,12 @@ type snapshot struct {
 	// Epoch size of WithBatchSize. Older snapshots decode it as zero,
 	// which restores unbatched — the pre-batching behavior.
 	BatchSize int
+	// Posting layout of the inverted index (WithPostingLayout). The
+	// lists themselves are derivable state and never serialized, so the
+	// layout is free to differ between a snapshot and its restored twin;
+	// recording it keeps a durable engine's configuration sticky across
+	// reopen. Older snapshots decode it as zero — the blocked default.
+	PostingLayout int
 	// Dictionary terms in id order, so interned ids survive the round
 	// trip and query/document term ids keep matching.
 	Terms []string
@@ -147,19 +153,20 @@ func (e *Engine) encodeSnapshotLocked(w io.Writer) error {
 		return fmt.Errorf("ita: snapshot with %d buffered documents", len(e.pending))
 	}
 	s := snapshot{
-		Version:    snapshotVersion,
-		Algorithm:  e.cfg.algorithm,
-		Stemming:   e.cfg.stemming,
-		Stopwords:  e.cfg.stopwords,
-		RetainText: e.cfg.retainText,
-		Seed:       e.cfg.seed,
-		Shards:     e.cfg.shards,
-		BatchSize:  e.cfg.batchSize,
-		NextDoc:    uint64(e.nextDoc),
-		NextQuery:  uint64(e.nextQuery),
-		LastAtNs:   e.lastAt.UnixNano(),
-		Counters:   *e.inner.Stats(),
-		EpochSeq:   e.walEpochSeq(),
+		Version:       snapshotVersion,
+		Algorithm:     e.cfg.algorithm,
+		Stemming:      e.cfg.stemming,
+		Stopwords:     e.cfg.stopwords,
+		RetainText:    e.cfg.retainText,
+		Seed:          e.cfg.seed,
+		Shards:        e.cfg.shards,
+		BatchSize:     e.cfg.batchSize,
+		PostingLayout: int(e.cfg.postingLayout),
+		NextDoc:       uint64(e.nextDoc),
+		NextQuery:     uint64(e.nextQuery),
+		LastAtNs:      e.lastAt.UnixNano(),
+		Counters:      *e.inner.Stats(),
+		EpochSeq:      e.walEpochSeq(),
 	}
 	switch pol := e.cfg.policy.(type) {
 	case window.Count:
@@ -228,6 +235,9 @@ func (s *snapshot) options() []Option {
 	}
 	if s.BatchSize > 1 {
 		opts = append(opts, WithBatchSize(s.BatchSize))
+	}
+	if s.PostingLayout != 0 {
+		opts = append(opts, WithPostingLayout(PostingLayout(s.PostingLayout)))
 	}
 	if s.CountN > 0 {
 		opts = append(opts, WithCountWindow(s.CountN))
